@@ -1,0 +1,53 @@
+// Command dchag-bench regenerates the paper's evaluation figures as text
+// tables.
+//
+// Usage:
+//
+//	dchag-bench                 # run every experiment
+//	dchag-bench -fig fig09      # run one figure
+//	dchag-bench -list           # list available experiments
+//
+// Figures 6-9 and 13-16 are analytic (internal/perfmodel on the Frontier
+// machine model); figures 11 and 12 train real reduced-scale models on the
+// simulated rank substrate and take a few seconds each.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"repro/internal/experiments"
+)
+
+func main() {
+	fig := flag.String("fig", "", "experiment id to run (default: all)")
+	list := flag.Bool("list", false, "list available experiments")
+	format := flag.String("format", "text", "output format: text | markdown")
+	flag.Parse()
+	render := func(r experiments.Result) string {
+		if *format == "markdown" {
+			return r.Markdown()
+		}
+		return r.String()
+	}
+
+	if *list {
+		for _, e := range experiments.All() {
+			fmt.Printf("%-8s %s\n", e.ID, e.Title)
+		}
+		return
+	}
+	if *fig != "" {
+		e, ok := experiments.Find(*fig)
+		if !ok {
+			fmt.Fprintf(os.Stderr, "dchag-bench: unknown experiment %q (use -list)\n", *fig)
+			os.Exit(1)
+		}
+		fmt.Print(render(e.Run()))
+		return
+	}
+	for _, e := range experiments.All() {
+		fmt.Print(render(e.Run()))
+	}
+}

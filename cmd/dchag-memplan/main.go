@@ -1,0 +1,115 @@
+// Command dchag-memplan answers the feasibility questions of the paper's
+// Secs. 4.3 and 6.1 for arbitrary configurations: given a model size, a
+// channel count and a parallel strategy, it prints the per-component memory
+// breakdown on a Frontier GCD, whether the configuration fits, the largest
+// micro-batch that fits, and the minimum TP degree that would fit.
+//
+// Examples:
+//
+//	dchag-memplan -model 7B -channels 512 -tp 16
+//	dchag-memplan -model 26B -channels 256 -method dchag -tp 32 -kind L
+//	dchag-memplan -model 1.7B -channels 1024 -sweep
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"os"
+	"sort"
+
+	"repro/internal/core"
+	"repro/internal/hw"
+	"repro/internal/perfmodel"
+)
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("dchag-memplan: ")
+	var (
+		modelName = flag.String("model", "7B", "model size: 100M 1B 1.7B 3B 7B 15B 26B")
+		channels  = flag.Int("channels", 512, "input channel count")
+		method    = flag.String("method", "baseline", "channel stage: baseline | disttok | dchag")
+		tp        = flag.Int("tp", 1, "tensor-parallel degree")
+		fsdp      = flag.Int("fsdp", 1, "FSDP group size")
+		dp        = flag.Int("dp", 1, "data-parallel group size")
+		tree      = flag.Int("tree", 0, "D-CHAG tree configuration")
+		kindFlag  = flag.String("kind", "L", "D-CHAG partial-layer kind: L | C")
+		batch     = flag.Int("batch", 4, "micro-batch size")
+		sweep     = flag.Bool("sweep", false, "sweep TP degrees and print the feasibility frontier")
+	)
+	flag.Parse()
+
+	shape, ok := perfmodel.Shapes[*modelName]
+	if !ok {
+		names := make([]string, 0, len(perfmodel.Shapes))
+		for n := range perfmodel.Shapes {
+			names = append(names, n)
+		}
+		sort.Strings(names)
+		log.Fatalf("unknown model %q (have %v)", *modelName, names)
+	}
+	var m perfmodel.Method
+	switch *method {
+	case "baseline":
+		m = perfmodel.MethodBaseline
+	case "disttok":
+		m = perfmodel.MethodDistTok
+	case "dchag":
+		m = perfmodel.MethodDCHAG
+	default:
+		log.Fatalf("unknown method %q", *method)
+	}
+	kind := core.KindLinear
+	if *kindFlag == "C" {
+		kind = core.KindCross
+	}
+
+	machine := hw.Frontier()
+	cal := perfmodel.DefaultCalibration()
+	wl := perfmodel.ReferenceWorkload(*channels)
+	wl.MicroBatch = *batch
+
+	if *sweep {
+		fmt.Printf("%s, %d channels, %s: TP feasibility sweep (micro-batch %d)\n", shape.Name, *channels, m, *batch)
+		for t := 1; t <= 32; t *= 2 {
+			if shape.Heads%t != 0 {
+				continue
+			}
+			s := perfmodel.Strategy{Method: m, TP: t, FSDP: *fsdp, DP: *dp, Tree: *tree, Kind: kind}
+			r := perfmodel.Analyze(shape, wl, s, machine, cal)
+			fmt.Printf("  TP=%-3d %8.1f GiB/GPU  %s\n", t, r.TotalMemBytes()/(1<<30), status(r))
+		}
+		return
+	}
+
+	strat := perfmodel.Strategy{Method: m, TP: *tp, FSDP: *fsdp, DP: *dp, Tree: *tree, Kind: kind}
+	r := perfmodel.Analyze(shape, wl, strat, machine, cal)
+	fmt.Printf("%s, %d channels, %s, micro-batch %d, %d GPUs\n", shape.Name, *channels, strat.Label(), *batch, strat.World())
+	fmt.Printf("  usable GCD memory: %s\n\n", hw.FormatBytes(machine.UsableMemBytes()))
+	for _, c := range perfmodel.Components {
+		fmt.Printf("  %-13s params %12.0f   act %8.1f GiB   state %8.1f GiB\n",
+			c, r.ParamsPerGPU[c], r.ActBytes[c]/(1<<30), r.StateBytes[c]/(1<<30))
+	}
+	fmt.Printf("\n  total: %.1f GiB (%.0f%% of usable) -> %s\n",
+		r.TotalMemBytes()/(1<<30), 100*r.MemFraction(), status(r))
+	fmt.Printf("  max micro-batch at this config: %d\n",
+		perfmodel.MaxMicroBatch(shape, perfmodel.ReferenceWorkload(*channels), strat, machine, cal))
+	if minTP := perfmodel.MinTPToFit(shape, wl, strat, machine, cal, 32); minTP > 0 {
+		fmt.Printf("  minimum TP that fits: %d\n", minTP)
+	} else {
+		fmt.Printf("  no TP degree up to 32 fits this configuration\n")
+	}
+	fmt.Printf("  modeled step time: %.3f s (compute %.3f, comm %.3f), %.1f TFLOPs/s/node\n",
+		r.StepSeconds(), r.ComputeSeconds, r.CommSeconds, r.TFLOPsPerSecPerNode())
+	if !r.Fits() {
+		os.Exit(2)
+	}
+}
+
+func status(r perfmodel.Report) string {
+	if r.Fits() {
+		return "fits"
+	}
+	return "OOM"
+}

@@ -1,0 +1,69 @@
+// Memory planner: walks through the paper's feasibility story (Secs. 4.2,
+// 4.3 and 6.1) using the analytic performance model as a library — from
+// "what fits on one GCD" through "where TP becomes necessary" to "what only
+// D-CHAG can fit" — and prints the per-component breakdown behind each
+// answer.
+package main
+
+import (
+	"fmt"
+
+	"repro/internal/core"
+	"repro/internal/hw"
+	"repro/internal/perfmodel"
+)
+
+func main() {
+	machine := hw.Frontier()
+	cal := perfmodel.DefaultCalibration()
+
+	fmt.Println("1. Single-GCD limits (paper Fig. 6):")
+	for _, name := range []string{"100M", "1B", "3B"} {
+		shape := perfmodel.Shapes[name]
+		maxCh := 0
+		for ch := 32; ch <= 2048; ch *= 2 {
+			r := perfmodel.Analyze(shape, perfmodel.ReferenceWorkload(ch), perfmodel.Strategy{Method: perfmodel.MethodBaseline}, machine, cal)
+			if r.Fits() {
+				maxCh = ch
+			}
+		}
+		fmt.Printf("   %-5s handles up to %d channels on one GCD\n", name, maxCh)
+	}
+
+	fmt.Println("\n2. Where the memory goes (7B, 512 channels, TP=16):")
+	r := perfmodel.Analyze(perfmodel.Shapes["7B"], perfmodel.ReferenceWorkload(512),
+		perfmodel.Strategy{Method: perfmodel.MethodBaseline, TP: 16}, machine, cal)
+	for _, c := range perfmodel.Components {
+		fmt.Printf("   %-13s %6.1f GiB (act %.1f + state %.1f)\n",
+			c, r.ComponentMemBytes(c)/(1<<30), r.ActBytes[c]/(1<<30), r.StateBytes[c]/(1<<30))
+	}
+	fmt.Printf("   total %.1f GiB of %.1f usable\n", r.TotalMemBytes()/(1<<30), float64(machine.UsableMemBytes())/(1<<30))
+
+	fmt.Println("\n3. What only D-CHAG can do (paper Fig. 14):")
+	shape := perfmodel.Shapes["26B"]
+	wl := perfmodel.ReferenceWorkload(512)
+	base := perfmodel.MinTPToFit(shape, wl, perfmodel.Strategy{Method: perfmodel.MethodBaseline}, machine, cal, 8)
+	dchag := perfmodel.MinTPToFit(shape, wl, perfmodel.Strategy{
+		Method: perfmodel.MethodDCHAG, Tree: 0, Kind: core.KindLinear,
+	}, machine, cal, 8)
+	fmt.Printf("   26B @ 512 channels, TP within one node: baseline %s, D-CHAG-L %s\n",
+		feas(base), feas(dchag))
+
+	fmt.Println("\n4. Freed memory becomes batch (paper Fig. 15):")
+	for _, s := range []perfmodel.Strategy{
+		{Method: perfmodel.MethodBaseline, TP: 16},
+		{Method: perfmodel.MethodDCHAG, TP: 2, FSDP: 8, Tree: 0, Kind: core.KindLinear},
+	} {
+		w := perfmodel.ReferenceWorkload(500)
+		w.MicroBatch = 1
+		b := perfmodel.MaxMicroBatch(perfmodel.Shapes["7B"], w, s, machine, cal)
+		fmt.Printf("   %-34s max micro-batch %d\n", s.Label(), b)
+	}
+}
+
+func feas(tp int) string {
+	if tp == 0 {
+		return "infeasible"
+	}
+	return fmt.Sprintf("fits at TP=%d", tp)
+}

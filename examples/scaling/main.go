@@ -1,0 +1,60 @@
+// Scaling study: uses the analytic performance model to answer the paper's
+// Sec. 6 questions for any model size — where TP alone stops fitting, what
+// D-CHAG saves, and what the hybrid configuration sustains at scale.
+package main
+
+import (
+	"fmt"
+
+	"repro/internal/core"
+	"repro/internal/hw"
+	"repro/internal/perfmodel"
+)
+
+func main() {
+	machine := hw.Frontier()
+	cal := perfmodel.DefaultCalibration()
+
+	fmt.Println("Feasibility frontier (minimum TP to fit, micro-batch 4):")
+	fmt.Printf("%-6s %-10s %-14s %-14s\n", "model", "channels", "TP baseline", "D-CHAG-L")
+	for _, name := range []string{"1.7B", "7B", "15B", "26B"} {
+		shape := perfmodel.Shapes[name]
+		for _, ch := range []int{128, 256, 512, 1024} {
+			wl := perfmodel.ReferenceWorkload(ch)
+			base := perfmodel.MinTPToFit(shape, wl, perfmodel.Strategy{Method: perfmodel.MethodBaseline}, machine, cal, 32)
+			dchag := perfmodel.MinTPToFit(shape, wl, perfmodel.Strategy{
+				Method: perfmodel.MethodDCHAG, Tree: 0, Kind: core.KindLinear,
+			}, machine, cal, 32)
+			fmt.Printf("%-6s %-10d %-14s %-14s\n", name, ch, tpStr(base), tpStr(dchag))
+		}
+	}
+
+	fmt.Println("\nHybrid throughput projection, 7B @ 500 channels (max micro-batch):")
+	fmt.Printf("%-8s %-20s %-20s %-8s\n", "GCDs", "baseline TFLOPs/s", "hybrid TFLOPs/s", "gain")
+	shape := perfmodel.Shapes["7B"]
+	for _, gpus := range []int{16, 64, 256, 1024} {
+		base := perfmodel.Strategy{Method: perfmodel.MethodBaseline, TP: 8, FSDP: 2, DP: gpus / 16}
+		hyb := perfmodel.Strategy{Method: perfmodel.MethodDCHAG, TP: 2, FSDP: 4, DP: gpus / 8, Tree: 0, Kind: core.KindLinear}
+		tb := throughputAtMaxBatch(shape, base, machine, cal)
+		th := throughputAtMaxBatch(shape, hyb, machine, cal)
+		fmt.Printf("%-8d %-20.0f %-20.0f %+.0f%%\n", gpus, tb, th, 100*(th/tb-1))
+	}
+}
+
+func tpStr(tp int) string {
+	if tp == 0 {
+		return "infeasible"
+	}
+	return fmt.Sprintf("TP=%d", tp)
+}
+
+func throughputAtMaxBatch(shape perfmodel.ModelShape, s perfmodel.Strategy, machine hw.Machine, cal perfmodel.Calibration) float64 {
+	wl := perfmodel.ReferenceWorkload(500)
+	wl.MicroBatch = 1
+	b := perfmodel.MaxMicroBatch(shape, wl, s, machine, cal)
+	if b == 0 {
+		return 0
+	}
+	wl.MicroBatch = b
+	return perfmodel.Analyze(shape, wl, s, machine, cal).TFLOPsPerSec()
+}

@@ -1,0 +1,92 @@
+// Weather forecasting: the paper's Sec. 5.2 evaluation at reduced scale.
+// Trains the ClimaX-like image-to-image forecaster on the synthetic ERA5
+// substitute (80 channels: 5 variables x 15 pressure levels + surface +
+// static fields, regridded with the bilinear xESMF substitute), comparing
+// the baseline with D-CHAG-C and D-CHAG-L on four simulated ranks, and
+// evaluates Z500 / T850 / U10 RMSE on held-out steps.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"repro/internal/core"
+	"repro/internal/data"
+	"repro/internal/model"
+	"repro/internal/tensor"
+	"repro/internal/train"
+)
+
+func main() {
+	log.SetFlags(0)
+	const (
+		steps = 24
+		batch = 2
+		gridH = 8
+		gridW = 16
+		ranks = 4
+	)
+	w := data.NewWeather(data.WeatherConfig{NativeH: 32, NativeW: 64, Steps: 256, DtHours: 6, Seed: 515})
+	fmt.Printf("synthetic ERA5: %d channels on %dx%d (regridded from %dx%d)\n",
+		w.Channels(), gridH, gridW, 32, 64)
+
+	arch := model.Arch{
+		Config: core.Config{
+			Channels: w.Channels(), ImgH: gridH, ImgW: gridW, Patch: 2,
+			Embed: 16, Heads: 2, Tree: 0, Kind: core.KindLinear, Seed: 1202,
+		},
+		Depth:      2,
+		MetaTokens: 1,
+	}
+	xs := make([]*tensor.Tensor, steps)
+	ys := make([]*tensor.Tensor, steps)
+	for s := 0; s < steps; s++ {
+		xs[s], ys[s] = w.PairBatch(s*batch, batch, 1, gridH, gridW)
+	}
+	batchFn := func(s int) (*tensor.Tensor, *tensor.Tensor) { return xs[s], ys[s] }
+	opts := train.Options{Steps: steps, Batch: batch, LR: 3e-3, ClipNorm: 1, Seed: 12}
+
+	evalX, evalY := w.PairBatch(steps*batch+16, 4, 1, gridH, gridW)
+	chans := []int{w.ChannelIndex("z500"), w.ChannelIndex("t850"), w.ChannelIndex("u10")}
+	names := []string{"Z500", "T850", "U10"}
+
+	fmt.Println("training baseline (1 rank) ...")
+	baseModel := model.NewSerial(arch)
+	baseline := train.Serial(baseModel, opts, batchFn)
+	baseRMSE := train.EvalForecastRMSE(baseModel, []*tensor.Tensor{evalX}, []*tensor.Tensor{evalY}, chans)
+
+	type variant struct {
+		kind core.LayerKind
+		hist train.History
+		rmse map[int]float64
+	}
+	variants := []*variant{{kind: core.KindCross}, {kind: core.KindLinear}}
+	for _, v := range variants {
+		a := arch
+		a.Kind = v.kind
+		fmt.Printf("training D-CHAG-%s (%d simulated ranks) ...\n", v.kind, ranks)
+		hist, group, err := train.Distributed(a, ranks, false, opts, batchFn)
+		if err != nil {
+			log.Fatal(err)
+		}
+		if b := group.Traffic().BytesInPhase("backward"); b != 0 {
+			log.Fatalf("unexpected backward communication: %d bytes", b)
+		}
+		v.hist = hist
+		eq := model.NewSerialDCHAGEquivalent(a, ranks)
+		train.Serial(eq, opts, batchFn)
+		v.rmse = train.EvalForecastRMSE(eq, []*tensor.Tensor{evalX}, []*tensor.Tensor{evalY}, chans)
+	}
+
+	fmt.Printf("\n%-6s %-12s %-12s %-12s\n", "step", "baseline", "D-CHAG-C", "D-CHAG-L")
+	for s := 0; s < steps; s += 4 {
+		fmt.Printf("%-6d %-12.6f %-12.6f %-12.6f\n", s, baseline.Loss[s], variants[0].hist.Loss[s], variants[1].hist.Loss[s])
+	}
+	fmt.Printf("%-6d %-12.6f %-12.6f %-12.6f\n", steps-1, baseline.Last(), variants[0].hist.Last(), variants[1].hist.Last())
+
+	fmt.Printf("\nheld-out latitude-weighted RMSE:\n%-6s %-10s %-10s %-10s\n", "var", "baseline", "D-CHAG-C", "D-CHAG-L")
+	for i, ch := range chans {
+		fmt.Printf("%-6s %-10.5f %-10.5f %-10.5f\n", names[i], baseRMSE[ch], variants[0].rmse[ch], variants[1].rmse[ch])
+	}
+	fmt.Println("\npaper: training losses match almost exactly; test RMSE within ~1%")
+}

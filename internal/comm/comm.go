@@ -1,0 +1,305 @@
+// Package comm implements the collective-communication substrate the
+// repository's distributed simulation runs on: a group of in-process ranks
+// (one goroutine each) with rendezvous AllGather, AllReduce, ReduceScatter,
+// Broadcast, Gather and Barrier operations that really move tensor data
+// between ranks.
+//
+// It is the functional stand-in for RCCL on Frontier (see DESIGN.md): the
+// algorithmic content of the paper — which tensors cross which rank boundary,
+// in which pass — is exercised exactly, deterministically, and without
+// hardware. Every operation is recorded in a Traffic ledger with the byte
+// volume a ring implementation of the collective would put on the wire, so
+// tests can assert communication claims (e.g. the D-CHAG module's
+// zero-communication backward pass) quantitatively.
+package comm
+
+import (
+	"fmt"
+	"sync"
+
+	"repro/internal/tensor"
+)
+
+// Group is the shared rendezvous state for a set of ranks. Create one with
+// NewGroup and hand each rank its Communicator via Comm(rank), or use Run to
+// manage the goroutines.
+type Group struct {
+	size int
+
+	mu       sync.Mutex
+	cond     *sync.Cond
+	phase    uint64
+	arrived  int
+	slots    []any
+	gathered []any
+	aborted  bool
+
+	p2pMu sync.Mutex
+	p2p   map[pairKey]chan *tensor.Tensor
+
+	traffic *Traffic
+}
+
+// NewGroup creates a rendezvous group of the given size with a fresh traffic
+// ledger.
+func NewGroup(size int) *Group {
+	if size <= 0 {
+		panic(fmt.Sprintf("comm: group size %d must be positive", size))
+	}
+	g := &Group{size: size, slots: make([]any, size), traffic: NewTraffic()}
+	g.cond = sync.NewCond(&g.mu)
+	return g
+}
+
+// Size returns the number of ranks in the group.
+func (g *Group) Size() int { return g.size }
+
+// Traffic returns the group's communication ledger.
+func (g *Group) Traffic() *Traffic { return g.traffic }
+
+// Comm returns the communicator handle for the given rank.
+func (g *Group) Comm(rank int) *Communicator {
+	if rank < 0 || rank >= g.size {
+		panic(fmt.Sprintf("comm: rank %d out of range [0,%d)", rank, g.size))
+	}
+	return &Communicator{group: g, rank: rank, phaseLabel: "default"}
+}
+
+// Abort releases every rank blocked in a collective; they panic with
+// ErrAborted. Used when one rank fails so the others do not hang.
+func (g *Group) Abort() {
+	g.mu.Lock()
+	g.aborted = true
+	g.cond.Broadcast()
+	g.mu.Unlock()
+}
+
+// ErrAborted is the panic value raised in ranks blocked on a collective when
+// the group is aborted.
+var ErrAborted = fmt.Errorf("comm: group aborted")
+
+// exchangeTensor deposits a defensive copy of x (nil allowed), so a rank
+// that mutates its buffer immediately after the collective cannot race with
+// slower ranks still reading the deposited value.
+func (g *Group) exchangeTensor(rank int, x *tensor.Tensor) []any {
+	var val any
+	if x != nil {
+		val = x.Clone()
+	} else {
+		val = (*tensor.Tensor)(nil)
+	}
+	return g.exchange(rank, val)
+}
+
+// exchange is the core rendezvous: every rank deposits one value and
+// receives the slice of all ranks' values (indexed by rank). It blocks until
+// all ranks of the group have arrived.
+func (g *Group) exchange(rank int, val any) []any {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	if g.aborted {
+		panic(ErrAborted)
+	}
+	gen := g.phase
+	g.slots[rank] = val
+	g.arrived++
+	if g.arrived == g.size {
+		g.arrived = 0
+		g.gathered = append([]any(nil), g.slots...)
+		g.phase++
+		g.cond.Broadcast()
+	} else {
+		for g.phase == gen && !g.aborted {
+			g.cond.Wait()
+		}
+		if g.aborted {
+			panic(ErrAborted)
+		}
+	}
+	return g.gathered
+}
+
+// Run spawns fn on every rank of a fresh group and waits for all of them.
+// A panic in any rank aborts the group (so no rank hangs) and is returned as
+// an error. The group is returned for traffic inspection.
+func Run(size int, fn func(c *Communicator) error) (*Group, error) {
+	g := NewGroup(size)
+	errs := make([]error, size)
+	var wg sync.WaitGroup
+	for r := 0; r < size; r++ {
+		wg.Add(1)
+		go func(rank int) {
+			defer wg.Done()
+			defer func() {
+				if rec := recover(); rec != nil {
+					errs[rank] = fmt.Errorf("comm: rank %d panicked: %v", rank, rec)
+					g.Abort()
+				}
+			}()
+			errs[rank] = fn(g.Comm(rank))
+			if errs[rank] != nil {
+				g.Abort()
+			}
+		}(r)
+	}
+	wg.Wait()
+	for _, err := range errs {
+		if err != nil {
+			return g, err
+		}
+	}
+	return g, nil
+}
+
+// Communicator is a single rank's handle on its group. It is not safe for
+// concurrent use by multiple goroutines; each rank goroutine owns one.
+type Communicator struct {
+	group      *Group
+	rank       int
+	phaseLabel string
+}
+
+// Rank returns this communicator's rank within the group.
+func (c *Communicator) Rank() int { return c.rank }
+
+// Size returns the group size.
+func (c *Communicator) Size() int { return c.group.size }
+
+// Group returns the underlying group.
+func (c *Communicator) Group() *Group { return c.group }
+
+// SetPhase labels subsequent traffic entries (e.g. "forward", "backward").
+// Tests use phases to assert where communication happens.
+func (c *Communicator) SetPhase(label string) { c.phaseLabel = label }
+
+// Phase returns the current traffic label.
+func (c *Communicator) Phase() string { return c.phaseLabel }
+
+func (c *Communicator) record(op Op, elems int) {
+	c.group.traffic.Record(c.rank, c.phaseLabel, op, elems)
+}
+
+// Barrier blocks until every rank has reached it.
+func (c *Communicator) Barrier() {
+	c.record(OpBarrier, 0)
+	c.group.exchange(c.rank, nil)
+}
+
+// AllGather exchanges each rank's tensor and returns fresh copies of all of
+// them, indexed by rank. Contributions may differ in shape.
+func (c *Communicator) AllGather(x *tensor.Tensor) []*tensor.Tensor {
+	vals := c.group.exchangeTensor(c.rank, x)
+	out := make([]*tensor.Tensor, len(vals))
+	total := 0
+	for i, v := range vals {
+		t := v.(*tensor.Tensor)
+		out[i] = t.Clone()
+		total += t.Numel()
+	}
+	// Ring all-gather wire volume per rank: every element that is not
+	// already local transits this rank once.
+	c.record(OpAllGather, total-x.Numel())
+	return out
+}
+
+// AllGatherConcat gathers each rank's tensor and concatenates the results
+// along the given axis in rank order.
+func (c *Communicator) AllGatherConcat(x *tensor.Tensor, axis int) *tensor.Tensor {
+	parts := c.AllGather(x)
+	return tensor.Concat(axis, parts...)
+}
+
+// AllReduceSum returns the elementwise sum of every rank's tensor. All
+// contributions must share a shape.
+func (c *Communicator) AllReduceSum(x *tensor.Tensor) *tensor.Tensor {
+	vals := c.group.exchangeTensor(c.rank, x)
+	out := vals[0].(*tensor.Tensor).Clone()
+	for _, v := range vals[1:] {
+		t := v.(*tensor.Tensor)
+		if !tensor.SameShape(out, t) {
+			panic(fmt.Sprintf("comm: AllReduceSum shape mismatch %v vs %v", out.Shape, t.Shape))
+		}
+		tensor.AddInPlace(out, t)
+	}
+	// Ring all-reduce wire volume per rank: 2*(n-1)/n elements.
+	c.record(OpAllReduce, 2*(c.Size()-1)*x.Numel()/c.Size())
+	return out
+}
+
+// AllReduceMean returns the elementwise mean of every rank's tensor.
+func (c *Communicator) AllReduceMean(x *tensor.Tensor) *tensor.Tensor {
+	out := c.AllReduceSum(x)
+	tensor.ScaleInPlace(out, 1/float64(c.Size()))
+	return out
+}
+
+// AllReduceMax returns the elementwise maximum of every rank's tensor.
+func (c *Communicator) AllReduceMax(x *tensor.Tensor) *tensor.Tensor {
+	vals := c.group.exchangeTensor(c.rank, x)
+	out := vals[0].(*tensor.Tensor).Clone()
+	for _, v := range vals[1:] {
+		t := v.(*tensor.Tensor)
+		for i, tv := range t.Data {
+			if tv > out.Data[i] {
+				out.Data[i] = tv
+			}
+		}
+	}
+	c.record(OpAllReduce, 2*(c.Size()-1)*x.Numel()/c.Size())
+	return out
+}
+
+// AllReduceScalarSum sums a scalar across ranks (convenience for losses and
+// metrics).
+func (c *Communicator) AllReduceScalarSum(v float64) float64 {
+	t := tensor.FromSlice([]float64{v}, 1)
+	return c.AllReduceSum(t).Data[0]
+}
+
+// ReduceScatterSum splits every rank's tensor into Size equal chunks along
+// axis, sums chunk r across ranks, and returns chunk r to rank r. The axis
+// extent must be divisible by the group size.
+func (c *Communicator) ReduceScatterSum(x *tensor.Tensor, axis int) *tensor.Tensor {
+	vals := c.group.exchangeTensor(c.rank, x)
+	var out *tensor.Tensor
+	for _, v := range vals {
+		t := v.(*tensor.Tensor)
+		chunk := tensor.SplitEqual(t, axis, c.Size())[c.rank]
+		if out == nil {
+			out = chunk
+		} else {
+			tensor.AddInPlace(out, chunk)
+		}
+	}
+	// Ring reduce-scatter wire volume per rank: (n-1)/n elements.
+	c.record(OpReduceScatter, (c.Size()-1)*x.Numel()/c.Size())
+	return out
+}
+
+// Broadcast returns a copy of root's tensor on every rank. Non-root ranks
+// may pass nil.
+func (c *Communicator) Broadcast(x *tensor.Tensor, root int) *tensor.Tensor {
+	if root < 0 || root >= c.Size() {
+		panic(fmt.Sprintf("comm: Broadcast root %d out of range", root))
+	}
+	vals := c.group.exchangeTensor(c.rank, x)
+	src := vals[root].(*tensor.Tensor)
+	c.record(OpBroadcast, src.Numel())
+	return src.Clone()
+}
+
+// Gather returns all ranks' tensors (in rank order) on root and nil on every
+// other rank.
+func (c *Communicator) Gather(x *tensor.Tensor, root int) []*tensor.Tensor {
+	vals := c.group.exchangeTensor(c.rank, x)
+	if c.rank != root {
+		c.record(OpGather, x.Numel())
+		return nil
+	}
+	out := make([]*tensor.Tensor, len(vals))
+	for i, v := range vals {
+		out[i] = v.(*tensor.Tensor).Clone()
+	}
+	c.record(OpGather, x.Numel())
+	return out
+}

@@ -1,0 +1,206 @@
+package core
+
+import (
+	"fmt"
+
+	"repro/internal/comm"
+	"repro/internal/nn"
+	"repro/internal/tensor"
+)
+
+// Config describes a D-CHAG channel stage: the tokenizer geometry, the
+// embedding width, and the partial-channel aggregation module layout.
+type Config struct {
+	// Channels is the global channel count (spectral bands, atmospheric
+	// variables, ...).
+	Channels int
+	// ImgH, ImgW, Patch define the tokenizer geometry.
+	ImgH, ImgW, Patch int
+	// Embed and Heads size the attention layers.
+	Embed, Heads int
+	// Tree selects the partial-module layout (paper Fig. 9): 0 = one
+	// aggregation layer over the whole local shard, N >= 2 = N first-level
+	// groups plus a local reducer.
+	Tree int
+	// Kind selects D-CHAG-C (cross-attention) or D-CHAG-L (linear) partial
+	// layers. The final shared layer is always cross-attention.
+	Kind LayerKind
+	// Seed determines every parameter deterministically.
+	Seed int64
+}
+
+// Tokens returns the spatial token count per channel.
+func (c Config) Tokens() int { return (c.ImgH / c.Patch) * (c.ImgW / c.Patch) }
+
+func (c Config) validate() {
+	if c.Channels < 1 || c.Embed < 1 || c.Heads < 1 {
+		panic(fmt.Sprintf("core: invalid config %+v", c))
+	}
+	if c.ImgH%c.Patch != 0 || c.ImgW%c.Patch != 0 {
+		panic(fmt.Sprintf("core: image %dx%d not divisible by patch %d", c.ImgH, c.ImgW, c.Patch))
+	}
+	if c.Embed%c.Heads != 0 {
+		panic(fmt.Sprintf("core: embed %d not divisible by heads %d", c.Embed, c.Heads))
+	}
+}
+
+// Seed indices for the stage's components; shared with Reference so the
+// distributed and serial constructions draw identical parameters.
+const (
+	seedTok     = 1
+	seedChEmb   = 2
+	seedFinal   = 3
+	seedPartial = 100 // + rank
+)
+
+// DCHAG is one rank's slice of the Distributed Cross-Channel Hierarchical
+// Aggregation stage (paper Sec. 3.3, Fig. 4):
+//
+//	local channel shard --PatchEmbed--> [B, Cl, T, E]
+//	                    --ChannelEmbed--> (+ channel ID tokens)
+//	                    --partial aggregation--> [B, T, E]   (1 token/rank)
+//	  --AllGather (the ONLY communication)--> [B*T, P, E]
+//	  --final shared cross-attention--> [B, T, E]
+//
+// The final layer's parameters are replicated and its input is identical on
+// every rank after the AllGather, so the backward pass recomputes the final
+// layer gradient locally, slices out the rank's own token gradient, and
+// back-propagates through the local partial module and tokenizer with zero
+// communication — the property the paper's Sec. 3.3 claims and the tests
+// assert via the traffic ledger.
+type DCHAG struct {
+	Cfg        Config
+	Comm       *comm.Communicator
+	ChLo, ChHi int
+
+	Tok     *nn.PatchEmbed
+	ChEmb   *nn.ChannelEmbed
+	Partial *HierarchicalAggregator
+	Final   *CrossAttnAggregator
+
+	b int
+}
+
+// NewDCHAG constructs rank c.Rank()'s module. Channels are EvenSplit across
+// the group; the partial module of rank r draws its parameters from
+// SubSeed(seed, seedPartial+r) and the final layer from SubSeed(seed,
+// seedFinal) on every rank (replicated).
+func NewDCHAG(cfg Config, c *comm.Communicator) *DCHAG {
+	cfg.validate()
+	p := c.Size()
+	if cfg.Channels < p {
+		panic(fmt.Sprintf("core: %d channels cannot be split across %d ranks", cfg.Channels, p))
+	}
+	lo, hi := ChannelRange(cfg.Channels, p, c.Rank())
+	localC := hi - lo
+	return &DCHAG{
+		Cfg:  cfg,
+		Comm: c,
+		ChLo: lo, ChHi: hi,
+		Tok:   nn.NewPatchEmbedShard("dchag.tok", lo, hi, cfg.ImgH, cfg.ImgW, cfg.Patch, cfg.Embed, nn.SubSeed(cfg.Seed, seedTok)),
+		ChEmb: nn.NewChannelEmbedShard("dchag.chemb", lo, hi, cfg.Embed, nn.SubSeed(cfg.Seed, seedChEmb)),
+		Partial: NewHierarchicalAggregator(
+			fmt.Sprintf("dchag.partial%d", c.Rank()),
+			BuildTreePlan(localC, cfg.Tree), cfg.Kind, cfg.Embed, cfg.Heads,
+			nn.SubSeed(cfg.Seed, seedPartial+c.Rank())),
+		Final: NewCrossAttnAggregator("dchag.final", p, cfg.Embed, cfg.Heads, nn.SubSeed(cfg.Seed, seedFinal)),
+	}
+}
+
+// LocalChannels returns the size of this rank's channel shard.
+func (d *DCHAG) LocalChannels() int { return d.ChHi - d.ChLo }
+
+// Forward consumes this rank's image shard [B, Cl, H, W] and returns the
+// aggregated representation [B, T, E], identical on every rank.
+func (d *DCHAG) Forward(x *tensor.Tensor) *tensor.Tensor {
+	if len(x.Shape) != 4 || x.Shape[1] != d.LocalChannels() {
+		panic(fmt.Sprintf("core: DCHAG.Forward want [B,%d,%d,%d], got %v", d.LocalChannels(), d.Cfg.ImgH, d.Cfg.ImgW, x.Shape))
+	}
+	d.b = x.Shape[0]
+	tok := d.Tok.Forward(x)
+	emb := d.ChEmb.Forward(tok)
+	local := d.Partial.Forward(emb) // [B, T, E]: one token per rank
+	parts := d.Comm.AllGather(local)
+	seq := RanksToSeq(parts) // [B*T, P, E]
+	out := d.Final.Forward(seq)
+	return out.Reshape(d.b, d.Cfg.Tokens(), d.Cfg.Embed)
+}
+
+// Backward consumes the gradient of the aggregated representation [B, T, E]
+// (identical on every rank) and returns the gradient of this rank's image
+// shard [B, Cl, H, W]. It performs no communication.
+func (d *DCHAG) Backward(grad *tensor.Tensor) *tensor.Tensor {
+	t, e := d.Cfg.Tokens(), d.Cfg.Embed
+	if len(grad.Shape) != 3 || grad.Shape[0] != d.b || grad.Shape[1] != t || grad.Shape[2] != e {
+		panic(fmt.Sprintf("core: DCHAG.Backward want [%d,%d,%d], got %v", d.b, t, e, grad.Shape))
+	}
+	dSeq := d.Final.Backward(grad.Reshape(d.b*t, e)) // [N, P, E]
+	dLocal := SeqSlice(dSeq, d.Comm.Rank(), d.b, t)  // [B, T, E]
+	dEmb := d.Partial.Backward(dLocal)               // [B, Cl, T, E]
+	dTok := d.ChEmb.Backward(dEmb)
+	return d.Tok.Backward(dTok)
+}
+
+// Params returns this rank's parameters: the tokenizer and channel-embedding
+// shards, the rank-local partial module, and the replicated final layer.
+func (d *DCHAG) Params() []*nn.Param {
+	var ps []*nn.Param
+	ps = append(ps, d.Tok.Params()...)
+	ps = append(ps, d.ChEmb.Params()...)
+	ps = append(ps, d.Partial.Params()...)
+	ps = append(ps, d.Final.Params()...)
+	return ps
+}
+
+// LocalParams returns only the rank-local (non-replicated) parameters; the
+// complement of ReplicatedParams.
+func (d *DCHAG) LocalParams() []*nn.Param {
+	var ps []*nn.Param
+	ps = append(ps, d.Tok.Params()...)
+	ps = append(ps, d.ChEmb.Params()...)
+	ps = append(ps, d.Partial.Params()...)
+	return ps
+}
+
+// ReplicatedParams returns the parameters replicated across the D-CHAG group
+// (the final shared cross-attention layer).
+func (d *DCHAG) ReplicatedParams() []*nn.Param { return d.Final.Params() }
+
+// RanksToSeq assembles per-rank tokens (P tensors of [B, T, E]) into the
+// final layer's input layout [B*T, P, E].
+func RanksToSeq(parts []*tensor.Tensor) *tensor.Tensor {
+	p := len(parts)
+	b, t, e := parts[0].Shape[0], parts[0].Shape[1], parts[0].Shape[2]
+	out := tensor.New(b*t, p, e)
+	for pi, part := range parts {
+		if len(part.Shape) != 3 || part.Shape[0] != b || part.Shape[1] != t || part.Shape[2] != e {
+			panic(fmt.Sprintf("core: RanksToSeq inconsistent part shape %v", part.Shape))
+		}
+		for bi := 0; bi < b; bi++ {
+			for ti := 0; ti < t; ti++ {
+				src := part.Data[(bi*t+ti)*e : (bi*t+ti+1)*e]
+				dst := out.Data[((bi*t+ti)*p+pi)*e : ((bi*t+ti)*p+pi+1)*e]
+				copy(dst, src)
+			}
+		}
+	}
+	return out
+}
+
+// SeqSlice extracts rank p's token gradient [B, T, E] from the final-layer
+// input gradient [B*T, P, E]; the inverse of one rank's RanksToSeq slot.
+func SeqSlice(seq *tensor.Tensor, p, b, t int) *tensor.Tensor {
+	np, e := seq.Shape[1], seq.Shape[2]
+	if seq.Shape[0] != b*t || p < 0 || p >= np {
+		panic(fmt.Sprintf("core: SeqSlice(%d) invalid for shape %v", p, seq.Shape))
+	}
+	out := tensor.New(b, t, e)
+	for bi := 0; bi < b; bi++ {
+		for ti := 0; ti < t; ti++ {
+			src := seq.Data[((bi*t+ti)*np+p)*e : ((bi*t+ti)*np+p+1)*e]
+			dst := out.Data[(bi*t+ti)*e : (bi*t+ti+1)*e]
+			copy(dst, src)
+		}
+	}
+	return out
+}

@@ -1,0 +1,252 @@
+package core
+
+import (
+	"fmt"
+
+	"repro/internal/nn"
+	"repro/internal/tensor"
+)
+
+// EvenSplit partitions n items into k near-equal contiguous group sizes
+// (the first n%k groups get one extra item). It panics unless 0 < k <= n.
+func EvenSplit(n, k int) []int {
+	if k <= 0 || k > n {
+		panic(fmt.Sprintf("core: cannot split %d channels into %d groups", n, k))
+	}
+	sizes := make([]int, k)
+	base, rem := n/k, n%k
+	for i := range sizes {
+		sizes[i] = base
+		if i < rem {
+			sizes[i]++
+		}
+	}
+	return sizes
+}
+
+// ChannelRange returns the contiguous global channel range [lo, hi) owned by
+// rank r of p when c channels are EvenSplit across ranks.
+func ChannelRange(c, p, r int) (lo, hi int) {
+	sizes := EvenSplit(c, p)
+	for i := 0; i < r; i++ {
+		lo += sizes[i]
+	}
+	return lo, lo + sizes[r]
+}
+
+// TreePlan is the per-level group layout of a hierarchical aggregation
+// module: Plan[level] lists the input-group sizes at that level. The output
+// of each level has one token per group; the last level has a single group,
+// producing one token.
+type TreePlan [][]int
+
+// BuildTreePlan realizes the paper's TreeN naming (Fig. 9) for a module over
+// `channels` inputs: Tree0 is a single aggregation layer over all channels;
+// TreeN (N >= 2) splits the channels into N near-equal first-level groups
+// and adds one second-level layer that reduces the N group tokens to one.
+// N is clamped to the channel count.
+func BuildTreePlan(channels, tree int) TreePlan {
+	if channels < 1 {
+		panic(fmt.Sprintf("core: BuildTreePlan with %d channels", channels))
+	}
+	if tree <= 1 || channels == 1 {
+		return TreePlan{[]int{channels}}
+	}
+	if tree > channels {
+		tree = channels
+	}
+	plan := TreePlan{EvenSplit(channels, tree)}
+	if tree > 1 {
+		plan = append(plan, []int{tree})
+	}
+	return plan
+}
+
+// Channels returns the input channel count of the plan.
+func (p TreePlan) Channels() int {
+	n := 0
+	for _, g := range p[0] {
+		n += g
+	}
+	return n
+}
+
+// MaxGroup returns the largest group size anywhere in the plan — the paper's
+// "maximum number of input channels per layer", the quantity the hierarchy
+// exists to shrink.
+func (p TreePlan) MaxGroup() int {
+	m := 0
+	for _, level := range p {
+		for _, g := range level {
+			if g > m {
+				m = g
+			}
+		}
+	}
+	return m
+}
+
+// NumLayers returns the total number of aggregation layers (group modules).
+func (p TreePlan) NumLayers() int {
+	n := 0
+	for _, level := range p {
+		n += len(level)
+	}
+	return n
+}
+
+// validate checks internal consistency: each level's group count must equal
+// the next level's input count.
+func (p TreePlan) validate() {
+	for l := 0; l < len(p)-1; l++ {
+		next := 0
+		for _, g := range p[l+1] {
+			next += g
+		}
+		if len(p[l]) != next {
+			panic(fmt.Sprintf("core: TreePlan level %d emits %d tokens but level %d consumes %d", l, len(p[l]), l+1, next))
+		}
+	}
+	if len(p[len(p)-1]) != 1 {
+		panic("core: TreePlan must end in a single group")
+	}
+}
+
+// HierarchicalAggregator is the (serial) hierarchical cross-channel
+// aggregation module of paper Sec. 3.2: a tree of group aggregators that
+// reduces [B, C, T, E] channel tokens to a single [B, T, E] representation.
+// With KindCross layers it is the paper's Fig. 3 configuration; with
+// KindLinear layers it is the lightweight variant.
+//
+// In D-CHAG each rank owns one of these over its channel shard (the
+// "partial-channel aggregation module"); serially it also serves as the
+// reference aggregation module of the baseline architecture (a Tree0
+// KindCross instance is exactly one cross-attention layer over all
+// channels).
+type HierarchicalAggregator struct {
+	Plan   TreePlan
+	Levels [][]GroupAggregator
+
+	b, t, e int
+	inputs  [][]*tensor.Tensor // cached per-level inputs, per group
+}
+
+// NewHierarchicalAggregator builds the module for the given plan. Layer
+// (level, group) draws its parameters from SubSeed(seed, level*4096+group),
+// so any regrouping of the same plan reproduces identical parameters.
+func NewHierarchicalAggregator(name string, plan TreePlan, kind LayerKind, embed, heads int, seed int64) *HierarchicalAggregator {
+	plan.validate()
+	h := &HierarchicalAggregator{Plan: plan}
+	for l, level := range plan {
+		var aggs []GroupAggregator
+		for gi, g := range level {
+			layerName := fmt.Sprintf("%s.l%d.g%d", name, l, gi)
+			aggs = append(aggs, newGroupAggregator(layerName, kind, g, embed, heads, nn.SubSeed(seed, l*4096+gi)))
+		}
+		h.Levels = append(h.Levels, aggs)
+	}
+	return h
+}
+
+// NewBaselineAggregator is the architecture's default channel-aggregation
+// module: a single cross-attention layer over all channels (paper Fig. 1).
+func NewBaselineAggregator(name string, channels, embed, heads int, seed int64) *HierarchicalAggregator {
+	return NewHierarchicalAggregator(name, BuildTreePlan(channels, 0), KindCross, embed, heads, seed)
+}
+
+// Channels returns the module's input channel count.
+func (h *HierarchicalAggregator) Channels() int { return h.Plan.Channels() }
+
+// Forward reduces x [B, C, T, E] to [B, T, E].
+func (h *HierarchicalAggregator) Forward(x *tensor.Tensor) *tensor.Tensor {
+	c := h.Channels()
+	if len(x.Shape) != 4 || x.Shape[1] != c {
+		panic(fmt.Sprintf("core: HierarchicalAggregator.Forward want [B,%d,T,E], got %v", c, x.Shape))
+	}
+	h.b, h.t, h.e = x.Shape[0], x.Shape[2], x.Shape[3]
+	cur := FoldChannels(x) // [N, C, E]
+	h.inputs = make([][]*tensor.Tensor, len(h.Levels))
+	for l, level := range h.Levels {
+		sizes := h.Plan[l]
+		groups := tensor.Split(cur, 1, sizes)
+		h.inputs[l] = groups
+		outs := make([]*tensor.Tensor, len(level))
+		for gi, agg := range level {
+			y := agg.Forward(groups[gi]) // [N, E]
+			outs[gi] = y.Reshape(y.Shape[0], 1, h.e)
+		}
+		cur = tensor.Concat(1, outs...) // [N, nGroups, E]
+	}
+	// cur is [N, 1, E].
+	return cur.Reshape(h.b, h.t, h.e)
+}
+
+// Backward maps d [B, T, E] back to the channel-token gradient [B, C, T, E].
+func (h *HierarchicalAggregator) Backward(d *tensor.Tensor) *tensor.Tensor {
+	if h.inputs == nil {
+		panic("core: HierarchicalAggregator.Backward before Forward")
+	}
+	n := h.b * h.t
+	cur := d.Reshape(n, 1, h.e)
+	for l := len(h.Levels) - 1; l >= 0; l-- {
+		level := h.Levels[l]
+		dOuts := tensor.SplitEqual(cur, 1, len(level))
+		parts := make([]*tensor.Tensor, len(level))
+		for gi, agg := range level {
+			dg := dOuts[gi].Reshape(n, h.e)
+			parts[gi] = agg.Backward(dg) // [N, g, E]
+		}
+		cur = tensor.Concat(1, parts...)
+	}
+	return UnfoldChannels(cur, h.b, h.t)
+}
+
+// Params returns all layers' parameters, level by level.
+func (h *HierarchicalAggregator) Params() []*nn.Param {
+	var ps []*nn.Param
+	for _, level := range h.Levels {
+		for _, agg := range level {
+			ps = append(ps, agg.Params()...)
+		}
+	}
+	return ps
+}
+
+// FoldChannels permutes channel tokens [B, C, T, E] into per-location
+// channel sequences [B*T, C, E], the layout aggregators consume.
+func FoldChannels(x *tensor.Tensor) *tensor.Tensor {
+	if len(x.Shape) != 4 {
+		panic(fmt.Sprintf("core: FoldChannels wants rank 4, got %v", x.Shape))
+	}
+	b, c, t, e := x.Shape[0], x.Shape[1], x.Shape[2], x.Shape[3]
+	out := tensor.New(b*t, c, e)
+	for bi := 0; bi < b; bi++ {
+		for ci := 0; ci < c; ci++ {
+			for ti := 0; ti < t; ti++ {
+				src := x.Data[((bi*c+ci)*t+ti)*e : ((bi*c+ci)*t+ti+1)*e]
+				dst := out.Data[((bi*t+ti)*c+ci)*e : ((bi*t+ti)*c+ci+1)*e]
+				copy(dst, src)
+			}
+		}
+	}
+	return out
+}
+
+// UnfoldChannels inverts FoldChannels: [B*T, C, E] back to [B, C, T, E].
+func UnfoldChannels(x *tensor.Tensor, b, t int) *tensor.Tensor {
+	if len(x.Shape) != 3 || x.Shape[0] != b*t {
+		panic(fmt.Sprintf("core: UnfoldChannels wants [%d,C,E], got %v", b*t, x.Shape))
+	}
+	c, e := x.Shape[1], x.Shape[2]
+	out := tensor.New(b, c, t, e)
+	for bi := 0; bi < b; bi++ {
+		for ci := 0; ci < c; ci++ {
+			for ti := 0; ti < t; ti++ {
+				src := x.Data[((bi*t+ti)*c+ci)*e : ((bi*t+ti)*c+ci+1)*e]
+				dst := out.Data[((bi*c+ci)*t+ti)*e : ((bi*c+ci)*t+ti+1)*e]
+				copy(dst, src)
+			}
+		}
+	}
+	return out
+}

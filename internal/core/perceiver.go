@@ -1,0 +1,94 @@
+package core
+
+import (
+	"fmt"
+
+	"repro/internal/nn"
+	"repro/internal/tensor"
+)
+
+// PerceiverAggregator reduces a channel group with a Perceiver-style fusion
+// layer (paper Sec. 3.5: Aurora uses the Perceiver as its fusion module): M
+// learned latent tokens cross-attend to the group's channel tokens and the
+// latents' mean is the aggregated representation.
+//
+// Its attention map is M x g — between the linear cost of LinearAggregator
+// and the quadratic cost of CrossAttnAggregator — making it the natural
+// middle point of the design space the paper sketches. It satisfies
+// GroupAggregator, so it can serve as the partial-channel layer of D-CHAG
+// (KindPerceiver) with all distribution properties intact.
+type PerceiverAggregator struct {
+	Group   int
+	Latents *nn.Param // [M, E] learned queries
+	Attn    *nn.CrossAttention
+
+	n, m int
+}
+
+// NewPerceiverAggregator builds a Perceiver fusion layer with m latent
+// tokens over groups of the given size.
+func NewPerceiverAggregator(name string, group, latents, embed, heads int, seed int64) *PerceiverAggregator {
+	if latents < 1 {
+		panic(fmt.Sprintf("core: perceiver needs at least one latent, got %d", latents))
+	}
+	rng := tensor.NewRNG(nn.SubSeed(seed, 1))
+	return &PerceiverAggregator{
+		Group:   group,
+		Latents: nn.NewParam(name+".latents", tensor.RandnScaled(rng, 0.02, latents, embed)),
+		Attn:    nn.NewCrossAttention(name+".xattn", embed, heads, nn.SubSeed(seed, 0)),
+	}
+}
+
+// GroupSize returns the group size.
+func (a *PerceiverAggregator) GroupSize() int { return a.Group }
+
+// Forward reduces x [N, g, E] to [N, E]: the latents (broadcast over N)
+// attend to the group tokens, and the latent outputs are averaged.
+func (a *PerceiverAggregator) Forward(x *tensor.Tensor) *tensor.Tensor {
+	if len(x.Shape) != 3 || x.Shape[1] != a.Group {
+		panic(fmt.Sprintf("core: PerceiverAggregator.Forward want [N,%d,E], got %v", a.Group, x.Shape))
+	}
+	a.n = x.Shape[0]
+	a.m = a.Latents.W.Shape[0]
+	e := x.Shape[2]
+	q := tensor.New(a.n, a.m, e)
+	for n := 0; n < a.n; n++ {
+		copy(q.Data[n*a.m*e:(n+1)*a.m*e], a.Latents.W.Data)
+	}
+	y := a.Attn.Forward(q, x)    // [N, M, E]
+	return tensor.MeanAxis(y, 1) // [N, E]
+}
+
+// Backward maps d [N, E] to the group input gradient [N, g, E], accumulating
+// latent and attention gradients.
+func (a *PerceiverAggregator) Backward(d *tensor.Tensor) *tensor.Tensor {
+	if a.n == 0 {
+		panic("core: PerceiverAggregator.Backward before Forward")
+	}
+	e := d.Shape[len(d.Shape)-1]
+	dy := tensor.New(a.n, a.m, e)
+	inv := 1 / float64(a.m)
+	for n := 0; n < a.n; n++ {
+		src := d.Data[n*e : (n+1)*e]
+		for m := 0; m < a.m; m++ {
+			dst := dy.Data[(n*a.m+m)*e : (n*a.m+m+1)*e]
+			for i, v := range src {
+				dst[i] = v * inv
+			}
+		}
+	}
+	dq, dkv := a.Attn.Backward(dy)
+	// The latents were broadcast over N rows; their gradient sums over rows.
+	for n := 0; n < a.n; n++ {
+		src := dq.Data[n*a.m*e : (n+1)*a.m*e]
+		for i, v := range src {
+			a.Latents.Grad.Data[i] += v
+		}
+	}
+	return dkv
+}
+
+// Params returns the latents and the attention parameters.
+func (a *PerceiverAggregator) Params() []*nn.Param {
+	return append([]*nn.Param{a.Latents}, a.Attn.Params()...)
+}

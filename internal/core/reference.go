@@ -1,0 +1,110 @@
+package core
+
+import (
+	"fmt"
+
+	"repro/internal/nn"
+	"repro/internal/tensor"
+)
+
+// Reference is the single-process model that is mathematically identical to
+// the D-CHAG stage distributed over p ranks: the full tokenizer, the full
+// channel embedding, p partial-channel aggregation modules (one per virtual
+// rank, drawing the same seeds the distributed ranks draw), and the shared
+// final cross-attention layer.
+//
+// It exists for two reasons. First, it is the correctness oracle: the tests
+// prove DCHAG-over-p-goroutine-ranks == Reference(p) to float64 round-off,
+// for forward, backward, and parameter gradients. Second, with p = 1 and
+// KindCross it degenerates to the baseline architecture's channel stage
+// (one cross-attention layer over all channels), which is how the paper's
+// single-GPU baselines are built.
+type Reference struct {
+	Cfg Config
+	P   int
+
+	Tok      *nn.PatchEmbed
+	ChEmb    *nn.ChannelEmbed
+	Partials []*HierarchicalAggregator
+	Final    *CrossAttnAggregator
+
+	bounds [][2]int
+	b      int
+	outs   []*tensor.Tensor
+}
+
+// NewReference builds the serial equivalent of NewDCHAG over p virtual
+// ranks.
+func NewReference(cfg Config, p int) *Reference {
+	cfg.validate()
+	if p < 1 || cfg.Channels < p {
+		panic(fmt.Sprintf("core: invalid virtual rank count %d for %d channels", p, cfg.Channels))
+	}
+	r := &Reference{
+		Cfg:   cfg,
+		P:     p,
+		Tok:   nn.NewPatchEmbed("dchag.tok", cfg.Channels, cfg.ImgH, cfg.ImgW, cfg.Patch, cfg.Embed, nn.SubSeed(cfg.Seed, seedTok)),
+		ChEmb: nn.NewChannelEmbed("dchag.chemb", cfg.Channels, cfg.Embed, nn.SubSeed(cfg.Seed, seedChEmb)),
+		Final: NewCrossAttnAggregator("dchag.final", p, cfg.Embed, cfg.Heads, nn.SubSeed(cfg.Seed, seedFinal)),
+	}
+	for vr := 0; vr < p; vr++ {
+		lo, hi := ChannelRange(cfg.Channels, p, vr)
+		r.bounds = append(r.bounds, [2]int{lo, hi})
+		r.Partials = append(r.Partials, NewHierarchicalAggregator(
+			fmt.Sprintf("dchag.partial%d", vr),
+			BuildTreePlan(hi-lo, cfg.Tree), cfg.Kind, cfg.Embed, cfg.Heads,
+			nn.SubSeed(cfg.Seed, seedPartial+vr)))
+	}
+	return r
+}
+
+// Bounds returns virtual rank vr's channel range [lo, hi).
+func (r *Reference) Bounds(vr int) (lo, hi int) {
+	return r.bounds[vr][0], r.bounds[vr][1]
+}
+
+// Forward consumes the full image [B, C, H, W] and returns the aggregated
+// representation [B, T, E].
+func (r *Reference) Forward(x *tensor.Tensor) *tensor.Tensor {
+	if len(x.Shape) != 4 || x.Shape[1] != r.Cfg.Channels {
+		panic(fmt.Sprintf("core: Reference.Forward want [B,%d,H,W], got %v", r.Cfg.Channels, x.Shape))
+	}
+	r.b = x.Shape[0]
+	tok := r.Tok.Forward(x)
+	emb := r.ChEmb.Forward(tok)
+	r.outs = make([]*tensor.Tensor, r.P)
+	for vr := 0; vr < r.P; vr++ {
+		lo, hi := r.Bounds(vr)
+		r.outs[vr] = r.Partials[vr].Forward(tensor.SliceAxis(emb, 1, lo, hi))
+	}
+	seq := RanksToSeq(r.outs)
+	out := r.Final.Forward(seq)
+	return out.Reshape(r.b, r.Cfg.Tokens(), r.Cfg.Embed)
+}
+
+// Backward consumes the output gradient [B, T, E] and returns the full image
+// gradient [B, C, H, W].
+func (r *Reference) Backward(grad *tensor.Tensor) *tensor.Tensor {
+	t, e := r.Cfg.Tokens(), r.Cfg.Embed
+	dSeq := r.Final.Backward(grad.Reshape(r.b*t, e))
+	dEmbParts := make([]*tensor.Tensor, r.P)
+	for vr := 0; vr < r.P; vr++ {
+		dLocal := SeqSlice(dSeq, vr, r.b, t)
+		dEmbParts[vr] = r.Partials[vr].Backward(dLocal)
+	}
+	dEmb := tensor.Concat(1, dEmbParts...)
+	dTok := r.ChEmb.Backward(dEmb)
+	return r.Tok.Backward(dTok)
+}
+
+// Params returns all parameters of the serial model.
+func (r *Reference) Params() []*nn.Param {
+	var ps []*nn.Param
+	ps = append(ps, r.Tok.Params()...)
+	ps = append(ps, r.ChEmb.Params()...)
+	for _, pt := range r.Partials {
+		ps = append(ps, pt.Params()...)
+	}
+	ps = append(ps, r.Final.Params()...)
+	return ps
+}

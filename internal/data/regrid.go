@@ -1,0 +1,82 @@
+package data
+
+import (
+	"fmt"
+
+	"repro/internal/tensor"
+)
+
+// RegridBilinear resamples a 2D field [H, W] to [newH, newW] with bilinear
+// interpolation, treating cell centers as sample points (the convention of
+// the ESMF bilinear method behind xESMF, which the paper uses to take ERA5
+// from 0.25 deg to 5.625 deg). Longitude (the W axis) wraps periodically;
+// latitude (the H axis) clamps at the poles.
+func RegridBilinear(field *tensor.Tensor, newH, newW int) *tensor.Tensor {
+	if len(field.Shape) != 2 {
+		panic(fmt.Sprintf("data: RegridBilinear wants [H,W], got %v", field.Shape))
+	}
+	if newH < 1 || newW < 1 {
+		panic(fmt.Sprintf("data: RegridBilinear target %dx%d invalid", newH, newW))
+	}
+	h, w := field.Shape[0], field.Shape[1]
+	out := tensor.New(newH, newW)
+	for y := 0; y < newH; y++ {
+		// Source coordinate of the target cell centre.
+		sy := (float64(y)+0.5)*float64(h)/float64(newH) - 0.5
+		y0 := int(floor(sy))
+		fy := sy - float64(y0)
+		y0c, y1c := clampIdx(y0, h), clampIdx(y0+1, h)
+		for x := 0; x < newW; x++ {
+			sx := (float64(x)+0.5)*float64(w)/float64(newW) - 0.5
+			x0 := int(floor(sx))
+			fx := sx - float64(x0)
+			x0w, x1w := wrapIdx(x0, w), wrapIdx(x0+1, w)
+			v00 := field.Data[y0c*w+x0w]
+			v01 := field.Data[y0c*w+x1w]
+			v10 := field.Data[y1c*w+x0w]
+			v11 := field.Data[y1c*w+x1w]
+			out.Data[y*newW+x] = (1-fy)*((1-fx)*v00+fx*v01) + fy*((1-fx)*v10+fx*v11)
+		}
+	}
+	return out
+}
+
+// RegridBatch applies RegridBilinear to every channel of [C, H, W].
+func RegridBatch(fields *tensor.Tensor, newH, newW int) *tensor.Tensor {
+	if len(fields.Shape) != 3 {
+		panic(fmt.Sprintf("data: RegridBatch wants [C,H,W], got %v", fields.Shape))
+	}
+	c := fields.Shape[0]
+	out := make([]*tensor.Tensor, c)
+	for i := 0; i < c; i++ {
+		f := tensor.FromSlice(fields.Data[i*fields.Shape[1]*fields.Shape[2]:(i+1)*fields.Shape[1]*fields.Shape[2]], fields.Shape[1], fields.Shape[2])
+		out[i] = RegridBilinear(f, newH, newW)
+	}
+	return tensor.Stack(out...)
+}
+
+func floor(v float64) float64 {
+	f := float64(int(v))
+	if v < 0 && v != f {
+		f--
+	}
+	return f
+}
+
+func clampIdx(i, n int) int {
+	if i < 0 {
+		return 0
+	}
+	if i >= n {
+		return n - 1
+	}
+	return i
+}
+
+func wrapIdx(i, n int) int {
+	i %= n
+	if i < 0 {
+		i += n
+	}
+	return i
+}

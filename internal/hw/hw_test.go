@@ -1,0 +1,91 @@
+package hw
+
+import (
+	"math"
+	"strings"
+	"testing"
+)
+
+func TestFrontierConstants(t *testing.T) {
+	m := Frontier()
+	if m.GPUMemBytes != 64<<30 {
+		t.Fatalf("GCD memory = %d, want 64 GiB", m.GPUMemBytes)
+	}
+	if m.GPUsPerNode != 8 {
+		t.Fatalf("GPUs per node = %d, want 8 (4x MI250X = 8 GCDs)", m.GPUsPerNode)
+	}
+	if m.IntraBW <= m.InterBWPerGPU {
+		t.Fatal("intra-node Infinity Fabric must be faster than the per-GCD Slingshot share")
+	}
+	if m.UsableMemBytes() >= m.GPUMemBytes {
+		t.Fatal("usable memory must leave allocator headroom")
+	}
+	if m.SustainedFLOPS() >= m.PeakTFLOPS*1e12 {
+		t.Fatal("sustained rate must be below peak")
+	}
+}
+
+func TestGroupPlacement(t *testing.T) {
+	m := Frontier()
+	if !m.GroupIntraNode(8) {
+		t.Fatal("8 GCDs fit in one node")
+	}
+	if m.GroupIntraNode(16) {
+		t.Fatal("16 GCDs span nodes")
+	}
+}
+
+func TestCollectiveTimesScaleWithSizeAndBytes(t *testing.T) {
+	m := Frontier()
+	// Zero for trivial groups.
+	if m.AllGatherTime(1, 1<<20) != 0 || m.AllReduceTime(1, 1<<20) != 0 || m.ReduceScatterTime(1, 1<<20) != 0 {
+		t.Fatal("single-rank collectives are free")
+	}
+	// More bytes take longer.
+	if !(m.AllGatherTime(4, 1<<24) > m.AllGatherTime(4, 1<<20)) {
+		t.Fatal("AllGather must scale with volume")
+	}
+	// Crossing the node boundary costs more at equal volume.
+	if !(m.AllReduceTime(16, 1<<24) > m.AllReduceTime(8, 1<<24)) {
+		t.Fatal("inter-node all-reduce must cost more than intra-node")
+	}
+	// AllReduce ~ ReduceScatter + AllGather of the chunks.
+	n, bytes := 4, int64(1<<24)
+	ar := m.AllReduceTime(n, bytes)
+	rsag := m.ReduceScatterTime(n, bytes) + m.AllGatherTime(n, bytes/int64(n))
+	if math.Abs(ar-rsag)/ar > 0.01 {
+		t.Fatalf("ring identity violated: AR=%v RS+AG=%v", ar, rsag)
+	}
+}
+
+func TestExplicitLinkVariants(t *testing.T) {
+	m := Frontier()
+	intra := m.AllReduceTimeAt(4, 1<<24, true)
+	inter := m.AllReduceTimeAt(4, 1<<24, false)
+	if !(inter > intra) {
+		t.Fatal("forced inter-node link must be slower")
+	}
+	if m.AllGatherTimeAt(1, 1<<20, true) != 0 || m.ReduceScatterTimeAt(1, 1<<20, false) != 0 {
+		t.Fatal("single-rank variants are free")
+	}
+	// Contiguous convenience must match the explicit variant.
+	if m.AllGatherTime(4, 1<<20) != m.AllGatherTimeAt(4, 1<<20, true) {
+		t.Fatal("size-based link selection should be intra for n<=8")
+	}
+}
+
+func TestComputeTimeAndNodes(t *testing.T) {
+	m := Frontier()
+	if m.ComputeTime(m.SustainedFLOPS()) != 1 {
+		t.Fatal("one sustained-second of FLOPs must take one second")
+	}
+	if m.Nodes(1) != 1 || m.Nodes(8) != 1 || m.Nodes(9) != 2 || m.Nodes(1024) != 128 {
+		t.Fatal("node counting wrong")
+	}
+}
+
+func TestFormatBytes(t *testing.T) {
+	if s := FormatBytes(64 << 30); !strings.Contains(s, "64.00 GiB") {
+		t.Fatalf("FormatBytes = %q", s)
+	}
+}

@@ -1,0 +1,70 @@
+package model
+
+import (
+	"fmt"
+
+	"repro/internal/tensor"
+)
+
+// Patchify converts an image batch [B, C, H, W] into per-token regression
+// targets [B, T, C*P*P]: token t holds every channel's PxP patch pixels, the
+// quantity the MAE decoder and the forecast head regress.
+func Patchify(x *tensor.Tensor, patch int) *tensor.Tensor {
+	if len(x.Shape) != 4 {
+		panic(fmt.Sprintf("model: Patchify wants [B,C,H,W], got %v", x.Shape))
+	}
+	b, c, h, w := x.Shape[0], x.Shape[1], x.Shape[2], x.Shape[3]
+	if h%patch != 0 || w%patch != 0 {
+		panic(fmt.Sprintf("model: image %dx%d not divisible by patch %d", h, w, patch))
+	}
+	ph, pw := h/patch, w/patch
+	t := ph * pw
+	d := c * patch * patch
+	out := tensor.New(b, t, d)
+	for bi := 0; bi < b; bi++ {
+		for ci := 0; ci < c; ci++ {
+			for py := 0; py < ph; py++ {
+				for px := 0; px < pw; px++ {
+					ti := py*pw + px
+					for dy := 0; dy < patch; dy++ {
+						srcOff := ((bi*c+ci)*h+(py*patch+dy))*w + px*patch
+						dstOff := (bi*t+ti)*d + ci*patch*patch + dy*patch
+						copy(out.Data[dstOff:dstOff+patch], x.Data[srcOff:srcOff+patch])
+					}
+				}
+			}
+		}
+	}
+	return out
+}
+
+// Unpatchify inverts Patchify: tokens [B, T, C*P*P] back to images
+// [B, C, H, W].
+func Unpatchify(tok *tensor.Tensor, channels, imgH, imgW, patch int) *tensor.Tensor {
+	if len(tok.Shape) != 3 {
+		panic(fmt.Sprintf("model: Unpatchify wants [B,T,D], got %v", tok.Shape))
+	}
+	b := tok.Shape[0]
+	ph, pw := imgH/patch, imgW/patch
+	t := ph * pw
+	d := channels * patch * patch
+	if tok.Shape[1] != t || tok.Shape[2] != d {
+		panic(fmt.Sprintf("model: Unpatchify shape %v does not match C=%d %dx%d P=%d", tok.Shape, channels, imgH, imgW, patch))
+	}
+	out := tensor.New(b, channels, imgH, imgW)
+	for bi := 0; bi < b; bi++ {
+		for ci := 0; ci < channels; ci++ {
+			for py := 0; py < ph; py++ {
+				for px := 0; px < pw; px++ {
+					ti := py*pw + px
+					for dy := 0; dy < patch; dy++ {
+						srcOff := (bi*t+ti)*d + ci*patch*patch + dy*patch
+						dstOff := ((bi*channels+ci)*imgH+(py*patch+dy))*imgW + px*patch
+						copy(out.Data[dstOff:dstOff+patch], tok.Data[srcOff:srcOff+patch])
+					}
+				}
+			}
+		}
+	}
+	return out
+}

@@ -1,0 +1,138 @@
+// Package model assembles the paper's foundation-model architectures from
+// the repository's substrates: the generic multi-channel ViT of Fig. 1
+// (per-channel tokenization -> channel aggregation -> transformer blocks ->
+// task head), the masked-autoencoder variant of Fig. 10 used for
+// hyperspectral plant images, and the ClimaX-like image-to-image forecaster
+// used for weather (Sec. 5.2).
+//
+// Every model is built around a ChannelStage — the part of the network
+// D-CHAG distributes. Swapping the serial stage for the D-CHAG stage changes
+// nothing else in the model, which is the paper's compatibility claim
+// ("compatible with any model-parallel strategy and any type of vision
+// transformer architecture").
+package model
+
+import (
+	"repro/internal/comm"
+	"repro/internal/core"
+	"repro/internal/nn"
+	"repro/internal/tensor"
+)
+
+// ChannelStage maps a rank's image shard [B, Cl, H, W] to the aggregated
+// spatial tokens [B, T, E] and back. Serial models use SerialStage over the
+// full channel range; distributed models use DCHAGStage.
+type ChannelStage interface {
+	// Forward consumes this rank's channel shard and returns [B, T, E].
+	Forward(x *tensor.Tensor) *tensor.Tensor
+	// Backward maps d[B, T, E] to the image-shard gradient.
+	Backward(grad *tensor.Tensor) *tensor.Tensor
+	// Params returns the stage's parameters.
+	Params() []*nn.Param
+	// LocalChannels returns the width of the stage's channel shard.
+	LocalChannels() int
+}
+
+// SerialStage is the single-process channel stage of the baseline
+// architecture: full tokenizer, channel-ID embedding, and a (possibly
+// hierarchical) channel-aggregation module. The default Tree=0/KindCross
+// configuration is exactly the paper's Fig. 1 module: one cross-attention
+// layer over all channels.
+type SerialStage struct {
+	Cfg   core.Config
+	Tok   *nn.PatchEmbed
+	ChEmb *nn.ChannelEmbed
+	Agg   *core.HierarchicalAggregator
+}
+
+// NewSerialStage builds the serial channel stage from cfg (Tree and Kind
+// select the aggregation layout as in core.BuildTreePlan).
+func NewSerialStage(cfg core.Config) *SerialStage {
+	return &SerialStage{
+		Cfg:   cfg,
+		Tok:   nn.NewPatchEmbed("stage.tok", cfg.Channels, cfg.ImgH, cfg.ImgW, cfg.Patch, cfg.Embed, nn.SubSeed(cfg.Seed, 1)),
+		ChEmb: nn.NewChannelEmbed("stage.chemb", cfg.Channels, cfg.Embed, nn.SubSeed(cfg.Seed, 2)),
+		Agg: core.NewHierarchicalAggregator("stage.agg",
+			core.BuildTreePlan(cfg.Channels, cfg.Tree), cfg.Kind, cfg.Embed, cfg.Heads, nn.SubSeed(cfg.Seed, 3)),
+	}
+}
+
+// Forward maps [B, C, H, W] to [B, T, E].
+func (s *SerialStage) Forward(x *tensor.Tensor) *tensor.Tensor {
+	return s.Agg.Forward(s.ChEmb.Forward(s.Tok.Forward(x)))
+}
+
+// Backward maps d[B, T, E] to the image gradient [B, C, H, W].
+func (s *SerialStage) Backward(grad *tensor.Tensor) *tensor.Tensor {
+	return s.Tok.Backward(s.ChEmb.Backward(s.Agg.Backward(grad)))
+}
+
+// Params returns the stage parameters.
+func (s *SerialStage) Params() []*nn.Param {
+	var ps []*nn.Param
+	ps = append(ps, s.Tok.Params()...)
+	ps = append(ps, s.ChEmb.Params()...)
+	ps = append(ps, s.Agg.Params()...)
+	return ps
+}
+
+// LocalChannels returns the full channel count (serial owns everything).
+func (s *SerialStage) LocalChannels() int { return s.Cfg.Channels }
+
+// ReferenceStage wraps core.Reference: the serial stage that is
+// mathematically identical to the D-CHAG stage distributed over P ranks.
+// A model built on ReferenceStage(P) and trained on full images follows the
+// exact same trajectory as the distributed model trained on channel shards,
+// which the training tests assert.
+type ReferenceStage struct {
+	R *core.Reference
+}
+
+// NewReferenceStage builds the serial equivalent of a P-rank D-CHAG stage.
+func NewReferenceStage(cfg core.Config, p int) *ReferenceStage {
+	return &ReferenceStage{R: core.NewReference(cfg, p)}
+}
+
+// Forward maps the full image [B, C, H, W] to [B, T, E].
+func (s *ReferenceStage) Forward(x *tensor.Tensor) *tensor.Tensor { return s.R.Forward(x) }
+
+// Backward maps d[B, T, E] to the full image gradient.
+func (s *ReferenceStage) Backward(grad *tensor.Tensor) *tensor.Tensor { return s.R.Backward(grad) }
+
+// Params returns the stage parameters.
+func (s *ReferenceStage) Params() []*nn.Param { return s.R.Params() }
+
+// LocalChannels returns the full channel count.
+func (s *ReferenceStage) LocalChannels() int { return s.R.Cfg.Channels }
+
+// NewSerialDCHAGEquivalent builds a serial model whose channel stage is the
+// P-group D-CHAG reference; used as the correctness oracle for distributed
+// training runs.
+func NewSerialDCHAGEquivalent(a Arch, p int) *FoundationModel {
+	return build(a, NewReferenceStage(a.Config, p), nil, false)
+}
+
+// DCHAGStage adapts core.DCHAG to the ChannelStage interface.
+type DCHAGStage struct {
+	D *core.DCHAG
+}
+
+// NewDCHAGStage builds rank c.Rank()'s D-CHAG channel stage.
+func NewDCHAGStage(cfg core.Config, c *comm.Communicator) *DCHAGStage {
+	return &DCHAGStage{D: core.NewDCHAG(cfg, c)}
+}
+
+// Forward maps the rank's shard [B, Cl, H, W] to [B, T, E].
+func (s *DCHAGStage) Forward(x *tensor.Tensor) *tensor.Tensor { return s.D.Forward(x) }
+
+// Backward maps d[B, T, E] to the shard gradient [B, Cl, H, W].
+func (s *DCHAGStage) Backward(grad *tensor.Tensor) *tensor.Tensor { return s.D.Backward(grad) }
+
+// Params returns the rank's stage parameters.
+func (s *DCHAGStage) Params() []*nn.Param { return s.D.Params() }
+
+// LocalChannels returns the rank's shard width.
+func (s *DCHAGStage) LocalChannels() int { return s.D.LocalChannels() }
+
+// ChannelBounds returns the global channel range of the rank's shard.
+func (s *DCHAGStage) ChannelBounds() (lo, hi int) { return s.D.ChLo, s.D.ChHi }

@@ -1,0 +1,88 @@
+package nn
+
+import (
+	"math"
+
+	"repro/internal/tensor"
+)
+
+// GELU applies the Gaussian Error Linear Unit using the tanh approximation
+// used by most transformer implementations.
+type GELU struct {
+	x *tensor.Tensor
+}
+
+// NewGELU returns a GELU activation layer.
+func NewGELU() *GELU { return &GELU{} }
+
+const geluC = 0.7978845608028654 // sqrt(2/pi)
+
+// Forward applies GELU elementwise.
+func (g *GELU) Forward(x *tensor.Tensor) *tensor.Tensor {
+	g.x = x
+	return tensor.Apply(x, geluScalar)
+}
+
+func geluScalar(v float64) float64 {
+	return 0.5 * v * (1 + math.Tanh(geluC*(v+0.044715*v*v*v)))
+}
+
+func geluGradScalar(v float64) float64 {
+	u := geluC * (v + 0.044715*v*v*v)
+	t := math.Tanh(u)
+	du := geluC * (1 + 3*0.044715*v*v)
+	return 0.5*(1+t) + 0.5*v*(1-t*t)*du
+}
+
+// Backward multiplies the upstream gradient by GELU'(x).
+func (g *GELU) Backward(grad *tensor.Tensor) *tensor.Tensor {
+	if g.x == nil {
+		panic("nn: GELU.Backward before Forward")
+	}
+	out := tensor.New(grad.Shape...)
+	for i := range grad.Data {
+		out.Data[i] = grad.Data[i] * geluGradScalar(g.x.Data[i])
+	}
+	return out
+}
+
+// Params returns nil; GELU has no parameters.
+func (g *GELU) Params() []*Param { return nil }
+
+// ReLU applies max(0, x) elementwise.
+type ReLU struct {
+	mask []bool
+}
+
+// NewReLU returns a ReLU activation layer.
+func NewReLU() *ReLU { return &ReLU{} }
+
+// Forward applies ReLU elementwise.
+func (r *ReLU) Forward(x *tensor.Tensor) *tensor.Tensor {
+	r.mask = make([]bool, len(x.Data))
+	out := tensor.New(x.Shape...)
+	for i, v := range x.Data {
+		if v > 0 {
+			out.Data[i] = v
+			r.mask[i] = true
+		}
+	}
+	return out
+}
+
+// Backward zeroes the gradient where the forward input was non-positive.
+func (r *ReLU) Backward(grad *tensor.Tensor) *tensor.Tensor {
+	if r.mask == nil {
+		panic("nn: ReLU.Backward before Forward")
+	}
+	out := tensor.New(grad.Shape...)
+	for i, v := range grad.Data {
+		if r.mask[i] {
+			out.Data[i] = v
+		}
+	}
+	return out
+}
+
+// Params returns nil; ReLU has no parameters.
+func (r *ReLU) Params() []*Param { return nil }

@@ -1,0 +1,208 @@
+package nn
+
+import (
+	"fmt"
+	"math"
+
+	"repro/internal/tensor"
+)
+
+// attnCore holds the cached intermediates of a scaled-dot-product attention
+// over already-projected head tensors, shared by self- and cross-attention.
+type attnCore struct {
+	heads, headDim int
+
+	q, k, v *tensor.Tensor // [B,H,Tq,Dh], [B,H,Tk,Dh], [B,H,Tk,Dh]
+	attn    *tensor.Tensor // softmax weights [B,H,Tq,Tk]
+}
+
+// run computes softmax(q k^T / sqrt(Dh)) v, caching intermediates.
+func (c *attnCore) run(q, k, v *tensor.Tensor) *tensor.Tensor {
+	c.q, c.k, c.v = q, k, v
+	scale := 1 / math.Sqrt(float64(c.headDim))
+	scores := tensor.BatchedMatMulT(q, k)
+	tensor.ScaleInPlace(scores, scale)
+	c.attn = tensor.SoftmaxLastDim(scores)
+	return tensor.BatchedMatMul(c.attn, v) // [B,H,Tq,Dh]
+}
+
+// grad back-propagates through the attention product, returning gradients
+// with respect to the projected q, k and v head tensors.
+func (c *attnCore) grad(dctx *tensor.Tensor) (dq, dk, dv *tensor.Tensor) {
+	if c.attn == nil {
+		panic("nn: attention backward before forward")
+	}
+	scale := 1 / math.Sqrt(float64(c.headDim))
+	dA := tensor.BatchedMatMulT(dctx, c.v)   // [B,H,Tq,Tk]
+	dv = tensor.BatchedTMatMul(c.attn, dctx) // [B,H,Tk,Dh]
+	dS := tensor.SoftmaxBackwardLastDim(c.attn, dA)
+	tensor.ScaleInPlace(dS, scale)
+	dq = tensor.BatchedMatMul(dS, c.k)  // [B,H,Tq,Dh]
+	dk = tensor.BatchedTMatMul(dS, c.q) // [B,H,Tk,Dh]
+	return dq, dk, dv
+}
+
+// SplitHeads reshapes [B,T,E] to [B,H,T,Dh] where E = H*Dh.
+func SplitHeads(x *tensor.Tensor, heads int) *tensor.Tensor {
+	if len(x.Shape) != 3 {
+		panic(fmt.Sprintf("nn: SplitHeads requires rank 3, got %v", x.Shape))
+	}
+	b, t, e := x.Shape[0], x.Shape[1], x.Shape[2]
+	if e%heads != 0 {
+		panic(fmt.Sprintf("nn: embed dim %d not divisible by %d heads", e, heads))
+	}
+	dh := e / heads
+	out := tensor.New(b, heads, t, dh)
+	for bi := 0; bi < b; bi++ {
+		for ti := 0; ti < t; ti++ {
+			src := x.Data[(bi*t+ti)*e : (bi*t+ti+1)*e]
+			for h := 0; h < heads; h++ {
+				dst := out.Data[((bi*heads+h)*t+ti)*dh : ((bi*heads+h)*t+ti+1)*dh]
+				copy(dst, src[h*dh:(h+1)*dh])
+			}
+		}
+	}
+	return out
+}
+
+// MergeHeads reshapes [B,H,T,Dh] back to [B,T,H*Dh]; the inverse of
+// SplitHeads.
+func MergeHeads(x *tensor.Tensor) *tensor.Tensor {
+	if len(x.Shape) != 4 {
+		panic(fmt.Sprintf("nn: MergeHeads requires rank 4, got %v", x.Shape))
+	}
+	b, h, t, dh := x.Shape[0], x.Shape[1], x.Shape[2], x.Shape[3]
+	e := h * dh
+	out := tensor.New(b, t, e)
+	for bi := 0; bi < b; bi++ {
+		for hi := 0; hi < h; hi++ {
+			for ti := 0; ti < t; ti++ {
+				src := x.Data[((bi*h+hi)*t+ti)*dh : ((bi*h+hi)*t+ti+1)*dh]
+				dst := out.Data[(bi*t+ti)*e+hi*dh : (bi*t+ti)*e+(hi+1)*dh]
+				copy(dst, src)
+			}
+		}
+	}
+	return out
+}
+
+// SelfAttention is a standard multi-head self-attention layer: the ViT
+// component of the paper's architecture applies it over spatial tokens.
+type SelfAttention struct {
+	Embed, Heads int
+	Wq, Wk, Wv   *Linear
+	Wo           *Linear
+
+	core attnCore
+}
+
+// NewSelfAttention constructs a multi-head self-attention layer over embed
+// dimensions with the given head count.
+func NewSelfAttention(name string, embed, heads int, seed int64) *SelfAttention {
+	if embed%heads != 0 {
+		panic(fmt.Sprintf("nn: embed %d not divisible by heads %d", embed, heads))
+	}
+	return &SelfAttention{
+		Embed: embed,
+		Heads: heads,
+		Wq:    NewLinear(name+".wq", embed, embed, SubSeed(seed, 0)),
+		Wk:    NewLinear(name+".wk", embed, embed, SubSeed(seed, 1)),
+		Wv:    NewLinear(name+".wv", embed, embed, SubSeed(seed, 2)),
+		Wo:    NewLinear(name+".wo", embed, embed, SubSeed(seed, 3)),
+		core:  attnCore{heads: heads, headDim: embed / heads},
+	}
+}
+
+// Forward computes multi-head self-attention over x of shape [B,T,E].
+func (a *SelfAttention) Forward(x *tensor.Tensor) *tensor.Tensor {
+	if len(x.Shape) != 3 {
+		panic(fmt.Sprintf("nn: SelfAttention.Forward requires [B,T,E], got %v", x.Shape))
+	}
+	q := SplitHeads(a.Wq.Forward(x), a.Heads)
+	k := SplitHeads(a.Wk.Forward(x), a.Heads)
+	v := SplitHeads(a.Wv.Forward(x), a.Heads)
+	ctx := MergeHeads(a.core.run(q, k, v))
+	return a.Wo.Forward(ctx)
+}
+
+// Backward back-propagates to the forward input, accumulating parameter
+// gradients in the four projections.
+func (a *SelfAttention) Backward(grad *tensor.Tensor) *tensor.Tensor {
+	dctx := SplitHeads(a.Wo.Backward(grad), a.Heads)
+	dq, dk, dv := a.core.grad(dctx)
+	dx := a.Wq.Backward(MergeHeads(dq))
+	tensor.AddInPlace(dx, a.Wk.Backward(MergeHeads(dk)))
+	tensor.AddInPlace(dx, a.Wv.Backward(MergeHeads(dv)))
+	return dx
+}
+
+// Params returns the projection parameters.
+func (a *SelfAttention) Params() []*Param {
+	var ps []*Param
+	ps = append(ps, a.Wq.Params()...)
+	ps = append(ps, a.Wk.Params()...)
+	ps = append(ps, a.Wv.Params()...)
+	ps = append(ps, a.Wo.Params()...)
+	return ps
+}
+
+// CrossAttention attends a query sequence to a separate key/value context
+// sequence. The paper's channel-aggregation module is a cross-attention
+// whose query and context are both the per-location channel tokens; its
+// output is then reduced across the channel axis.
+type CrossAttention struct {
+	Embed, Heads int
+	Wq, Wk, Wv   *Linear
+	Wo           *Linear
+
+	core attnCore
+}
+
+// NewCrossAttention constructs a multi-head cross-attention layer.
+func NewCrossAttention(name string, embed, heads int, seed int64) *CrossAttention {
+	if embed%heads != 0 {
+		panic(fmt.Sprintf("nn: embed %d not divisible by heads %d", embed, heads))
+	}
+	return &CrossAttention{
+		Embed: embed,
+		Heads: heads,
+		Wq:    NewLinear(name+".wq", embed, embed, SubSeed(seed, 0)),
+		Wk:    NewLinear(name+".wk", embed, embed, SubSeed(seed, 1)),
+		Wv:    NewLinear(name+".wv", embed, embed, SubSeed(seed, 2)),
+		Wo:    NewLinear(name+".wo", embed, embed, SubSeed(seed, 3)),
+		core:  attnCore{heads: heads, headDim: embed / heads},
+	}
+}
+
+// Forward computes attention of query [B,Tq,E] over context [B,Tk,E],
+// returning [B,Tq,E].
+func (a *CrossAttention) Forward(query, context *tensor.Tensor) *tensor.Tensor {
+	if len(query.Shape) != 3 || len(context.Shape) != 3 {
+		panic(fmt.Sprintf("nn: CrossAttention.Forward requires rank-3 inputs, got %v and %v", query.Shape, context.Shape))
+	}
+	q := SplitHeads(a.Wq.Forward(query), a.Heads)
+	k := SplitHeads(a.Wk.Forward(context), a.Heads)
+	v := SplitHeads(a.Wv.Forward(context), a.Heads)
+	ctx := MergeHeads(a.core.run(q, k, v))
+	return a.Wo.Forward(ctx)
+}
+
+// Backward returns gradients with respect to the query and context inputs.
+func (a *CrossAttention) Backward(grad *tensor.Tensor) (dQuery, dContext *tensor.Tensor) {
+	dctx := SplitHeads(a.Wo.Backward(grad), a.Heads)
+	dq, dk, dv := a.core.grad(dctx)
+	dQuery = a.Wq.Backward(MergeHeads(dq))
+	dContext = a.Wk.Backward(MergeHeads(dk))
+	tensor.AddInPlace(dContext, a.Wv.Backward(MergeHeads(dv)))
+	return dQuery, dContext
+}
+
+// Params returns the projection parameters.
+func (a *CrossAttention) Params() []*Param {
+	var ps []*Param
+	ps = append(ps, a.Wq.Params()...)
+	ps = append(ps, a.Wk.Params()...)
+	ps = append(ps, a.Wv.Params()...)
+	ps = append(ps, a.Wo.Params()...)
+	return ps
+}

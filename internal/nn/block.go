@@ -1,0 +1,51 @@
+package nn
+
+import "repro/internal/tensor"
+
+// TransformerBlock is a pre-norm ViT block:
+//
+//	x = x + Attn(LN1(x))
+//	x = x + MLP(LN2(x))
+type TransformerBlock struct {
+	Embed, Heads int
+	Norm1, Norm2 *LayerNorm
+	Attn         *SelfAttention
+	FFN          *MLP
+}
+
+// NewTransformerBlock constructs a pre-norm transformer block with an MLP
+// hidden dimension of 4x embed.
+func NewTransformerBlock(name string, embed, heads int, seed int64) *TransformerBlock {
+	return &TransformerBlock{
+		Embed: embed,
+		Heads: heads,
+		Norm1: NewLayerNorm(name+".norm1", embed),
+		Norm2: NewLayerNorm(name+".norm2", embed),
+		Attn:  NewSelfAttention(name+".attn", embed, heads, SubSeed(seed, 0)),
+		FFN:   NewMLP(name+".mlp", embed, 4*embed, SubSeed(seed, 1)),
+	}
+}
+
+// Forward applies the block to x of shape [B,T,E].
+func (b *TransformerBlock) Forward(x *tensor.Tensor) *tensor.Tensor {
+	h := tensor.Add(x, b.Attn.Forward(b.Norm1.Forward(x)))
+	return tensor.Add(h, b.FFN.Forward(b.Norm2.Forward(h)))
+}
+
+// Backward back-propagates through both residual branches.
+func (b *TransformerBlock) Backward(grad *tensor.Tensor) *tensor.Tensor {
+	// Second residual: dh = grad + dLN2->MLP path.
+	dh := tensor.Add(grad, b.Norm2.Backward(b.FFN.Backward(grad)))
+	// First residual: dx = dh + dLN1->Attn path.
+	return tensor.Add(dh, b.Norm1.Backward(b.Attn.Backward(dh)))
+}
+
+// Params returns the block's parameters.
+func (b *TransformerBlock) Params() []*Param {
+	var ps []*Param
+	ps = append(ps, b.Norm1.Params()...)
+	ps = append(ps, b.Attn.Params()...)
+	ps = append(ps, b.Norm2.Params()...)
+	ps = append(ps, b.FFN.Params()...)
+	return ps
+}

@@ -1,0 +1,95 @@
+package nn
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+
+	"repro/internal/tensor"
+)
+
+func TestCheckpointRoundTrip(t *testing.T) {
+	src := NewTransformerBlock("blk", 8, 2, 1)
+	var buf bytes.Buffer
+	if err := SaveParams(&buf, src.Params()); err != nil {
+		t.Fatal(err)
+	}
+	// A differently-seeded twin must converge to the source after loading.
+	dst := NewTransformerBlock("blk", 8, 2, 99)
+	if ParamsEqual(src.Params(), dst.Params(), 0) {
+		t.Fatal("differently seeded blocks should differ before loading")
+	}
+	if err := LoadParams(&buf, dst.Params()); err != nil {
+		t.Fatal(err)
+	}
+	if !ParamsEqual(src.Params(), dst.Params(), 0) {
+		t.Fatal("loaded parameters must match saved ones exactly")
+	}
+	// And produce identical outputs.
+	x := tensor.Randn(tensor.NewRNG(2), 1, 3, 8)
+	if tensor.MaxAbsDiff(src.Forward(x), dst.Forward(x)) != 0 {
+		t.Fatal("forward passes must agree after checkpoint restore")
+	}
+}
+
+func TestCheckpointMissingParam(t *testing.T) {
+	a := NewLinear("a", 2, 2, 1)
+	var buf bytes.Buffer
+	if err := SaveParams(&buf, a.Params()); err != nil {
+		t.Fatal(err)
+	}
+	b := NewLinear("b", 2, 2, 1) // different names
+	err := LoadParams(&buf, b.Params())
+	if err == nil || !strings.Contains(err.Error(), "missing parameter") {
+		t.Fatalf("want missing-parameter error, got %v", err)
+	}
+}
+
+func TestCheckpointShapeMismatch(t *testing.T) {
+	a := NewLinear("l", 2, 2, 1)
+	var buf bytes.Buffer
+	if err := SaveParams(&buf, a.Params()); err != nil {
+		t.Fatal(err)
+	}
+	b := NewLinear("l", 2, 3, 1)
+	err := LoadParams(&buf, b.Params())
+	if err == nil || !strings.Contains(err.Error(), "shape") {
+		t.Fatalf("want shape error, got %v", err)
+	}
+}
+
+func TestCheckpointUnknownExtraParam(t *testing.T) {
+	a := NewLinear("l", 2, 2, 1)
+	extra := NewParam("ghost", tensor.New(1))
+	var buf bytes.Buffer
+	if err := SaveParams(&buf, append(a.Params(), extra)); err != nil {
+		t.Fatal(err)
+	}
+	err := LoadParams(&buf, a.Params())
+	if err == nil || !strings.Contains(err.Error(), "unknown parameter") {
+		t.Fatalf("want unknown-parameter error, got %v", err)
+	}
+}
+
+func TestCheckpointCorruptStream(t *testing.T) {
+	a := NewLinear("l", 2, 2, 1)
+	err := LoadParams(strings.NewReader("not a checkpoint"), a.Params())
+	if err == nil {
+		t.Fatal("want decode error")
+	}
+}
+
+func TestParamsEqualTolerance(t *testing.T) {
+	a := NewLinear("l", 2, 2, 1)
+	b := NewLinear("l", 2, 2, 1)
+	b.Weight.W.Data[0] += 1e-6
+	if ParamsEqual(a.Params(), b.Params(), 0) {
+		t.Fatal("exact comparison should fail")
+	}
+	if !ParamsEqual(a.Params(), b.Params(), 1e-3) {
+		t.Fatal("tolerant comparison should pass")
+	}
+	if ParamsEqual(a.Params(), b.Params()[:1], 1) {
+		t.Fatal("length mismatch should fail")
+	}
+}

@@ -1,0 +1,197 @@
+package nn
+
+import (
+	"fmt"
+
+	"repro/internal/tensor"
+)
+
+// PosEmbed adds a learned positional embedding [T,E] to token sequences
+// [B,T,E]. It encodes the spatial location of each patch in the original
+// image (the "positional token" of the paper's Fig. 1).
+type PosEmbed struct {
+	Tokens, Embed int
+	Table         *Param // [T, E]
+
+	b int
+}
+
+// NewPosEmbed constructs a learned positional embedding initialized with
+// small normal noise.
+func NewPosEmbed(name string, tokens, embed int, seed int64) *PosEmbed {
+	rng := tensor.NewRNG(seed)
+	return &PosEmbed{
+		Tokens: tokens,
+		Embed:  embed,
+		Table:  NewParam(name+".pos", tensor.RandnScaled(rng, 0.02, tokens, embed)),
+	}
+}
+
+// Forward adds the table to every batch element of x [B,T,E].
+func (p *PosEmbed) Forward(x *tensor.Tensor) *tensor.Tensor {
+	if len(x.Shape) != 3 || x.Shape[1] != p.Tokens || x.Shape[2] != p.Embed {
+		panic(fmt.Sprintf("nn: PosEmbed.Forward want [B,%d,%d], got %v", p.Tokens, p.Embed, x.Shape))
+	}
+	p.b = x.Shape[0]
+	out := x.Clone()
+	n := p.Tokens * p.Embed
+	for bi := 0; bi < p.b; bi++ {
+		dst := out.Data[bi*n : (bi+1)*n]
+		for i, v := range p.Table.W.Data {
+			dst[i] += v
+		}
+	}
+	return out
+}
+
+// Backward accumulates the table gradient (summed over batch) and passes the
+// gradient through unchanged.
+func (p *PosEmbed) Backward(grad *tensor.Tensor) *tensor.Tensor {
+	n := p.Tokens * p.Embed
+	for bi := 0; bi < p.b; bi++ {
+		src := grad.Data[bi*n : (bi+1)*n]
+		for i, v := range src {
+			p.Table.Grad.Data[i] += v
+		}
+	}
+	return grad
+}
+
+// Params returns the embedding table.
+func (p *PosEmbed) Params() []*Param { return []*Param{p.Table} }
+
+// ChannelEmbed adds a learned per-channel ID embedding [C,E] to channel
+// token stacks [B,C,T,E], broadcast over batch and spatial tokens. It is the
+// "channel ID token" of the paper's Fig. 1, and like PatchEmbed it may own
+// only a shard [ChLo,ChHi) of the global channel range with globally-seeded
+// rows.
+type ChannelEmbed struct {
+	ChLo, ChHi int
+	Embed      int
+	Table      *Param // [localC, E]
+
+	b, t int
+}
+
+// NewChannelEmbed constructs an embedding over all channels [0, channels).
+func NewChannelEmbed(name string, channels, embed int, seed int64) *ChannelEmbed {
+	return NewChannelEmbedShard(name, 0, channels, embed, seed)
+}
+
+// NewChannelEmbedShard constructs an embedding owning global channels
+// [chLo, chHi); row c is drawn from SubSeed(seed, chLo+c).
+func NewChannelEmbedShard(name string, chLo, chHi, embed int, seed int64) *ChannelEmbed {
+	localC := chHi - chLo
+	if localC <= 0 {
+		panic(fmt.Sprintf("nn: invalid channel shard [%d,%d)", chLo, chHi))
+	}
+	tab := tensor.New(localC, embed)
+	for c := 0; c < localC; c++ {
+		rng := tensor.NewRNG(SubSeed(seed, chLo+c))
+		row := tensor.RandnScaled(rng, 0.02, embed)
+		copy(tab.Data[c*embed:(c+1)*embed], row.Data)
+	}
+	return &ChannelEmbed{
+		ChLo: chLo, ChHi: chHi, Embed: embed,
+		Table: NewParam(name+".chan", tab),
+	}
+}
+
+// LocalChannels returns the number of channels this shard owns.
+func (c *ChannelEmbed) LocalChannels() int { return c.ChHi - c.ChLo }
+
+// Forward adds the channel rows to x of shape [B, localC, T, E].
+func (c *ChannelEmbed) Forward(x *tensor.Tensor) *tensor.Tensor {
+	localC := c.LocalChannels()
+	if len(x.Shape) != 4 || x.Shape[1] != localC || x.Shape[3] != c.Embed {
+		panic(fmt.Sprintf("nn: ChannelEmbed.Forward want [B,%d,T,%d], got %v", localC, c.Embed, x.Shape))
+	}
+	c.b, c.t = x.Shape[0], x.Shape[2]
+	out := x.Clone()
+	for bi := 0; bi < c.b; bi++ {
+		for ci := 0; ci < localC; ci++ {
+			row := c.Table.W.Data[ci*c.Embed : (ci+1)*c.Embed]
+			for ti := 0; ti < c.t; ti++ {
+				dst := out.Data[((bi*localC+ci)*c.t+ti)*c.Embed : ((bi*localC+ci)*c.t+ti+1)*c.Embed]
+				for i, v := range row {
+					dst[i] += v
+				}
+			}
+		}
+	}
+	return out
+}
+
+// Backward accumulates per-channel row gradients (summed over batch and
+// tokens) and passes the gradient through unchanged.
+func (c *ChannelEmbed) Backward(grad *tensor.Tensor) *tensor.Tensor {
+	localC := c.LocalChannels()
+	for bi := 0; bi < c.b; bi++ {
+		for ci := 0; ci < localC; ci++ {
+			dst := c.Table.Grad.Data[ci*c.Embed : (ci+1)*c.Embed]
+			for ti := 0; ti < c.t; ti++ {
+				src := grad.Data[((bi*localC+ci)*c.t+ti)*c.Embed : ((bi*localC+ci)*c.t+ti+1)*c.Embed]
+				for i, v := range src {
+					dst[i] += v
+				}
+			}
+		}
+	}
+	return grad
+}
+
+// Params returns the embedding table.
+func (c *ChannelEmbed) Params() []*Param { return []*Param{c.Table} }
+
+// MetaToken prepends M learned metadata tokens to a sequence, modeling the
+// paper's metadata token (time / geolocation context in weather FMs).
+type MetaToken struct {
+	Count, Embed int
+	Table        *Param // [M, E]
+
+	b, t int
+}
+
+// NewMetaToken constructs M learned tokens.
+func NewMetaToken(name string, count, embed int, seed int64) *MetaToken {
+	rng := tensor.NewRNG(seed)
+	return &MetaToken{
+		Count: count,
+		Embed: embed,
+		Table: NewParam(name+".meta", tensor.RandnScaled(rng, 0.02, count, embed)),
+	}
+}
+
+// Forward prepends the tokens: [B,T,E] -> [B,M+T,E].
+func (m *MetaToken) Forward(x *tensor.Tensor) *tensor.Tensor {
+	if len(x.Shape) != 3 || x.Shape[2] != m.Embed {
+		panic(fmt.Sprintf("nn: MetaToken.Forward want [B,T,%d], got %v", m.Embed, x.Shape))
+	}
+	m.b, m.t = x.Shape[0], x.Shape[1]
+	out := tensor.New(m.b, m.Count+m.t, m.Embed)
+	for bi := 0; bi < m.b; bi++ {
+		copy(out.Data[bi*(m.Count+m.t)*m.Embed:], m.Table.W.Data)
+		copy(out.Data[(bi*(m.Count+m.t)+m.Count)*m.Embed:], x.Data[bi*m.t*m.Embed:(bi+1)*m.t*m.Embed])
+	}
+	return out
+}
+
+// Backward splits the gradient: token rows accumulate into the table, the
+// rest is returned as the input gradient.
+func (m *MetaToken) Backward(grad *tensor.Tensor) *tensor.Tensor {
+	if len(grad.Shape) != 3 || grad.Shape[1] != m.Count+m.t {
+		panic(fmt.Sprintf("nn: MetaToken.Backward want [B,%d,%d], got %v", m.Count+m.t, m.Embed, grad.Shape))
+	}
+	dx := tensor.New(m.b, m.t, m.Embed)
+	for bi := 0; bi < m.b; bi++ {
+		src := grad.Data[bi*(m.Count+m.t)*m.Embed : (bi+1)*(m.Count+m.t)*m.Embed]
+		for i := 0; i < m.Count*m.Embed; i++ {
+			m.Table.Grad.Data[i] += src[i]
+		}
+		copy(dx.Data[bi*m.t*m.Embed:(bi+1)*m.t*m.Embed], src[m.Count*m.Embed:])
+	}
+	return dx
+}
+
+// Params returns the token table.
+func (m *MetaToken) Params() []*Param { return []*Param{m.Table} }

@@ -1,0 +1,109 @@
+package nn
+
+import (
+	"math"
+
+	"repro/internal/tensor"
+)
+
+// LayerNorm normalizes the last dimension of its input to zero mean and unit
+// variance, then applies a learned affine transform (gamma, beta).
+type LayerNorm struct {
+	Dim   int
+	Eps   float64
+	Gamma *Param // [Dim]
+	Beta  *Param // [Dim]
+
+	xhat   *tensor.Tensor // normalized input, cached for backward
+	invStd []float64      // 1/sqrt(var+eps) per row
+	shape  []int
+}
+
+// NewLayerNorm constructs a LayerNorm over the given dimension with
+// gamma = 1 and beta = 0.
+func NewLayerNorm(name string, dim int) *LayerNorm {
+	return &LayerNorm{
+		Dim:   dim,
+		Eps:   1e-5,
+		Gamma: NewParam(name+".gamma", tensor.Ones(dim)),
+		Beta:  NewParam(name+".beta", tensor.New(dim)),
+	}
+}
+
+// Forward normalizes over the last dimension.
+func (l *LayerNorm) Forward(x *tensor.Tensor) *tensor.Tensor {
+	mustLastDim("LayerNorm.Forward", x, l.Dim)
+	x2, shape := foldLeading(x)
+	l.shape = shape
+	rows := x2.Shape[0]
+	n := l.Dim
+	l.xhat = tensor.New(rows, n)
+	l.invStd = make([]float64, rows)
+	out := tensor.New(rows, n)
+	for r := 0; r < rows; r++ {
+		row := x2.Data[r*n : (r+1)*n]
+		mean := 0.0
+		for _, v := range row {
+			mean += v
+		}
+		mean /= float64(n)
+		variance := 0.0
+		for _, v := range row {
+			d := v - mean
+			variance += d * d
+		}
+		variance /= float64(n)
+		inv := 1 / math.Sqrt(variance+l.Eps)
+		l.invStd[r] = inv
+		xh := l.xhat.Data[r*n : (r+1)*n]
+		o := out.Data[r*n : (r+1)*n]
+		for i, v := range row {
+			h := (v - mean) * inv
+			xh[i] = h
+			o[i] = h*l.Gamma.W.Data[i] + l.Beta.W.Data[i]
+		}
+	}
+	return out.Reshape(shape...)
+}
+
+// Backward implements the standard layer-norm gradient:
+//
+//	dx = (1/n) * invStd * gamma ⊙ (n*dy' - sum(dy') - xhat * sum(dy' ⊙ xhat))
+//
+// where dy' = dy (per-element, before gamma scaling is folded in).
+func (l *LayerNorm) Backward(grad *tensor.Tensor) *tensor.Tensor {
+	mustLastDim("LayerNorm.Backward", grad, l.Dim)
+	if l.xhat == nil {
+		panic("nn: LayerNorm.Backward before Forward")
+	}
+	g2, _ := foldLeading(grad)
+	rows := g2.Shape[0]
+	n := l.Dim
+	dx := tensor.New(rows, n)
+	for r := 0; r < rows; r++ {
+		gy := g2.Data[r*n : (r+1)*n]
+		xh := l.xhat.Data[r*n : (r+1)*n]
+		// Parameter gradients.
+		for i := 0; i < n; i++ {
+			l.Gamma.Grad.Data[i] += gy[i] * xh[i]
+			l.Beta.Grad.Data[i] += gy[i]
+		}
+		// dyg = dy * gamma.
+		sum1, sum2 := 0.0, 0.0
+		for i := 0; i < n; i++ {
+			dyg := gy[i] * l.Gamma.W.Data[i]
+			sum1 += dyg
+			sum2 += dyg * xh[i]
+		}
+		inv := l.invStd[r]
+		d := dx.Data[r*n : (r+1)*n]
+		for i := 0; i < n; i++ {
+			dyg := gy[i] * l.Gamma.W.Data[i]
+			d[i] = inv / float64(n) * (float64(n)*dyg - sum1 - xh[i]*sum2)
+		}
+	}
+	return dx.Reshape(l.shape...)
+}
+
+// Params returns gamma and beta.
+func (l *LayerNorm) Params() []*Param { return []*Param{l.Gamma, l.Beta} }

@@ -1,0 +1,96 @@
+package nn
+
+import (
+	"fmt"
+
+	"repro/internal/tensor"
+)
+
+// Linear is an affine layer y = x@W + b operating on the last dimension of
+// its input. Leading dimensions are treated as batch.
+type Linear struct {
+	In, Out int
+	Weight  *Param // [In, Out]
+	Bias    *Param // [Out], nil when the layer is bias-free
+
+	x *tensor.Tensor // cached folded input for backward
+}
+
+// NewLinear constructs a Linear layer with Xavier-uniform weights drawn
+// deterministically from seed and a zero bias.
+func NewLinear(name string, in, out int, seed int64) *Linear {
+	rng := tensor.NewRNG(seed)
+	return &Linear{
+		In:     in,
+		Out:    out,
+		Weight: NewParam(name+".weight", tensor.XavierUniform(rng, in, out)),
+		Bias:   NewParam(name+".bias", tensor.New(out)),
+	}
+}
+
+// NewLinearNoBias constructs a bias-free Linear layer.
+func NewLinearNoBias(name string, in, out int, seed int64) *Linear {
+	l := NewLinear(name, in, out, seed)
+	l.Bias = nil
+	return l
+}
+
+// NewLinearFrom wraps explicit weight (and optional bias) tensors; used by
+// tensor-parallel shards that slice a master weight.
+func NewLinearFrom(name string, w, b *tensor.Tensor) *Linear {
+	if len(w.Shape) != 2 {
+		panic(fmt.Sprintf("nn: linear weight must be rank 2, got %v", w.Shape))
+	}
+	l := &Linear{In: w.Shape[0], Out: w.Shape[1], Weight: NewParam(name+".weight", w)}
+	if b != nil {
+		if len(b.Shape) != 1 || b.Shape[0] != l.Out {
+			panic(fmt.Sprintf("nn: linear bias shape %v does not match out %d", b.Shape, l.Out))
+		}
+		l.Bias = NewParam(name+".bias", b)
+	}
+	return l
+}
+
+// Forward computes x@W + b. The input's last dimension must equal In.
+func (l *Linear) Forward(x *tensor.Tensor) *tensor.Tensor {
+	mustLastDim("Linear.Forward", x, l.In)
+	x2, shape := foldLeading(x)
+	l.x = x2
+	y := tensor.MatMul(x2, l.Weight.W)
+	if l.Bias != nil {
+		n := y.Shape[0]
+		for i := 0; i < n; i++ {
+			row := y.Data[i*l.Out : (i+1)*l.Out]
+			for j, bv := range l.Bias.W.Data {
+				row[j] += bv
+			}
+		}
+	}
+	outShape := append(append([]int(nil), shape[:len(shape)-1]...), l.Out)
+	return y.Reshape(outShape...)
+}
+
+// Backward accumulates dW = x^T@dy and db = sum(dy), returning dx = dy@W^T
+// reshaped to the forward input's shape.
+func (l *Linear) Backward(grad *tensor.Tensor) *tensor.Tensor {
+	mustLastDim("Linear.Backward", grad, l.Out)
+	if l.x == nil {
+		panic("nn: Linear.Backward before Forward")
+	}
+	g2, shape := foldLeading(grad)
+	tensor.AddInPlace(l.Weight.Grad, tensor.TMatMul(l.x, g2))
+	if l.Bias != nil {
+		tensor.AddInPlace(l.Bias.Grad, tensor.SumAxis(g2, 0))
+	}
+	dx := tensor.MatMulT(g2, l.Weight.W)
+	outShape := append(append([]int(nil), shape[:len(shape)-1]...), l.In)
+	return dx.Reshape(outShape...)
+}
+
+// Params returns the layer's parameters.
+func (l *Linear) Params() []*Param {
+	if l.Bias == nil {
+		return []*Param{l.Weight}
+	}
+	return []*Param{l.Weight, l.Bias}
+}

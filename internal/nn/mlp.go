@@ -1,0 +1,34 @@
+package nn
+
+import "repro/internal/tensor"
+
+// MLP is the transformer feed-forward block: Linear -> GELU -> Linear with a
+// hidden dimension typically 4x the embedding dimension.
+type MLP struct {
+	Fc1, Fc2 *Linear
+	Act      *GELU
+}
+
+// NewMLP constructs a two-layer feed-forward network.
+func NewMLP(name string, embed, hidden int, seed int64) *MLP {
+	return &MLP{
+		Fc1: NewLinear(name+".fc1", embed, hidden, SubSeed(seed, 0)),
+		Fc2: NewLinear(name+".fc2", hidden, embed, SubSeed(seed, 1)),
+		Act: NewGELU(),
+	}
+}
+
+// Forward applies fc2(gelu(fc1(x))).
+func (m *MLP) Forward(x *tensor.Tensor) *tensor.Tensor {
+	return m.Fc2.Forward(m.Act.Forward(m.Fc1.Forward(x)))
+}
+
+// Backward back-propagates through both linears and the activation.
+func (m *MLP) Backward(grad *tensor.Tensor) *tensor.Tensor {
+	return m.Fc1.Backward(m.Act.Backward(m.Fc2.Backward(grad)))
+}
+
+// Params returns both linear layers' parameters.
+func (m *MLP) Params() []*Param {
+	return append(m.Fc1.Params(), m.Fc2.Params()...)
+}

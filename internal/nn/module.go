@@ -1,0 +1,128 @@
+// Package nn implements neural-network layers with explicit forward and
+// backward passes: linear, layer normalization, GELU, multi-head self- and
+// cross-attention, per-channel patch embedding (the tokenizer of the paper's
+// Fig. 1 architecture), learned embeddings, transformer blocks, and losses.
+//
+// There is deliberately no autograd tape. Every layer caches what its
+// backward pass needs during Forward and exposes Backward explicitly. This
+// mirrors how tensor-parallel, FSDP and D-CHAG implementations reason about
+// gradients (and lets tests assert the paper's "no communication in the
+// backward pass" claim by construction). Layers are not safe for concurrent
+// use; in the distributed simulation every rank owns its own replica.
+//
+// Determinism: every constructor takes an explicit seed. Layers that own a
+// logically-sharded parameter (attention heads, channel shards) generate the
+// full logical parameter from that seed and slice it, so distributed shards
+// are bit-identical to the serial layer's parameters.
+package nn
+
+import (
+	"fmt"
+
+	"repro/internal/tensor"
+)
+
+// Param is a learnable parameter together with its accumulated gradient.
+type Param struct {
+	// Name identifies the parameter for debugging and optimizer state.
+	Name string
+	// W holds the parameter values.
+	W *tensor.Tensor
+	// Grad accumulates the gradient; it always has W's shape.
+	Grad *tensor.Tensor
+}
+
+// NewParam allocates a parameter wrapping w with a zeroed gradient.
+func NewParam(name string, w *tensor.Tensor) *Param {
+	return &Param{Name: name, W: w, Grad: tensor.New(w.Shape...)}
+}
+
+// ZeroGrad clears the accumulated gradient.
+func (p *Param) ZeroGrad() { p.Grad.Zero() }
+
+// Numel returns the number of scalar values in the parameter.
+func (p *Param) Numel() int { return p.W.Numel() }
+
+// Layer is the single-input module contract. Forward must be called before
+// Backward; Backward returns the gradient with respect to the forward input
+// and accumulates parameter gradients.
+type Layer interface {
+	Forward(x *tensor.Tensor) *tensor.Tensor
+	Backward(grad *tensor.Tensor) *tensor.Tensor
+	Params() []*Param
+}
+
+// ZeroGrads clears the gradients of every parameter in ps.
+func ZeroGrads(ps []*Param) {
+	for _, p := range ps {
+		p.ZeroGrad()
+	}
+}
+
+// NumParams sums the scalar count over ps.
+func NumParams(ps []*Param) int {
+	n := 0
+	for _, p := range ps {
+		n += p.Numel()
+	}
+	return n
+}
+
+// Sequential chains single-input layers.
+type Sequential struct {
+	Layers []Layer
+}
+
+// NewSequential builds a Sequential from the given layers.
+func NewSequential(layers ...Layer) *Sequential { return &Sequential{Layers: layers} }
+
+// Forward applies the layers in order.
+func (s *Sequential) Forward(x *tensor.Tensor) *tensor.Tensor {
+	for _, l := range s.Layers {
+		x = l.Forward(x)
+	}
+	return x
+}
+
+// Backward applies the layers' backward passes in reverse order.
+func (s *Sequential) Backward(grad *tensor.Tensor) *tensor.Tensor {
+	for i := len(s.Layers) - 1; i >= 0; i-- {
+		grad = s.Layers[i].Backward(grad)
+	}
+	return grad
+}
+
+// Params returns the concatenated parameters of all layers.
+func (s *Sequential) Params() []*Param {
+	var ps []*Param
+	for _, l := range s.Layers {
+		ps = append(ps, l.Params()...)
+	}
+	return ps
+}
+
+// SubSeed derives a deterministic per-component seed from a base seed and a
+// component index, so sharded layers reproduce the serial layer's exact
+// initialization regardless of how the shards are constructed.
+func SubSeed(seed int64, idx int) int64 {
+	// SplitMix64-style mixing keeps nearby (seed, idx) pairs uncorrelated.
+	z := uint64(seed) + uint64(idx+1)*0x9E3779B97F4A7C15
+	z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9
+	z = (z ^ (z >> 27)) * 0x94D049BB133111EB
+	return int64(z ^ (z >> 31))
+}
+
+// foldLeading reshapes an N-D tensor to 2-D by folding all leading
+// dimensions, returning the folded view and the original shape for
+// restoration.
+func foldLeading(x *tensor.Tensor) (*tensor.Tensor, []int) {
+	shape := append([]int(nil), x.Shape...)
+	last := shape[len(shape)-1]
+	return x.Reshape(-1, last), shape
+}
+
+func mustLastDim(op string, x *tensor.Tensor, want int) {
+	if got := x.Shape[len(x.Shape)-1]; got != want {
+		panic(fmt.Sprintf("nn: %s expected last dim %d, got shape %v", op, want, x.Shape))
+	}
+}

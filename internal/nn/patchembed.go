@@ -1,0 +1,197 @@
+package nn
+
+import (
+	"fmt"
+
+	"repro/internal/tensor"
+)
+
+// PatchEmbed is the tokenization stage of the paper's architecture (Fig. 1):
+// every channel of a multi-channel 2D image is divided into PxP patches and
+// each patch is projected to the embedding dimension by a convolution that
+// is *independent per channel* (equivalent to a per-channel linear layer
+// over flattened patches, which is how it is implemented here).
+//
+// A PatchEmbed may own only a contiguous shard [ChLo, ChHi) of the global
+// channel range: this is exactly the "distributed tokenization" of paper
+// Sec. 3.1. Per-channel weights are seeded by the *global* channel index, so
+// any sharding reproduces the serial layer's parameters bit-for-bit.
+type PatchEmbed struct {
+	ImgH, ImgW int
+	Patch      int
+	Embed      int
+	ChLo, ChHi int // global channel range owned by this instance
+
+	Weight *Param // [localC, P*P, E]
+	Bias   *Param // [localC, E]
+
+	cols []*tensor.Tensor // cached im2col matrices per local channel
+	b    int              // cached batch size
+}
+
+// NewPatchEmbed constructs a tokenizer over all channels [0, channels).
+func NewPatchEmbed(name string, channels, imgH, imgW, patch, embed int, seed int64) *PatchEmbed {
+	return NewPatchEmbedShard(name, 0, channels, imgH, imgW, patch, embed, seed)
+}
+
+// NewPatchEmbedShard constructs a tokenizer owning global channels
+// [chLo, chHi). Weights for channel c are drawn from SubSeed(seed, c), so a
+// shard matches the corresponding slice of the full layer.
+func NewPatchEmbedShard(name string, chLo, chHi, imgH, imgW, patch, embed int, seed int64) *PatchEmbed {
+	if imgH%patch != 0 || imgW%patch != 0 {
+		panic(fmt.Sprintf("nn: image %dx%d not divisible by patch %d", imgH, imgW, patch))
+	}
+	if chLo < 0 || chHi <= chLo {
+		panic(fmt.Sprintf("nn: invalid channel shard [%d,%d)", chLo, chHi))
+	}
+	localC := chHi - chLo
+	pp := patch * patch
+	w := tensor.New(localC, pp, embed)
+	for c := 0; c < localC; c++ {
+		rng := tensor.NewRNG(SubSeed(seed, chLo+c))
+		cw := tensor.XavierUniform(rng, pp, embed)
+		copy(w.Data[c*pp*embed:(c+1)*pp*embed], cw.Data)
+	}
+	return &PatchEmbed{
+		ImgH: imgH, ImgW: imgW, Patch: patch, Embed: embed,
+		ChLo: chLo, ChHi: chHi,
+		Weight: NewParam(name+".weight", w),
+		Bias:   NewParam(name+".bias", tensor.New(localC, embed)),
+	}
+}
+
+// LocalChannels returns the number of channels this shard owns.
+func (p *PatchEmbed) LocalChannels() int { return p.ChHi - p.ChLo }
+
+// Tokens returns the number of spatial tokens per channel.
+func (p *PatchEmbed) Tokens() int { return (p.ImgH / p.Patch) * (p.ImgW / p.Patch) }
+
+// Forward tokenizes x of shape [B, localC, H, W] into [B, localC, T, E].
+// The channel dimension of x must already be this shard's local slice.
+func (p *PatchEmbed) Forward(x *tensor.Tensor) *tensor.Tensor {
+	localC := p.LocalChannels()
+	if len(x.Shape) != 4 || x.Shape[1] != localC || x.Shape[2] != p.ImgH || x.Shape[3] != p.ImgW {
+		panic(fmt.Sprintf("nn: PatchEmbed.Forward want [B,%d,%d,%d], got %v", localC, p.ImgH, p.ImgW, x.Shape))
+	}
+	b := x.Shape[0]
+	t := p.Tokens()
+	pp := p.Patch * p.Patch
+	p.b = b
+	p.cols = make([]*tensor.Tensor, localC)
+	out := tensor.New(b, localC, t, p.Embed)
+	for c := 0; c < localC; c++ {
+		col := p.im2col(x, c) // [B*T, P*P]
+		p.cols[c] = col
+		wc := tensor.FromSlice(p.Weight.W.Data[c*pp*p.Embed:(c+1)*pp*p.Embed], pp, p.Embed)
+		y := tensor.MatMul(col, wc) // [B*T, E]
+		bias := p.Bias.W.Data[c*p.Embed : (c+1)*p.Embed]
+		for r := 0; r < b*t; r++ {
+			row := y.Data[r*p.Embed : (r+1)*p.Embed]
+			for j, bv := range bias {
+				row[j] += bv
+			}
+		}
+		// Scatter rows into [B, c, T, E].
+		for bi := 0; bi < b; bi++ {
+			src := y.Data[bi*t*p.Embed : (bi+1)*t*p.Embed]
+			dst := out.Data[((bi*localC+c)*t)*p.Embed : ((bi*localC+c)*t+t)*p.Embed]
+			copy(dst, src)
+		}
+	}
+	return out
+}
+
+// Backward consumes dOut of shape [B, localC, T, E], accumulates weight and
+// bias gradients, and returns the gradient with respect to the input image
+// shard [B, localC, H, W].
+func (p *PatchEmbed) Backward(grad *tensor.Tensor) *tensor.Tensor {
+	localC := p.LocalChannels()
+	t := p.Tokens()
+	if p.cols == nil {
+		panic("nn: PatchEmbed.Backward before Forward")
+	}
+	if len(grad.Shape) != 4 || grad.Shape[0] != p.b || grad.Shape[1] != localC || grad.Shape[2] != t || grad.Shape[3] != p.Embed {
+		panic(fmt.Sprintf("nn: PatchEmbed.Backward want [%d,%d,%d,%d], got %v", p.b, localC, t, p.Embed, grad.Shape))
+	}
+	b := p.b
+	pp := p.Patch * p.Patch
+	dimg := tensor.New(b, localC, p.ImgH, p.ImgW)
+	for c := 0; c < localC; c++ {
+		// Gather dY_c: [B*T, E].
+		dy := tensor.New(b*t, p.Embed)
+		for bi := 0; bi < b; bi++ {
+			src := grad.Data[((bi*localC+c)*t)*p.Embed : ((bi*localC+c)*t+t)*p.Embed]
+			copy(dy.Data[bi*t*p.Embed:(bi+1)*t*p.Embed], src)
+		}
+		// dW_c += col^T @ dY.
+		dw := tensor.TMatMul(p.cols[c], dy)
+		dst := p.Weight.Grad.Data[c*pp*p.Embed : (c+1)*pp*p.Embed]
+		for i, v := range dw.Data {
+			dst[i] += v
+		}
+		// dBias_c += column sums of dY.
+		bg := p.Bias.Grad.Data[c*p.Embed : (c+1)*p.Embed]
+		for r := 0; r < b*t; r++ {
+			row := dy.Data[r*p.Embed : (r+1)*p.Embed]
+			for j, v := range row {
+				bg[j] += v
+			}
+		}
+		// dCol = dY @ W_c^T, then col2im back onto the image gradient.
+		wc := tensor.FromSlice(p.Weight.W.Data[c*pp*p.Embed:(c+1)*pp*p.Embed], pp, p.Embed)
+		dcol := tensor.MatMulT(dy, wc) // [B*T, P*P]
+		p.col2im(dcol, dimg, c)
+	}
+	return dimg
+}
+
+// im2col extracts the [B*T, P*P] patch matrix for local channel c.
+func (p *PatchEmbed) im2col(x *tensor.Tensor, c int) *tensor.Tensor {
+	b := x.Shape[0]
+	localC := p.LocalChannels()
+	ph, pw := p.ImgH/p.Patch, p.ImgW/p.Patch
+	t := ph * pw
+	pp := p.Patch * p.Patch
+	col := tensor.New(b*t, pp)
+	for bi := 0; bi < b; bi++ {
+		base := (bi*localC + c) * p.ImgH * p.ImgW
+		for py := 0; py < ph; py++ {
+			for px := 0; px < pw; px++ {
+				ti := py*pw + px
+				dst := col.Data[(bi*t+ti)*pp : (bi*t+ti+1)*pp]
+				for dy := 0; dy < p.Patch; dy++ {
+					srcOff := base + (py*p.Patch+dy)*p.ImgW + px*p.Patch
+					copy(dst[dy*p.Patch:(dy+1)*p.Patch], x.Data[srcOff:srcOff+p.Patch])
+				}
+			}
+		}
+	}
+	return col
+}
+
+// col2im scatters a [B*T, P*P] patch-gradient matrix back into the image
+// gradient for local channel c. Patches do not overlap, so this is a pure
+// scatter.
+func (p *PatchEmbed) col2im(dcol, dimg *tensor.Tensor, c int) {
+	b := dimg.Shape[0]
+	localC := p.LocalChannels()
+	ph, pw := p.ImgH/p.Patch, p.ImgW/p.Patch
+	t := ph * pw
+	pp := p.Patch * p.Patch
+	for bi := 0; bi < b; bi++ {
+		base := (bi*localC + c) * p.ImgH * p.ImgW
+		for py := 0; py < ph; py++ {
+			for px := 0; px < pw; px++ {
+				ti := py*pw + px
+				src := dcol.Data[(bi*t+ti)*pp : (bi*t+ti+1)*pp]
+				for dy := 0; dy < p.Patch; dy++ {
+					dstOff := base + (py*p.Patch+dy)*p.ImgW + px*p.Patch
+					copy(dimg.Data[dstOff:dstOff+p.Patch], src[dy*p.Patch:(dy+1)*p.Patch])
+				}
+			}
+		}
+	}
+}
+
+// Params returns the tokenizer's parameters.
+func (p *PatchEmbed) Params() []*Param { return []*Param{p.Weight, p.Bias} }

@@ -1,0 +1,45 @@
+package nn
+
+import "repro/internal/tensor"
+
+// Recompute wraps a Layer with activation recomputation (gradient
+// checkpointing): the forward pass stores only the layer *input*, and the
+// backward pass first re-runs the forward to rebuild the layer's internal
+// caches before back-propagating. This trades one extra forward pass for
+// dropping the layer's activation memory between the passes — the standard
+// technique the performance model's ViT activation coefficient assumes for
+// large models.
+//
+// The wrapped layer must be deterministic (every layer in this repository
+// is), otherwise the recomputed activations would diverge from the ones the
+// loss saw.
+type Recompute struct {
+	Inner Layer
+
+	input *tensor.Tensor
+}
+
+// NewRecompute wraps inner with recomputation.
+func NewRecompute(inner Layer) *Recompute { return &Recompute{Inner: inner} }
+
+// Forward runs the inner layer and keeps only the input. The inner layer's
+// caches from this call are considered discarded (a real system would free
+// them; here the recomputation in Backward overwrites them, which the
+// equivalence test exploits to prove the recomputed path is used).
+func (r *Recompute) Forward(x *tensor.Tensor) *tensor.Tensor {
+	r.input = x.Clone()
+	return r.Inner.Forward(x)
+}
+
+// Backward re-runs the forward pass on the stored input to rebuild caches,
+// then back-propagates through the inner layer.
+func (r *Recompute) Backward(grad *tensor.Tensor) *tensor.Tensor {
+	if r.input == nil {
+		panic("nn: Recompute.Backward before Forward")
+	}
+	r.Inner.Forward(r.input)
+	return r.Inner.Backward(grad)
+}
+
+// Params returns the inner layer's parameters.
+func (r *Recompute) Params() []*Param { return r.Inner.Params() }

@@ -1,0 +1,130 @@
+package nn
+
+import (
+	"testing"
+
+	"repro/internal/tensor"
+)
+
+func TestSwinShiftGridRoundTrip(t *testing.T) {
+	s := NewSwinBlock("sw", 4, 2, 4, 6, 2, false, 1)
+	x := tensor.Randn(tensor.NewRNG(1), 2, 24, 4)
+	back := s.shiftGrid(s.shiftGrid(x, 1, 2), -1, -2)
+	if tensor.MaxAbsDiff(back, x) != 0 {
+		t.Fatal("shift then unshift must be the identity")
+	}
+	// Full wrap is also the identity.
+	if tensor.MaxAbsDiff(s.shiftGrid(x, 4, 6), x) != 0 {
+		t.Fatal("shifting by the grid size must be the identity")
+	}
+}
+
+func TestSwinPartitionRoundTrip(t *testing.T) {
+	s := NewSwinBlock("sw", 4, 2, 4, 4, 2, false, 2)
+	x := tensor.Randn(tensor.NewRNG(2), 3, 16, 4)
+	back := s.unpartition(s.partition(x), 3)
+	if tensor.MaxAbsDiff(back, x) != 0 {
+		t.Fatal("partition/unpartition must round trip")
+	}
+}
+
+func TestSwinPartitionGroupsWindows(t *testing.T) {
+	// 4x4 grid, window 2: token (0,0),(0,1),(1,0),(1,1) form window 0.
+	s := NewSwinBlock("sw", 1, 1, 4, 4, 2, false, 3)
+	x := tensor.New(1, 16, 1)
+	for i := range x.Data {
+		x.Data[i] = float64(i)
+	}
+	p := s.partition(x)
+	want := []float64{0, 1, 4, 5} // first window's tokens
+	for i, w := range want {
+		if p.At(0, i, 0) != w {
+			t.Fatalf("window 0 = %v, want %v", p.Data[:4], want)
+		}
+	}
+}
+
+func TestSwinBlockGradients(t *testing.T) {
+	for _, shift := range []bool{false, true} {
+		s := NewSwinBlock("sw", 8, 2, 4, 4, 2, shift, 4)
+		rng := tensor.NewRNG(5)
+		x := tensor.Randn(rng, 1, 16, 8)
+		r := tensor.Randn(rng, 1, 16, 8)
+		loss := func() float64 {
+			y := s.Forward(x)
+			sum := 0.0
+			for i := range y.Data {
+				sum += y.Data[i] * r.Data[i]
+			}
+			return sum
+		}
+		loss()
+		ZeroGrads(s.Params())
+		dx := s.Backward(r)
+		checkGrad(t, "swin/x", x, dx, loss, 1e-4)
+	}
+}
+
+func TestSwinWindowLocality(t *testing.T) {
+	// Without shift, perturbing a token must not change outputs in other
+	// windows (attention is window-local; norms and MLP are token-local).
+	s := NewSwinBlock("sw", 8, 2, 4, 4, 2, false, 6)
+	rng := tensor.NewRNG(7)
+	x := tensor.Randn(rng, 1, 16, 8)
+	y1 := s.Forward(x).Clone()
+	x2 := x.Clone()
+	x2.Set(x2.At(0, 0, 0)+1, 0, 0, 0) // perturb token 0 (window 0)
+	y2 := s.Forward(x2)
+	// Token 10 = grid (2,2), a different window: unchanged.
+	for e := 0; e < 8; e++ {
+		if y1.At(0, 10, e) != y2.At(0, 10, e) {
+			t.Fatal("perturbation leaked across windows without shift")
+		}
+	}
+	// Token 1 (same window) must change.
+	changed := false
+	for e := 0; e < 8; e++ {
+		if y1.At(0, 1, e) != y2.At(0, 1, e) {
+			changed = true
+		}
+	}
+	if !changed {
+		t.Fatal("perturbation must affect its own window")
+	}
+}
+
+func TestSwinShiftConnectsWindows(t *testing.T) {
+	// With shift, windows straddle the unshifted boundaries, so a
+	// perturbation can cross them.
+	s := NewSwinBlock("sw", 8, 2, 4, 4, 2, true, 8)
+	rng := tensor.NewRNG(9)
+	x := tensor.Randn(rng, 1, 16, 8)
+	y1 := s.Forward(x).Clone()
+	x2 := x.Clone()
+	x2.Set(x2.At(0, 5, 0)+1, 0, 5, 0) // grid (1,1): inside a shifted window spanning old windows
+	y2 := s.Forward(x2)
+	crossed := false
+	for tok := 0; tok < 16; tok++ {
+		// Tokens outside the unshifted window of token 5 (tokens 0,1,4,5).
+		if tok == 0 || tok == 1 || tok == 4 || tok == 5 {
+			continue
+		}
+		for e := 0; e < 8; e++ {
+			if y1.At(0, tok, e) != y2.At(0, tok, e) {
+				crossed = true
+			}
+		}
+	}
+	if !crossed {
+		t.Fatal("shifted windows must connect across unshifted boundaries")
+	}
+}
+
+func TestSwinValidation(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic for indivisible grid")
+		}
+	}()
+	NewSwinBlock("sw", 4, 2, 5, 4, 2, false, 1)
+}

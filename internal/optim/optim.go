@@ -1,0 +1,179 @@
+// Package optim implements the optimizers and learning-rate schedules used
+// to train the repository's models: SGD with momentum, Adam, AdamW with
+// decoupled weight decay, cosine schedules with linear warmup, and global
+// gradient-norm clipping.
+//
+// Optimizers key their state by parameter identity, so the same optimizer
+// instance must be reused across steps. All updates are deterministic.
+package optim
+
+import (
+	"math"
+
+	"repro/internal/nn"
+)
+
+// Optimizer applies one update step to a fixed set of parameters.
+type Optimizer interface {
+	// Step applies one update using the gradients currently accumulated in
+	// the parameters. It does not zero gradients; callers do that explicitly
+	// so gradient-accumulation schedules are possible.
+	Step()
+	// SetLR overrides the learning rate (used by schedules).
+	SetLR(lr float64)
+	// LR returns the current learning rate.
+	LR() float64
+}
+
+// SGD is stochastic gradient descent with optional momentum.
+type SGD struct {
+	Params   []*nn.Param
+	lr       float64
+	Momentum float64
+
+	velocity [][]float64
+}
+
+// NewSGD constructs an SGD optimizer over params.
+func NewSGD(params []*nn.Param, lr, momentum float64) *SGD {
+	s := &SGD{Params: params, lr: lr, Momentum: momentum}
+	if momentum != 0 {
+		s.velocity = make([][]float64, len(params))
+		for i, p := range params {
+			s.velocity[i] = make([]float64, p.Numel())
+		}
+	}
+	return s
+}
+
+// Step applies w -= lr * (v or g).
+func (s *SGD) Step() {
+	for i, p := range s.Params {
+		if s.velocity == nil {
+			for j := range p.W.Data {
+				p.W.Data[j] -= s.lr * p.Grad.Data[j]
+			}
+			continue
+		}
+		v := s.velocity[i]
+		for j := range p.W.Data {
+			v[j] = s.Momentum*v[j] + p.Grad.Data[j]
+			p.W.Data[j] -= s.lr * v[j]
+		}
+	}
+}
+
+// SetLR overrides the learning rate.
+func (s *SGD) SetLR(lr float64) { s.lr = lr }
+
+// LR returns the current learning rate.
+func (s *SGD) LR() float64 { return s.lr }
+
+// AdamW is Adam with decoupled weight decay (Loshchilov & Hutter), the
+// optimizer used for the paper's training runs.
+type AdamW struct {
+	Params      []*nn.Param
+	lr          float64
+	Beta1       float64
+	Beta2       float64
+	Eps         float64
+	WeightDecay float64
+
+	step int
+	m    [][]float64
+	v    [][]float64
+}
+
+// NewAdamW constructs an AdamW optimizer with the standard defaults
+// beta1=0.9, beta2=0.999, eps=1e-8.
+func NewAdamW(params []*nn.Param, lr, weightDecay float64) *AdamW {
+	a := &AdamW{
+		Params: params, lr: lr,
+		Beta1: 0.9, Beta2: 0.999, Eps: 1e-8,
+		WeightDecay: weightDecay,
+		m:           make([][]float64, len(params)),
+		v:           make([][]float64, len(params)),
+	}
+	for i, p := range params {
+		a.m[i] = make([]float64, p.Numel())
+		a.v[i] = make([]float64, p.Numel())
+	}
+	return a
+}
+
+// NewAdam constructs plain Adam (zero weight decay).
+func NewAdam(params []*nn.Param, lr float64) *AdamW { return NewAdamW(params, lr, 0) }
+
+// Step applies one AdamW update with bias correction.
+func (a *AdamW) Step() {
+	a.step++
+	c1 := 1 - math.Pow(a.Beta1, float64(a.step))
+	c2 := 1 - math.Pow(a.Beta2, float64(a.step))
+	for i, p := range a.Params {
+		m, v := a.m[i], a.v[i]
+		for j := range p.W.Data {
+			g := p.Grad.Data[j]
+			m[j] = a.Beta1*m[j] + (1-a.Beta1)*g
+			v[j] = a.Beta2*v[j] + (1-a.Beta2)*g*g
+			mh := m[j] / c1
+			vh := v[j] / c2
+			p.W.Data[j] -= a.lr * (mh/(math.Sqrt(vh)+a.Eps) + a.WeightDecay*p.W.Data[j])
+		}
+	}
+}
+
+// SetLR overrides the learning rate.
+func (a *AdamW) SetLR(lr float64) { a.lr = lr }
+
+// LR returns the current learning rate.
+func (a *AdamW) LR() float64 { return a.lr }
+
+// StepCount returns the number of updates applied so far.
+func (a *AdamW) StepCount() int { return a.step }
+
+// ClipGradNorm scales all gradients so their global L2 norm does not exceed
+// maxNorm, returning the pre-clip norm.
+func ClipGradNorm(params []*nn.Param, maxNorm float64) float64 {
+	total := 0.0
+	for _, p := range params {
+		for _, g := range p.Grad.Data {
+			total += g * g
+		}
+	}
+	norm := math.Sqrt(total)
+	if norm > maxNorm && norm > 0 {
+		scale := maxNorm / norm
+		for _, p := range params {
+			for j := range p.Grad.Data {
+				p.Grad.Data[j] *= scale
+			}
+		}
+	}
+	return norm
+}
+
+// CosineSchedule produces a linear warmup to baseLR over warmupSteps
+// followed by cosine decay to minLR at totalSteps.
+type CosineSchedule struct {
+	BaseLR, MinLR           float64
+	WarmupSteps, TotalSteps int
+}
+
+// At returns the learning rate for 0-indexed step t.
+func (c CosineSchedule) At(t int) float64 {
+	if c.WarmupSteps > 0 && t < c.WarmupSteps {
+		return c.BaseLR * float64(t+1) / float64(c.WarmupSteps)
+	}
+	if t >= c.TotalSteps {
+		return c.MinLR
+	}
+	progress := float64(t-c.WarmupSteps) / float64(c.TotalSteps-c.WarmupSteps)
+	return c.MinLR + 0.5*(c.BaseLR-c.MinLR)*(1+math.Cos(math.Pi*progress))
+}
+
+// Apply sets the optimizer's LR for step t and returns it.
+func (c CosineSchedule) Apply(o Optimizer, t int) float64 {
+	lr := c.At(t)
+	o.SetLR(lr)
+	return lr
+}

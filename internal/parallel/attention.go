@@ -1,0 +1,263 @@
+package parallel
+
+import (
+	"fmt"
+	"math"
+
+	"repro/internal/comm"
+	"repro/internal/nn"
+	"repro/internal/tensor"
+)
+
+// ParallelSelfAttention is the tensor-parallel multi-head self-attention of
+// the paper's Sec. 4.3 baseline: Q/K/V projections are column-parallel
+// (each rank owns heads/t heads), the attention product runs on local heads
+// only, and the output projection is row-parallel. One forward AllReduce
+// (in the row-parallel output) and one backward AllReduce (for the
+// replicated input) per layer.
+//
+// Constructed with the same name/seed as nn.NewSelfAttention, it reproduces
+// the serial layer exactly.
+type ParallelSelfAttention struct {
+	Comm         *comm.Communicator
+	Embed, Heads int
+	LocalHeads   int
+	Wq, Wk, Wv   *ColumnParallelLinear
+	Wo           *RowParallelLinear
+
+	q, k, v *tensor.Tensor // local head tensors [B,Hl,T,Dh]
+	attn    *tensor.Tensor
+}
+
+// NewParallelSelfAttention shards nn.NewSelfAttention(name, embed, heads,
+// seed) across the TP group c.
+func NewParallelSelfAttention(name string, embed, heads int, seed int64, c *comm.Communicator) *ParallelSelfAttention {
+	t := c.Size()
+	if heads%t != 0 {
+		panic(fmt.Sprintf("parallel: heads %d not divisible by TP size %d", heads, t))
+	}
+	return &ParallelSelfAttention{
+		Comm:  c,
+		Embed: embed, Heads: heads, LocalHeads: heads / t,
+		Wq: NewColumnParallelLinear(name+".wq", embed, embed, nn.SubSeed(seed, 0), c),
+		Wk: NewColumnParallelLinear(name+".wk", embed, embed, nn.SubSeed(seed, 1), c),
+		Wv: NewColumnParallelLinear(name+".wv", embed, embed, nn.SubSeed(seed, 2), c),
+		Wo: NewRowParallelLinear(name+".wo", embed, embed, nn.SubSeed(seed, 3), c),
+	}
+}
+
+// Forward computes the attention output [B,T,E] from replicated input
+// [B,T,E]. Only the row-parallel output projection communicates.
+func (a *ParallelSelfAttention) Forward(x *tensor.Tensor) *tensor.Tensor {
+	a.q = nn.SplitHeads(a.Wq.Forward(x), a.LocalHeads)
+	a.k = nn.SplitHeads(a.Wk.Forward(x), a.LocalHeads)
+	a.v = nn.SplitHeads(a.Wv.Forward(x), a.LocalHeads)
+	scale := 1 / math.Sqrt(float64(a.Embed/a.Heads))
+	scores := tensor.BatchedMatMulT(a.q, a.k)
+	tensor.ScaleInPlace(scores, scale)
+	a.attn = tensor.SoftmaxLastDim(scores)
+	ctx := nn.MergeHeads(tensor.BatchedMatMul(a.attn, a.v))
+	return a.Wo.Forward(ctx)
+}
+
+// Backward back-propagates to the replicated input with a single AllReduce
+// over the summed Q/K/V partial input gradients.
+func (a *ParallelSelfAttention) Backward(grad *tensor.Tensor) *tensor.Tensor {
+	dctx := nn.SplitHeads(a.Wo.Backward(grad), a.LocalHeads)
+	scale := 1 / math.Sqrt(float64(a.Embed/a.Heads))
+	dA := tensor.BatchedMatMulT(dctx, a.v)
+	dv := tensor.BatchedTMatMul(a.attn, dctx)
+	dS := tensor.SoftmaxBackwardLastDim(a.attn, dA)
+	tensor.ScaleInPlace(dS, scale)
+	dq := tensor.BatchedMatMul(dS, a.k)
+	dk := tensor.BatchedTMatMul(dS, a.q)
+	dx := a.Wq.BackwardPartial(nn.MergeHeads(dq))
+	tensor.AddInPlace(dx, a.Wk.BackwardPartial(nn.MergeHeads(dk)))
+	tensor.AddInPlace(dx, a.Wv.BackwardPartial(nn.MergeHeads(dv)))
+	return a.Comm.AllReduceSum(dx)
+}
+
+// Params returns the local shard parameters.
+func (a *ParallelSelfAttention) Params() []*nn.Param {
+	var ps []*nn.Param
+	ps = append(ps, a.Wq.Params()...)
+	ps = append(ps, a.Wk.Params()...)
+	ps = append(ps, a.Wv.Params()...)
+	ps = append(ps, a.Wo.Params()...)
+	return ps
+}
+
+// ParallelCrossAttention is the tensor-parallel version of
+// nn.CrossAttention, used for the shared final aggregation layer of D-CHAG
+// when it is combined with TP (paper Sec. 3.3: "we can distribute the
+// embedding space similarly to how we distribute it in the downstream
+// transformer block modules").
+type ParallelCrossAttention struct {
+	Comm         *comm.Communicator
+	Embed, Heads int
+	LocalHeads   int
+	Wq, Wk, Wv   *ColumnParallelLinear
+	Wo           *RowParallelLinear
+
+	q, k, v *tensor.Tensor
+	attn    *tensor.Tensor
+}
+
+// NewParallelCrossAttention shards nn.NewCrossAttention(name, embed, heads,
+// seed) across the TP group c.
+func NewParallelCrossAttention(name string, embed, heads int, seed int64, c *comm.Communicator) *ParallelCrossAttention {
+	t := c.Size()
+	if heads%t != 0 {
+		panic(fmt.Sprintf("parallel: heads %d not divisible by TP size %d", heads, t))
+	}
+	return &ParallelCrossAttention{
+		Comm:  c,
+		Embed: embed, Heads: heads, LocalHeads: heads / t,
+		Wq: NewColumnParallelLinear(name+".wq", embed, embed, nn.SubSeed(seed, 0), c),
+		Wk: NewColumnParallelLinear(name+".wk", embed, embed, nn.SubSeed(seed, 1), c),
+		Wv: NewColumnParallelLinear(name+".wv", embed, embed, nn.SubSeed(seed, 2), c),
+		Wo: NewRowParallelLinear(name+".wo", embed, embed, nn.SubSeed(seed, 3), c),
+	}
+}
+
+// Forward attends query [B,Tq,E] over context [B,Tk,E]; both inputs are
+// replicated across the TP group.
+func (a *ParallelCrossAttention) Forward(query, context *tensor.Tensor) *tensor.Tensor {
+	a.q = nn.SplitHeads(a.Wq.Forward(query), a.LocalHeads)
+	a.k = nn.SplitHeads(a.Wk.Forward(context), a.LocalHeads)
+	a.v = nn.SplitHeads(a.Wv.Forward(context), a.LocalHeads)
+	scale := 1 / math.Sqrt(float64(a.Embed/a.Heads))
+	scores := tensor.BatchedMatMulT(a.q, a.k)
+	tensor.ScaleInPlace(scores, scale)
+	a.attn = tensor.SoftmaxLastDim(scores)
+	ctx := nn.MergeHeads(tensor.BatchedMatMul(a.attn, a.v))
+	return a.Wo.Forward(ctx)
+}
+
+// Backward returns gradients for the replicated query and context inputs,
+// using one AllReduce each.
+func (a *ParallelCrossAttention) Backward(grad *tensor.Tensor) (dQuery, dContext *tensor.Tensor) {
+	dctx := nn.SplitHeads(a.Wo.Backward(grad), a.LocalHeads)
+	scale := 1 / math.Sqrt(float64(a.Embed/a.Heads))
+	dA := tensor.BatchedMatMulT(dctx, a.v)
+	dv := tensor.BatchedTMatMul(a.attn, dctx)
+	dS := tensor.SoftmaxBackwardLastDim(a.attn, dA)
+	tensor.ScaleInPlace(dS, scale)
+	dq := tensor.BatchedMatMul(dS, a.k)
+	dk := tensor.BatchedTMatMul(dS, a.q)
+	dQuery = a.Comm.AllReduceSum(a.Wq.BackwardPartial(nn.MergeHeads(dq)))
+	dc := a.Wk.BackwardPartial(nn.MergeHeads(dk))
+	tensor.AddInPlace(dc, a.Wv.BackwardPartial(nn.MergeHeads(dv)))
+	dContext = a.Comm.AllReduceSum(dc)
+	return dQuery, dContext
+}
+
+// Params returns the local shard parameters.
+func (a *ParallelCrossAttention) Params() []*nn.Param {
+	var ps []*nn.Param
+	ps = append(ps, a.Wq.Params()...)
+	ps = append(ps, a.Wk.Params()...)
+	ps = append(ps, a.Wv.Params()...)
+	ps = append(ps, a.Wo.Params()...)
+	return ps
+}
+
+// ParallelMLP is the tensor-parallel feed-forward block: fc1 is
+// column-parallel, the activation is local, fc2 is row-parallel.
+type ParallelMLP struct {
+	Comm *comm.Communicator
+	Fc1  *ColumnParallelLinear
+	Fc2  *RowParallelLinear
+	Act  *nn.GELU
+}
+
+// NewParallelMLP shards nn.NewMLP(name, embed, hidden, seed) across the TP
+// group c.
+func NewParallelMLP(name string, embed, hidden int, seed int64, c *comm.Communicator) *ParallelMLP {
+	return &ParallelMLP{
+		Comm: c,
+		Fc1:  NewColumnParallelLinear(name+".fc1", embed, hidden, nn.SubSeed(seed, 0), c),
+		Fc2:  NewRowParallelLinear(name+".fc2", hidden, embed, nn.SubSeed(seed, 1), c),
+		Act:  nn.NewGELU(),
+	}
+}
+
+// Forward applies fc2(gelu(fc1(x))) with one AllReduce in fc2.
+func (m *ParallelMLP) Forward(x *tensor.Tensor) *tensor.Tensor {
+	return m.Fc2.Forward(m.Act.Forward(m.Fc1.Forward(x)))
+}
+
+// Backward back-propagates with one AllReduce for the replicated input.
+func (m *ParallelMLP) Backward(grad *tensor.Tensor) *tensor.Tensor {
+	partial := m.Fc1.BackwardPartial(m.Act.Backward(m.Fc2.Backward(grad)))
+	return m.Comm.AllReduceSum(partial)
+}
+
+// Params returns the local shard parameters.
+func (m *ParallelMLP) Params() []*nn.Param {
+	return append(m.Fc1.Params(), m.Fc2.Params()...)
+}
+
+// ParallelTransformerBlock is the tensor-parallel pre-norm ViT block. Layer
+// norms are replicated: their inputs (and therefore their gradients) are
+// identical on every TP rank, so they need no synchronization.
+type ParallelTransformerBlock struct {
+	Embed, Heads int
+	Norm1, Norm2 *nn.LayerNorm
+	Attn         *ParallelSelfAttention
+	FFN          *ParallelMLP
+}
+
+// NewParallelTransformerBlock shards nn.NewTransformerBlock(name, embed,
+// heads, seed) across the TP group c.
+func NewParallelTransformerBlock(name string, embed, heads int, seed int64, c *comm.Communicator) *ParallelTransformerBlock {
+	return &ParallelTransformerBlock{
+		Embed: embed,
+		Heads: heads,
+		Norm1: nn.NewLayerNorm(name+".norm1", embed),
+		Norm2: nn.NewLayerNorm(name+".norm2", embed),
+		Attn:  NewParallelSelfAttention(name+".attn", embed, heads, nn.SubSeed(seed, 0), c),
+		FFN:   NewParallelMLP(name+".mlp", embed, 4*embed, nn.SubSeed(seed, 1), c),
+	}
+}
+
+// Forward applies the block to replicated x [B,T,E].
+func (b *ParallelTransformerBlock) Forward(x *tensor.Tensor) *tensor.Tensor {
+	h := tensor.Add(x, b.Attn.Forward(b.Norm1.Forward(x)))
+	return tensor.Add(h, b.FFN.Forward(b.Norm2.Forward(h)))
+}
+
+// Backward back-propagates through both residual branches.
+func (b *ParallelTransformerBlock) Backward(grad *tensor.Tensor) *tensor.Tensor {
+	dh := tensor.Add(grad, b.Norm2.Backward(b.FFN.Backward(grad)))
+	return tensor.Add(dh, b.Norm1.Backward(b.Attn.Backward(dh)))
+}
+
+// Params returns the block's local parameters (norms replicated, attention
+// and MLP sharded).
+func (b *ParallelTransformerBlock) Params() []*nn.Param {
+	var ps []*nn.Param
+	ps = append(ps, b.Norm1.Params()...)
+	ps = append(ps, b.Attn.Params()...)
+	ps = append(ps, b.Norm2.Params()...)
+	ps = append(ps, b.FFN.Params()...)
+	return ps
+}
+
+// Partition splits the block's parameters into rank-local weight shards and
+// group-replicated parameters (layer norms and row-parallel biases, whose
+// gradients are identical on every TP rank). Distributed global-norm
+// computations count local shards across the group and replicated
+// parameters once.
+func (b *ParallelTransformerBlock) Partition() (local, replicated []*nn.Param) {
+	replicated = append(replicated, b.Norm1.Params()...)
+	replicated = append(replicated, b.Norm2.Params()...)
+	for _, col := range []*ColumnParallelLinear{b.Attn.Wq, b.Attn.Wk, b.Attn.Wv, b.FFN.Fc1} {
+		local = append(local, col.Params()...)
+	}
+	for _, row := range []*RowParallelLinear{b.Attn.Wo, b.FFN.Fc2} {
+		local = append(local, row.Local.Params()...)
+		replicated = append(replicated, row.Bias)
+	}
+	return local, replicated
+}

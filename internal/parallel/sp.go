@@ -1,0 +1,182 @@
+package parallel
+
+import (
+	"fmt"
+	"math"
+
+	"repro/internal/comm"
+	"repro/internal/nn"
+	"repro/internal/tensor"
+)
+
+// Sequence parallelism (paper Sec. 3.5): instead of sharding the embedding
+// dimension (TP), SP shards the *token* dimension of the ViT. The paper
+// notes D-CHAG composes with SP exactly as with TP — the channel stage ends
+// just before the self-attention layers, where the fused representation can
+// be scattered along the sequence axis.
+//
+// This implementation keeps parameters replicated and tokens sharded:
+//
+//   - layer norms and MLPs act independently per token, so they run on the
+//     local shard with no communication;
+//   - self-attention computes local queries against the AllGathered keys and
+//     values (ring-attention without the overlap optimization); the backward
+//     pass ReduceScatters the key/value gradients back to their owners.
+//
+// Parameter gradients are computed from local token shards only, so they
+// must be averaged across the SP group after backward — SyncGradients does
+// this, mirroring how Megatron-SP folds the reduction into its TP
+// collectives.
+type SPSelfAttention struct {
+	Comm         *comm.Communicator
+	Embed, Heads int
+	Wq, Wk, Wv   *nn.Linear
+	Wo           *nn.Linear
+
+	q, kFull, vFull *tensor.Tensor
+	attn            *tensor.Tensor
+	localT          int
+}
+
+// NewSPSelfAttention builds the sequence-parallel twin of
+// nn.NewSelfAttention(name, embed, heads, seed): parameters are replicated
+// bit-for-bit on every rank.
+func NewSPSelfAttention(name string, embed, heads int, seed int64, c *comm.Communicator) *SPSelfAttention {
+	if embed%heads != 0 {
+		panic(fmt.Sprintf("parallel: embed %d not divisible by heads %d", embed, heads))
+	}
+	return &SPSelfAttention{
+		Comm:  c,
+		Embed: embed, Heads: heads,
+		Wq: nn.NewLinear(name+".wq", embed, embed, nn.SubSeed(seed, 0)),
+		Wk: nn.NewLinear(name+".wk", embed, embed, nn.SubSeed(seed, 1)),
+		Wv: nn.NewLinear(name+".wv", embed, embed, nn.SubSeed(seed, 2)),
+		Wo: nn.NewLinear(name+".wo", embed, embed, nn.SubSeed(seed, 3)),
+	}
+}
+
+// Forward consumes the local token shard [B, T/p, E] and returns the
+// attention output for the same shard. One AllGather of K and one of V.
+func (a *SPSelfAttention) Forward(xLocal *tensor.Tensor) *tensor.Tensor {
+	if len(xLocal.Shape) != 3 {
+		panic(fmt.Sprintf("parallel: SPSelfAttention.Forward wants [B,Tl,E], got %v", xLocal.Shape))
+	}
+	a.localT = xLocal.Shape[1]
+	a.q = nn.SplitHeads(a.Wq.Forward(xLocal), a.Heads) // [B,H,Tl,Dh]
+	kLocal := a.Wk.Forward(xLocal)
+	vLocal := a.Wv.Forward(xLocal)
+	a.kFull = nn.SplitHeads(a.Comm.AllGatherConcat(kLocal, 1), a.Heads) // [B,H,T,Dh]
+	a.vFull = nn.SplitHeads(a.Comm.AllGatherConcat(vLocal, 1), a.Heads)
+
+	scale := 1 / math.Sqrt(float64(a.Embed/a.Heads))
+	scores := tensor.BatchedMatMulT(a.q, a.kFull) // [B,H,Tl,T]
+	tensor.ScaleInPlace(scores, scale)
+	a.attn = tensor.SoftmaxLastDim(scores)
+	ctx := nn.MergeHeads(tensor.BatchedMatMul(a.attn, a.vFull)) // [B,Tl,E]
+	return a.Wo.Forward(ctx)
+}
+
+// Backward consumes the local output gradient [B, T/p, E] and returns the
+// local input gradient. K/V gradients are ReduceScattered back to the token
+// owners (the SP backward communication the paper contrasts with D-CHAG's
+// silent backward).
+func (a *SPSelfAttention) Backward(grad *tensor.Tensor) *tensor.Tensor {
+	if a.attn == nil {
+		panic("parallel: SPSelfAttention.Backward before Forward")
+	}
+	dctx := nn.SplitHeads(a.Wo.Backward(grad), a.Heads)
+	scale := 1 / math.Sqrt(float64(a.Embed/a.Heads))
+	dA := tensor.BatchedMatMulT(dctx, a.vFull)    // [B,H,Tl,T]
+	dvFull := tensor.BatchedTMatMul(a.attn, dctx) // [B,H,T,Dh]
+	dS := tensor.SoftmaxBackwardLastDim(a.attn, dA)
+	tensor.ScaleInPlace(dS, scale)
+	dq := tensor.BatchedMatMul(dS, a.kFull)  // [B,H,Tl,Dh]
+	dkFull := tensor.BatchedTMatMul(dS, a.q) // [B,H,T,Dh]
+
+	// Each rank holds only the contribution of its queries to dK/dV; sum the
+	// contributions and keep the local token slice.
+	dkLocal := a.Comm.ReduceScatterSum(nn.MergeHeads(dkFull), 1)
+	dvLocal := a.Comm.ReduceScatterSum(nn.MergeHeads(dvFull), 1)
+
+	dx := a.Wq.Backward(nn.MergeHeads(dq))
+	tensor.AddInPlace(dx, a.Wk.Backward(dkLocal))
+	tensor.AddInPlace(dx, a.Wv.Backward(dvLocal))
+	return dx
+}
+
+// Params returns the replicated projection parameters.
+func (a *SPSelfAttention) Params() []*nn.Param {
+	var ps []*nn.Param
+	ps = append(ps, a.Wq.Params()...)
+	ps = append(ps, a.Wk.Params()...)
+	ps = append(ps, a.Wv.Params()...)
+	ps = append(ps, a.Wo.Params()...)
+	return ps
+}
+
+// SPTransformerBlock is the sequence-parallel pre-norm ViT block: norms and
+// the MLP run on the local token shard; attention gathers K/V.
+type SPTransformerBlock struct {
+	Embed, Heads int
+	Norm1, Norm2 *nn.LayerNorm
+	Attn         *SPSelfAttention
+	FFN          *nn.MLP
+}
+
+// NewSPTransformerBlock builds the SP twin of nn.NewTransformerBlock with
+// identical parameters.
+func NewSPTransformerBlock(name string, embed, heads int, seed int64, c *comm.Communicator) *SPTransformerBlock {
+	return &SPTransformerBlock{
+		Embed: embed,
+		Heads: heads,
+		Norm1: nn.NewLayerNorm(name+".norm1", embed),
+		Norm2: nn.NewLayerNorm(name+".norm2", embed),
+		Attn:  NewSPSelfAttention(name+".attn", embed, heads, nn.SubSeed(seed, 0), c),
+		FFN:   nn.NewMLP(name+".mlp", embed, 4*embed, nn.SubSeed(seed, 1)),
+	}
+}
+
+// Forward applies the block to the local token shard [B, T/p, E].
+func (b *SPTransformerBlock) Forward(xLocal *tensor.Tensor) *tensor.Tensor {
+	h := tensor.Add(xLocal, b.Attn.Forward(b.Norm1.Forward(xLocal)))
+	return tensor.Add(h, b.FFN.Forward(b.Norm2.Forward(h)))
+}
+
+// Backward back-propagates through both residual branches on the shard.
+func (b *SPTransformerBlock) Backward(grad *tensor.Tensor) *tensor.Tensor {
+	dh := tensor.Add(grad, b.Norm2.Backward(b.FFN.Backward(grad)))
+	return tensor.Add(dh, b.Norm1.Backward(b.Attn.Backward(dh)))
+}
+
+// Params returns the block's replicated parameters.
+func (b *SPTransformerBlock) Params() []*nn.Param {
+	var ps []*nn.Param
+	ps = append(ps, b.Norm1.Params()...)
+	ps = append(ps, b.Attn.Params()...)
+	ps = append(ps, b.Norm2.Params()...)
+	ps = append(ps, b.FFN.Params()...)
+	return ps
+}
+
+// SyncGradients sums the block's parameter gradients across the SP group:
+// each rank saw only its token shard's contribution, and the serial gradient
+// is the sum over all tokens. Required once per step, after Backward.
+func (b *SPTransformerBlock) SyncGradients() {
+	for _, p := range b.Params() {
+		sum := b.Attn.Comm.AllReduceSum(p.Grad)
+		p.Grad.CopyFrom(sum)
+	}
+}
+
+// ScatterTokens splits a replicated sequence [B, T, E] into this rank's
+// shard [B, T/p, E]; the boundary operation between a D-CHAG channel stage
+// (whose output is replicated) and an SP ViT.
+func ScatterTokens(x *tensor.Tensor, c *comm.Communicator) *tensor.Tensor {
+	return tensor.SplitEqual(x, 1, c.Size())[c.Rank()]
+}
+
+// GatherTokens reassembles the full sequence from this rank's shard (used
+// before the replicated head).
+func GatherTokens(xLocal *tensor.Tensor, c *comm.Communicator) *tensor.Tensor {
+	return c.AllGatherConcat(xLocal, 1)
+}

@@ -1,0 +1,56 @@
+package perfmodel
+
+import (
+	"testing"
+
+	"repro/internal/core"
+)
+
+// TestPrintCalibrationTable prints the margin of every paper boundary point
+// under the current calibration; run with -v when retuning constants. It
+// never fails — the enforcing assertions live in calibration_test.go.
+func TestPrintCalibrationTable(t *testing.T) {
+	rows := []struct {
+		label     string
+		name      string
+		ch, tp, f int
+		method    Method
+		wantFit   bool
+	}{
+		{"Fig6  100M@512  1GPU", "100M", 512, 1, 1, MethodBaseline, true},
+		{"Fig6  100M@1024 1GPU", "100M", 1024, 1, 1, MethodBaseline, false},
+		{"Fig6  1B@256    1GPU", "1B", 256, 1, 1, MethodBaseline, true},
+		{"Fig6  1B@512    1GPU", "1B", 512, 1, 1, MethodBaseline, false},
+		{"Fig6  3B@128    1GPU", "3B", 128, 1, 1, MethodBaseline, true},
+		{"Fig6  3B@256    1GPU", "3B", 256, 1, 1, MethodBaseline, false},
+		{"S4.3  1.7B@256  FSDP2", "1.7B", 256, 1, 2, MethodBaseline, true},
+		{"S4.3  1.7B@512  FSDP2", "1.7B", 512, 1, 2, MethodBaseline, false},
+		{"S4.3  7B@128    FSDP8", "7B", 128, 1, 8, MethodBaseline, true},
+		{"S6.1  7B@256    FSDP8", "7B", 256, 1, 8, MethodBaseline, false},
+		{"S6.1  15B@64    FSDP8", "15B", 64, 1, 8, MethodBaseline, true},
+		{"S6.1  15B@128   FSDP8", "15B", 128, 1, 8, MethodBaseline, false},
+		{"S6.1  26B@8     FSDP8", "26B", 8, 1, 8, MethodBaseline, false},
+		{"Fig7  1.7B@512  TP2", "1.7B", 512, 2, 1, MethodBaseline, true},
+		{"Fig7  1.7B@1024 TP8", "1.7B", 1024, 8, 1, MethodBaseline, true},
+		{"Fig7  1.7B@1024 TP4", "1.7B", 1024, 4, 1, MethodBaseline, false},
+		{"Fig7  7B@256    TP4", "7B", 256, 4, 1, MethodBaseline, true},
+		{"Fig7  7B@512    TP16", "7B", 512, 16, 1, MethodBaseline, true},
+		{"Fig7  7B@512    TP4", "7B", 512, 4, 1, MethodBaseline, false},
+		{"F14   26B@256   TP8", "26B", 256, 8, 1, MethodBaseline, false},
+		{"F14   26B@256   TP16", "26B", 256, 16, 1, MethodBaseline, false},
+		{"F14   26B@256   TP32", "26B", 256, 32, 1, MethodBaseline, false},
+	}
+	for _, row := range rows {
+		wl := ReferenceWorkload(row.ch)
+		r := AnalyzeDefault(Shapes[row.name], wl, Strategy{Method: row.method, TP: row.tp, FSDP: row.f, Kind: core.KindLinear})
+		mark := "OK  "
+		if r.Fits() != row.wantFit {
+			mark = "MISS"
+		}
+		t.Logf("%s %-22s total %6.1f GiB (budget %.1f) fits=%-5v want=%-5v [tok %.1f agg %.1f vit %.1f head %.1f]",
+			mark, row.label, r.TotalMemBytes()/(1<<30), float64(r.Machine.UsableMemBytes())/(1<<30),
+			r.Fits(), row.wantFit,
+			r.ComponentMemBytes(CompTok)/(1<<30), r.ComponentMemBytes(CompAgg)/(1<<30),
+			r.ComponentMemBytes(CompViT)/(1<<30), r.ComponentMemBytes(CompHead)/(1<<30))
+	}
+}

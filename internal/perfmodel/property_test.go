@@ -1,0 +1,192 @@
+package perfmodel
+
+import (
+	"testing"
+	"testing/quick"
+
+	"repro/internal/core"
+	"repro/internal/hw"
+	"repro/internal/tensor"
+)
+
+// Property tests for the analytic model: structural invariants that must
+// hold for any configuration, independent of calibration values.
+
+func randomStrategy(rng interface {
+	Intn(n int) int
+}) Strategy {
+	methods := []Method{MethodBaseline, MethodDistTok, MethodDCHAG}
+	kinds := []core.LayerKind{core.KindCross, core.KindLinear}
+	tps := []int{1, 2, 4, 8}
+	return Strategy{
+		Method: methods[rng.Intn(len(methods))],
+		TP:     tps[rng.Intn(len(tps))],
+		FSDP:   []int{1, 2}[rng.Intn(2)],
+		DP:     []int{1, 2}[rng.Intn(2)],
+		Tree:   []int{0, 2, 4}[rng.Intn(3)],
+		Kind:   kinds[rng.Intn(len(kinds))],
+	}
+}
+
+func TestMemoryMonotoneInChannels(t *testing.T) {
+	machine := hw.Frontier()
+	cal := DefaultCalibration()
+	f := func(seed int64) bool {
+		rng := tensor.NewRNG(seed)
+		shape := Shapes[[]string{"100M", "1B", "1.7B", "7B"}[rng.Intn(4)]]
+		strat := randomStrategy(rng)
+		if shape.Heads%strat.TP != 0 {
+			strat.TP = 1
+		}
+		lo := Analyze(shape, ReferenceWorkload(128), strat, machine, cal).TotalMemBytes()
+		hi := Analyze(shape, ReferenceWorkload(512), strat, machine, cal).TotalMemBytes()
+		return hi > lo
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestMemoryMonotoneInBatch(t *testing.T) {
+	machine := hw.Frontier()
+	cal := DefaultCalibration()
+	f := func(seed int64) bool {
+		rng := tensor.NewRNG(seed)
+		shape := Shapes[[]string{"1B", "7B"}[rng.Intn(2)]]
+		strat := randomStrategy(rng)
+		if shape.Heads%strat.TP != 0 {
+			strat.TP = 1
+		}
+		wl := ReferenceWorkload(256)
+		wl.MicroBatch = 1
+		m1 := Analyze(shape, wl, strat, machine, cal).TotalMemBytes()
+		wl.MicroBatch = 4
+		m4 := Analyze(shape, wl, strat, machine, cal).TotalMemBytes()
+		return m4 > m1
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestTPReducesBaselineMemory(t *testing.T) {
+	// For the baseline method, raising TP must never increase per-GPU
+	// memory (everything it touches shrinks or stays constant).
+	machine := hw.Frontier()
+	cal := DefaultCalibration()
+	for _, name := range []string{"1.7B", "7B", "26B"} {
+		shape := Shapes[name]
+		for _, ch := range []int{128, 512} {
+			prev := Analyze(shape, ReferenceWorkload(ch), Strategy{Method: MethodBaseline, TP: 1}, machine, cal).TotalMemBytes()
+			for tp := 2; tp <= 8; tp *= 2 {
+				cur := Analyze(shape, ReferenceWorkload(ch), Strategy{Method: MethodBaseline, TP: tp}, machine, cal).TotalMemBytes()
+				if cur > prev {
+					t.Fatalf("%s@%d: memory rose from TP=%d to TP=%d (%.1f -> %.1f GiB)", name, ch, tp/2, tp, prev/(1<<30), cur/(1<<30))
+				}
+				prev = cur
+			}
+		}
+	}
+}
+
+func TestFSDPShardsOnlyParameterState(t *testing.T) {
+	machine := hw.Frontier()
+	cal := DefaultCalibration()
+	shape := Shapes["7B"]
+	wl := ReferenceWorkload(256)
+	one := Analyze(shape, wl, Strategy{Method: MethodBaseline, FSDP: 1}, machine, cal)
+	four := Analyze(shape, wl, Strategy{Method: MethodBaseline, FSDP: 4}, machine, cal)
+	for c := range Components {
+		if one.ActBytes[c] != four.ActBytes[c] {
+			t.Fatalf("FSDP must not change activation memory (component %d)", c)
+		}
+		if four.StateBytes[c] >= one.StateBytes[c] && one.StateBytes[c] > 0 {
+			t.Fatalf("FSDP must shrink state memory (component %d)", c)
+		}
+	}
+}
+
+func TestDCHAGShrinksChannelStageNotViT(t *testing.T) {
+	machine := hw.Frontier()
+	cal := DefaultCalibration()
+	shape := Shapes["7B"]
+	wl := ReferenceWorkload(512)
+	base := Analyze(shape, wl, Strategy{Method: MethodBaseline, TP: 8}, machine, cal)
+	dchag := Analyze(shape, wl, Strategy{Method: MethodDCHAG, TP: 8, Kind: core.KindLinear}, machine, cal)
+	if !(dchag.ComponentMemBytes(CompTok) < base.ComponentMemBytes(CompTok)) {
+		t.Fatal("D-CHAG must shrink tokenization")
+	}
+	if !(dchag.ComponentMemBytes(CompAgg) < base.ComponentMemBytes(CompAgg)) {
+		t.Fatal("D-CHAG must shrink aggregation")
+	}
+	if dchag.ActBytes[CompViT] != base.ActBytes[CompViT] {
+		t.Fatal("D-CHAG must leave ViT activations untouched (it is complementary to TP)")
+	}
+}
+
+func TestDeeperTreesShrinkCrossPartialScores(t *testing.T) {
+	// For D-CHAG-C, deeper trees reduce aggregation activation memory (the
+	// per-group quadratic term shrinks) while adding parameters — the
+	// trade-off of paper Sec. 3.2.
+	machine := hw.Frontier()
+	cal := DefaultCalibration()
+	shape := Shapes["1.7B"]
+	wl := ReferenceWorkload(512)
+	mk := func(tree int) Report {
+		return Analyze(shape, wl, Strategy{Method: MethodDCHAG, TP: 2, Tree: tree, Kind: core.KindCross}, machine, cal)
+	}
+	t0, t8 := mk(0), mk(8)
+	if !(t8.ActBytes[CompAgg] < t0.ActBytes[CompAgg]) {
+		t.Fatalf("deeper tree must shrink aggregation activations: %.2f vs %.2f GiB", t8.ActBytes[CompAgg]/(1<<30), t0.ActBytes[CompAgg]/(1<<30))
+	}
+	if !(t8.ParamsPerGPU[CompAgg] > t0.ParamsPerGPU[CompAgg]) {
+		t.Fatal("deeper tree must add parameters")
+	}
+}
+
+func TestCommTimeGrowsAcrossNodeBoundary(t *testing.T) {
+	machine := hw.Frontier()
+	cal := DefaultCalibration()
+	shape := Shapes["7B"]
+	wl := ReferenceWorkload(256)
+	intra := Analyze(shape, wl, Strategy{Method: MethodBaseline, TP: 8}, machine, cal).CommSeconds
+	inter := Analyze(shape, wl, Strategy{Method: MethodBaseline, TP: 16}, machine, cal).CommSeconds
+	if !(inter > intra) {
+		t.Fatalf("TP across nodes must cost more comm time: %v vs %v", intra, inter)
+	}
+}
+
+func TestUsefulThroughputBelowHardwareBound(t *testing.T) {
+	// Baseline runs can never be credited more useful FLOPs/s per GPU than
+	// the sustained hardware rate (they execute at least the useful work).
+	machine := hw.Frontier()
+	cal := DefaultCalibration()
+	shape := Shapes["7B"]
+	wl := ReferenceWorkload(500)
+	wl.MicroBatch = 4
+	r := Analyze(shape, wl, Strategy{Method: MethodBaseline, TP: 8, FSDP: 2}, machine, cal)
+	perGPU := r.TFLOPsPerSec() * 1e12 / float64(r.Strat.World())
+	if perGPU > machine.SustainedFLOPS() {
+		t.Fatalf("baseline per-GPU useful rate %.1f TF/s exceeds sustained %.1f", perGPU/1e12, machine.SustainedFLOPS()/1e12)
+	}
+}
+
+func TestMaxMicroBatchConsistentWithFits(t *testing.T) {
+	machine := hw.Frontier()
+	cal := DefaultCalibration()
+	shape := Shapes["7B"]
+	strat := Strategy{Method: MethodDCHAG, TP: 4, Kind: core.KindLinear}
+	wl := ReferenceWorkload(500)
+	b := MaxMicroBatch(shape, wl, strat, machine, cal)
+	if b < 1 {
+		t.Fatal("expected a positive max micro-batch")
+	}
+	wl.MicroBatch = b
+	if !Analyze(shape, wl, strat, machine, cal).Fits() {
+		t.Fatal("max micro-batch must fit")
+	}
+	wl.MicroBatch = b + 1
+	if Analyze(shape, wl, strat, machine, cal).Fits() {
+		t.Fatal("max micro-batch + 1 must not fit")
+	}
+}

@@ -1,0 +1,313 @@
+package tensor
+
+import (
+	"fmt"
+	"runtime"
+	"sync"
+)
+
+// parallelThreshold is the number of multiply-adds below which MatMul runs
+// serially; spawning goroutines for tiny products costs more than it saves.
+const parallelThreshold = 1 << 16
+
+// MatMul returns the matrix product a@b for rank-2 tensors, parallelized
+// across row blocks with goroutines. a is [M,K], b is [K,N], the result is
+// [M,N].
+func MatMul(a, b *Tensor) *Tensor {
+	if len(a.Shape) != 2 || len(b.Shape) != 2 {
+		panic(fmt.Sprintf("tensor: MatMul requires rank-2 operands, got %v x %v", a.Shape, b.Shape))
+	}
+	m, k := a.Shape[0], a.Shape[1]
+	k2, n := b.Shape[0], b.Shape[1]
+	if k != k2 {
+		panic(fmt.Sprintf("tensor: MatMul inner dimension mismatch %v x %v", a.Shape, b.Shape))
+	}
+	out := New(m, n)
+	matmulInto(out.Data, a.Data, b.Data, m, k, n)
+	return out
+}
+
+// matmulInto computes dst += 0 then dst = A@B with dst of size m*n. The ikj
+// loop order keeps the inner loop contiguous over both B and dst rows.
+func matmulInto(dst, a, b []float64, m, k, n int) {
+	work := m * k * n
+	if work < parallelThreshold || m == 1 {
+		matmulRows(dst, a, b, 0, m, k, n)
+		return
+	}
+	workers := runtime.GOMAXPROCS(0)
+	if workers > m {
+		workers = m
+	}
+	var wg sync.WaitGroup
+	chunk := (m + workers - 1) / workers
+	for w := 0; w < workers; w++ {
+		lo := w * chunk
+		hi := lo + chunk
+		if hi > m {
+			hi = m
+		}
+		if lo >= hi {
+			break
+		}
+		wg.Add(1)
+		go func(lo, hi int) {
+			defer wg.Done()
+			matmulRows(dst, a, b, lo, hi, k, n)
+		}(lo, hi)
+	}
+	wg.Wait()
+}
+
+// matmulRows computes rows [lo,hi) of dst = A@B.
+func matmulRows(dst, a, b []float64, lo, hi, k, n int) {
+	for i := lo; i < hi; i++ {
+		drow := dst[i*n : (i+1)*n]
+		for x := range drow {
+			drow[x] = 0
+		}
+		arow := a[i*k : (i+1)*k]
+		for p, av := range arow {
+			if av == 0 {
+				continue
+			}
+			brow := b[p*n : (p+1)*n]
+			for j, bv := range brow {
+				drow[j] += av * bv
+			}
+		}
+	}
+}
+
+// MatMulT returns a @ b^T for rank-2 tensors: a is [M,K], b is [N,K], the
+// result is [M,N]. This avoids materializing the transpose.
+func MatMulT(a, b *Tensor) *Tensor {
+	if len(a.Shape) != 2 || len(b.Shape) != 2 {
+		panic(fmt.Sprintf("tensor: MatMulT requires rank-2 operands, got %v x %v", a.Shape, b.Shape))
+	}
+	m, k := a.Shape[0], a.Shape[1]
+	n, k2 := b.Shape[0], b.Shape[1]
+	if k != k2 {
+		panic(fmt.Sprintf("tensor: MatMulT inner dimension mismatch %v x %v^T", a.Shape, b.Shape))
+	}
+	out := New(m, n)
+	run := func(lo, hi int) {
+		for i := lo; i < hi; i++ {
+			arow := a.Data[i*k : (i+1)*k]
+			drow := out.Data[i*n : (i+1)*n]
+			for j := 0; j < n; j++ {
+				brow := b.Data[j*k : (j+1)*k]
+				s := 0.0
+				for p := range arow {
+					s += arow[p] * brow[p]
+				}
+				drow[j] = s
+			}
+		}
+	}
+	parallelOverRows(m, m*k*n, run)
+	return out
+}
+
+// TMatMul returns a^T @ b for rank-2 tensors: a is [K,M], b is [K,N], the
+// result is [M,N]. Used for weight gradients (x^T @ dy) without an explicit
+// transpose.
+func TMatMul(a, b *Tensor) *Tensor {
+	if len(a.Shape) != 2 || len(b.Shape) != 2 {
+		panic(fmt.Sprintf("tensor: TMatMul requires rank-2 operands, got %v x %v", a.Shape, b.Shape))
+	}
+	k, m := a.Shape[0], a.Shape[1]
+	k2, n := b.Shape[0], b.Shape[1]
+	if k != k2 {
+		panic(fmt.Sprintf("tensor: TMatMul inner dimension mismatch %v^T x %v", a.Shape, b.Shape))
+	}
+	out := New(m, n)
+	// Parallelize over output rows (columns of a). Each worker reads all of
+	// a and b but writes a disjoint row block of out.
+	run := func(lo, hi int) {
+		for p := 0; p < k; p++ {
+			arow := a.Data[p*m : (p+1)*m]
+			brow := b.Data[p*n : (p+1)*n]
+			for i := lo; i < hi; i++ {
+				av := arow[i]
+				if av == 0 {
+					continue
+				}
+				drow := out.Data[i*n : (i+1)*n]
+				for j, bv := range brow {
+					drow[j] += av * bv
+				}
+			}
+		}
+	}
+	parallelOverRows(m, m*k*n, run)
+	return out
+}
+
+// parallelOverRows splits [0,m) into GOMAXPROCS contiguous blocks and runs
+// fn on each concurrently when the work estimate is large enough.
+func parallelOverRows(m, work int, fn func(lo, hi int)) {
+	if work < parallelThreshold || m == 1 {
+		fn(0, m)
+		return
+	}
+	workers := runtime.GOMAXPROCS(0)
+	if workers > m {
+		workers = m
+	}
+	var wg sync.WaitGroup
+	chunk := (m + workers - 1) / workers
+	for w := 0; w < workers; w++ {
+		lo := w * chunk
+		hi := lo + chunk
+		if hi > m {
+			hi = m
+		}
+		if lo >= hi {
+			break
+		}
+		wg.Add(1)
+		go func(lo, hi int) {
+			defer wg.Done()
+			fn(lo, hi)
+		}(lo, hi)
+	}
+	wg.Wait()
+}
+
+// Transpose2D returns the transpose of a rank-2 tensor.
+func Transpose2D(t *Tensor) *Tensor {
+	if len(t.Shape) != 2 {
+		panic(fmt.Sprintf("tensor: Transpose2D requires rank 2, got %v", t.Shape))
+	}
+	m, n := t.Shape[0], t.Shape[1]
+	out := New(n, m)
+	for i := 0; i < m; i++ {
+		for j := 0; j < n; j++ {
+			out.Data[j*m+i] = t.Data[i*n+j]
+		}
+	}
+	return out
+}
+
+// BatchedMatMul multiplies matching leading-batch matrices: a is [B...,M,K],
+// b is [B...,K,N] with identical leading dims, producing [B...,M,N].
+func BatchedMatMul(a, b *Tensor) *Tensor {
+	ra, rb := len(a.Shape), len(b.Shape)
+	if ra < 2 || rb < 2 || ra != rb {
+		panic(fmt.Sprintf("tensor: BatchedMatMul rank mismatch %v x %v", a.Shape, b.Shape))
+	}
+	batch := 1
+	for i := 0; i < ra-2; i++ {
+		if a.Shape[i] != b.Shape[i] {
+			panic(fmt.Sprintf("tensor: BatchedMatMul batch mismatch %v x %v", a.Shape, b.Shape))
+		}
+		batch *= a.Shape[i]
+	}
+	m, k := a.Shape[ra-2], a.Shape[ra-1]
+	k2, n := b.Shape[rb-2], b.Shape[rb-1]
+	if k != k2 {
+		panic(fmt.Sprintf("tensor: BatchedMatMul inner mismatch %v x %v", a.Shape, b.Shape))
+	}
+	outShape := append(append([]int(nil), a.Shape[:ra-2]...), m, n)
+	out := New(outShape...)
+	run := func(lo, hi int) {
+		for bi := lo; bi < hi; bi++ {
+			matmulRows(out.Data[bi*m*n:(bi+1)*m*n], a.Data[bi*m*k:(bi+1)*m*k], b.Data[bi*k*n:(bi+1)*k*n], 0, m, k, n)
+		}
+	}
+	parallelOverRows(batch, batch*m*k*n, run)
+	return out
+}
+
+// BatchedMatMulT multiplies a by the transpose of b per batch: a is
+// [B...,M,K], b is [B...,N,K], producing [B...,M,N]. This is the attention
+// score product Q @ K^T.
+func BatchedMatMulT(a, b *Tensor) *Tensor {
+	ra, rb := len(a.Shape), len(b.Shape)
+	if ra < 2 || rb < 2 || ra != rb {
+		panic(fmt.Sprintf("tensor: BatchedMatMulT rank mismatch %v x %v", a.Shape, b.Shape))
+	}
+	batch := 1
+	for i := 0; i < ra-2; i++ {
+		if a.Shape[i] != b.Shape[i] {
+			panic(fmt.Sprintf("tensor: BatchedMatMulT batch mismatch %v x %v", a.Shape, b.Shape))
+		}
+		batch *= a.Shape[i]
+	}
+	m, k := a.Shape[ra-2], a.Shape[ra-1]
+	n, k2 := b.Shape[rb-2], b.Shape[rb-1]
+	if k != k2 {
+		panic(fmt.Sprintf("tensor: BatchedMatMulT inner mismatch %v x %v^T", a.Shape, b.Shape))
+	}
+	outShape := append(append([]int(nil), a.Shape[:ra-2]...), m, n)
+	out := New(outShape...)
+	run := func(lo, hi int) {
+		for bi := lo; bi < hi; bi++ {
+			ab := a.Data[bi*m*k : (bi+1)*m*k]
+			bb := b.Data[bi*n*k : (bi+1)*n*k]
+			ob := out.Data[bi*m*n : (bi+1)*m*n]
+			for i := 0; i < m; i++ {
+				arow := ab[i*k : (i+1)*k]
+				drow := ob[i*n : (i+1)*n]
+				for j := 0; j < n; j++ {
+					brow := bb[j*k : (j+1)*k]
+					s := 0.0
+					for p := range arow {
+						s += arow[p] * brow[p]
+					}
+					drow[j] = s
+				}
+			}
+		}
+	}
+	parallelOverRows(batch, batch*m*k*n, run)
+	return out
+}
+
+// BatchedTMatMul multiplies the transpose of a by b per batch: a is
+// [B...,K,M], b is [B...,K,N], producing [B...,M,N]. This is the gradient
+// product scores^T @ dOut used in attention backward passes.
+func BatchedTMatMul(a, b *Tensor) *Tensor {
+	ra, rb := len(a.Shape), len(b.Shape)
+	if ra < 2 || rb < 2 || ra != rb {
+		panic(fmt.Sprintf("tensor: BatchedTMatMul rank mismatch %v x %v", a.Shape, b.Shape))
+	}
+	batch := 1
+	for i := 0; i < ra-2; i++ {
+		if a.Shape[i] != b.Shape[i] {
+			panic(fmt.Sprintf("tensor: BatchedTMatMul batch mismatch %v x %v", a.Shape, b.Shape))
+		}
+		batch *= a.Shape[i]
+	}
+	k, m := a.Shape[ra-2], a.Shape[ra-1]
+	k2, n := b.Shape[rb-2], b.Shape[rb-1]
+	if k != k2 {
+		panic(fmt.Sprintf("tensor: BatchedTMatMul inner mismatch %v^T x %v", a.Shape, b.Shape))
+	}
+	outShape := append(append([]int(nil), a.Shape[:ra-2]...), m, n)
+	out := New(outShape...)
+	run := func(lo, hi int) {
+		for bi := lo; bi < hi; bi++ {
+			ab := a.Data[bi*k*m : (bi+1)*k*m]
+			bb := b.Data[bi*k*n : (bi+1)*k*n]
+			ob := out.Data[bi*m*n : (bi+1)*m*n]
+			for p := 0; p < k; p++ {
+				arow := ab[p*m : (p+1)*m]
+				brow := bb[p*n : (p+1)*n]
+				for i := 0; i < m; i++ {
+					av := arow[i]
+					if av == 0 {
+						continue
+					}
+					drow := ob[i*n : (i+1)*n]
+					for j, bv := range brow {
+						drow[j] += av * bv
+					}
+				}
+			}
+		}
+	}
+	parallelOverRows(batch, batch*m*k*n, run)
+	return out
+}

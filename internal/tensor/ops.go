@@ -1,0 +1,416 @@
+package tensor
+
+import (
+	"fmt"
+	"math"
+)
+
+// Add returns a + b elementwise. Shapes must match.
+func Add(a, b *Tensor) *Tensor {
+	mustSameShape("Add", a, b)
+	out := New(a.Shape...)
+	for i := range a.Data {
+		out.Data[i] = a.Data[i] + b.Data[i]
+	}
+	return out
+}
+
+// Sub returns a - b elementwise. Shapes must match.
+func Sub(a, b *Tensor) *Tensor {
+	mustSameShape("Sub", a, b)
+	out := New(a.Shape...)
+	for i := range a.Data {
+		out.Data[i] = a.Data[i] - b.Data[i]
+	}
+	return out
+}
+
+// Mul returns the elementwise (Hadamard) product a * b. Shapes must match.
+func Mul(a, b *Tensor) *Tensor {
+	mustSameShape("Mul", a, b)
+	out := New(a.Shape...)
+	for i := range a.Data {
+		out.Data[i] = a.Data[i] * b.Data[i]
+	}
+	return out
+}
+
+// Div returns a / b elementwise. Shapes must match.
+func Div(a, b *Tensor) *Tensor {
+	mustSameShape("Div", a, b)
+	out := New(a.Shape...)
+	for i := range a.Data {
+		out.Data[i] = a.Data[i] / b.Data[i]
+	}
+	return out
+}
+
+// Scale returns a * s for scalar s.
+func Scale(a *Tensor, s float64) *Tensor {
+	out := New(a.Shape...)
+	for i := range a.Data {
+		out.Data[i] = a.Data[i] * s
+	}
+	return out
+}
+
+// AddScalar returns a + s for scalar s.
+func AddScalar(a *Tensor, s float64) *Tensor {
+	out := New(a.Shape...)
+	for i := range a.Data {
+		out.Data[i] = a.Data[i] + s
+	}
+	return out
+}
+
+// AddInPlace accumulates b into a (a += b). Shapes must match.
+func AddInPlace(a, b *Tensor) {
+	mustSameShape("AddInPlace", a, b)
+	for i := range a.Data {
+		a.Data[i] += b.Data[i]
+	}
+}
+
+// ScaleInPlace multiplies a by scalar s in place.
+func ScaleInPlace(a *Tensor, s float64) {
+	for i := range a.Data {
+		a.Data[i] *= s
+	}
+}
+
+// AXPY performs a += alpha*b in place. Shapes must match.
+func AXPY(alpha float64, b, a *Tensor) {
+	mustSameShape("AXPY", a, b)
+	for i := range a.Data {
+		a.Data[i] += alpha * b.Data[i]
+	}
+}
+
+// Apply returns a new tensor with f applied to every element.
+func Apply(a *Tensor, f func(float64) float64) *Tensor {
+	out := New(a.Shape...)
+	for i := range a.Data {
+		out.Data[i] = f(a.Data[i])
+	}
+	return out
+}
+
+// Sum returns the sum of all elements.
+func (t *Tensor) Sum() float64 {
+	s := 0.0
+	for _, v := range t.Data {
+		s += v
+	}
+	return s
+}
+
+// Mean returns the arithmetic mean of all elements. It panics on an empty
+// tensor.
+func (t *Tensor) Mean() float64 {
+	if len(t.Data) == 0 {
+		panic("tensor: Mean of empty tensor")
+	}
+	return t.Sum() / float64(len(t.Data))
+}
+
+// Max returns the largest element. It panics on an empty tensor.
+func (t *Tensor) Max() float64 {
+	if len(t.Data) == 0 {
+		panic("tensor: Max of empty tensor")
+	}
+	m := t.Data[0]
+	for _, v := range t.Data[1:] {
+		if v > m {
+			m = v
+		}
+	}
+	return m
+}
+
+// Min returns the smallest element. It panics on an empty tensor.
+func (t *Tensor) Min() float64 {
+	if len(t.Data) == 0 {
+		panic("tensor: Min of empty tensor")
+	}
+	m := t.Data[0]
+	for _, v := range t.Data[1:] {
+		if v < m {
+			m = v
+		}
+	}
+	return m
+}
+
+// Norm2 returns the Euclidean (Frobenius) norm of the tensor.
+func (t *Tensor) Norm2() float64 {
+	s := 0.0
+	for _, v := range t.Data {
+		s += v * v
+	}
+	return math.Sqrt(s)
+}
+
+// SumAxis reduces over one axis, returning a tensor whose rank is one less.
+// axis may be negative (counted from the end).
+func SumAxis(t *Tensor, axis int) *Tensor {
+	if axis < 0 {
+		axis += len(t.Shape)
+	}
+	if axis < 0 || axis >= len(t.Shape) {
+		panic(fmt.Sprintf("tensor: SumAxis axis out of range for shape %v", t.Shape))
+	}
+	outer := 1
+	for _, d := range t.Shape[:axis] {
+		outer *= d
+	}
+	n := t.Shape[axis]
+	inner := 1
+	for _, d := range t.Shape[axis+1:] {
+		inner *= d
+	}
+	outShape := make([]int, 0, len(t.Shape)-1)
+	outShape = append(outShape, t.Shape[:axis]...)
+	outShape = append(outShape, t.Shape[axis+1:]...)
+	if len(outShape) == 0 {
+		outShape = []int{1}
+	}
+	out := New(outShape...)
+	for o := 0; o < outer; o++ {
+		for k := 0; k < n; k++ {
+			src := (o*n + k) * inner
+			dst := o * inner
+			for i := 0; i < inner; i++ {
+				out.Data[dst+i] += t.Data[src+i]
+			}
+		}
+	}
+	return out
+}
+
+// MeanAxis reduces over one axis by averaging.
+func MeanAxis(t *Tensor, axis int) *Tensor {
+	if axis < 0 {
+		axis += len(t.Shape)
+	}
+	out := SumAxis(t, axis)
+	ScaleInPlace(out, 1/float64(t.Shape[axis]))
+	return out
+}
+
+// SoftmaxLastDim returns softmax applied along the final dimension, computed
+// with the usual max-subtraction for numerical stability.
+func SoftmaxLastDim(t *Tensor) *Tensor {
+	n := t.Shape[len(t.Shape)-1]
+	rows := t.Numel() / n
+	out := New(t.Shape...)
+	for r := 0; r < rows; r++ {
+		row := t.Data[r*n : (r+1)*n]
+		dst := out.Data[r*n : (r+1)*n]
+		m := row[0]
+		for _, v := range row[1:] {
+			if v > m {
+				m = v
+			}
+		}
+		s := 0.0
+		for i, v := range row {
+			e := math.Exp(v - m)
+			dst[i] = e
+			s += e
+		}
+		inv := 1 / s
+		for i := range dst {
+			dst[i] *= inv
+		}
+	}
+	return out
+}
+
+// SoftmaxBackwardLastDim computes the gradient of a softmax (applied along
+// the last dimension) given the softmax output y and upstream gradient gy:
+// dx_i = y_i * (gy_i - sum_j gy_j y_j).
+func SoftmaxBackwardLastDim(y, gy *Tensor) *Tensor {
+	mustSameShape("SoftmaxBackwardLastDim", y, gy)
+	n := y.Shape[len(y.Shape)-1]
+	rows := y.Numel() / n
+	out := New(y.Shape...)
+	for r := 0; r < rows; r++ {
+		yr := y.Data[r*n : (r+1)*n]
+		gr := gy.Data[r*n : (r+1)*n]
+		dst := out.Data[r*n : (r+1)*n]
+		dot := 0.0
+		for i := range yr {
+			dot += yr[i] * gr[i]
+		}
+		for i := range yr {
+			dst[i] = yr[i] * (gr[i] - dot)
+		}
+	}
+	return out
+}
+
+// Concat joins tensors along the given axis. All inputs must agree on every
+// other dimension.
+func Concat(axis int, ts ...*Tensor) *Tensor {
+	if len(ts) == 0 {
+		panic("tensor: Concat of zero tensors")
+	}
+	first := ts[0]
+	if axis < 0 {
+		axis += len(first.Shape)
+	}
+	if axis < 0 || axis >= len(first.Shape) {
+		panic(fmt.Sprintf("tensor: Concat axis out of range for shape %v", first.Shape))
+	}
+	total := 0
+	for _, t := range ts {
+		if len(t.Shape) != len(first.Shape) {
+			panic("tensor: Concat rank mismatch")
+		}
+		for i := range t.Shape {
+			if i != axis && t.Shape[i] != first.Shape[i] {
+				panic(fmt.Sprintf("tensor: Concat shape mismatch %v vs %v on axis %d", t.Shape, first.Shape, i))
+			}
+		}
+		total += t.Shape[axis]
+	}
+	outShape := append([]int(nil), first.Shape...)
+	outShape[axis] = total
+	out := New(outShape...)
+
+	outer := 1
+	for _, d := range first.Shape[:axis] {
+		outer *= d
+	}
+	inner := 1
+	for _, d := range first.Shape[axis+1:] {
+		inner *= d
+	}
+	outRow := total * inner
+	off := 0
+	for _, t := range ts {
+		rows := t.Shape[axis] * inner
+		for o := 0; o < outer; o++ {
+			copy(out.Data[o*outRow+off:o*outRow+off+rows], t.Data[o*rows:(o+1)*rows])
+		}
+		off += rows
+	}
+	return out
+}
+
+// Split partitions t into parts of the given sizes along axis. The sizes
+// must sum to the axis extent. Each part is a fresh copy.
+func Split(t *Tensor, axis int, sizes []int) []*Tensor {
+	if axis < 0 {
+		axis += len(t.Shape)
+	}
+	if axis < 0 || axis >= len(t.Shape) {
+		panic(fmt.Sprintf("tensor: Split axis out of range for shape %v", t.Shape))
+	}
+	sum := 0
+	for _, s := range sizes {
+		if s < 0 {
+			panic("tensor: Split negative size")
+		}
+		sum += s
+	}
+	if sum != t.Shape[axis] {
+		panic(fmt.Sprintf("tensor: Split sizes %v do not sum to axis extent %d", sizes, t.Shape[axis]))
+	}
+	outer := 1
+	for _, d := range t.Shape[:axis] {
+		outer *= d
+	}
+	inner := 1
+	for _, d := range t.Shape[axis+1:] {
+		inner *= d
+	}
+	srcRow := t.Shape[axis] * inner
+	parts := make([]*Tensor, len(sizes))
+	off := 0
+	for p, s := range sizes {
+		shape := append([]int(nil), t.Shape...)
+		shape[axis] = s
+		part := New(shape...)
+		rows := s * inner
+		for o := 0; o < outer; o++ {
+			copy(part.Data[o*rows:(o+1)*rows], t.Data[o*srcRow+off:o*srcRow+off+rows])
+		}
+		parts[p] = part
+		off += rows
+	}
+	return parts
+}
+
+// SplitEqual partitions t into n equal chunks along axis. The axis extent
+// must be divisible by n.
+func SplitEqual(t *Tensor, axis, n int) []*Tensor {
+	if axis < 0 {
+		axis += len(t.Shape)
+	}
+	if t.Shape[axis]%n != 0 {
+		panic(fmt.Sprintf("tensor: SplitEqual axis extent %d not divisible by %d", t.Shape[axis], n))
+	}
+	sizes := make([]int, n)
+	for i := range sizes {
+		sizes[i] = t.Shape[axis] / n
+	}
+	return Split(t, axis, sizes)
+}
+
+// Stack joins rank-k tensors of identical shape into one rank-(k+1) tensor
+// along a new leading axis.
+func Stack(ts ...*Tensor) *Tensor {
+	if len(ts) == 0 {
+		panic("tensor: Stack of zero tensors")
+	}
+	for _, t := range ts[1:] {
+		if !SameShape(ts[0], t) {
+			panic("tensor: Stack shape mismatch")
+		}
+	}
+	shape := append([]int{len(ts)}, ts[0].Shape...)
+	out := New(shape...)
+	n := ts[0].Numel()
+	for i, t := range ts {
+		copy(out.Data[i*n:(i+1)*n], t.Data)
+	}
+	return out
+}
+
+// SliceAxis returns a copy of the [from, to) range of t along the given
+// axis.
+func SliceAxis(t *Tensor, axis, from, to int) *Tensor {
+	if axis < 0 {
+		axis += len(t.Shape)
+	}
+	if axis < 0 || axis >= len(t.Shape) {
+		panic(fmt.Sprintf("tensor: SliceAxis axis out of range for shape %v", t.Shape))
+	}
+	if from < 0 || to > t.Shape[axis] || from > to {
+		panic(fmt.Sprintf("tensor: SliceAxis bounds [%d,%d) invalid for extent %d", from, to, t.Shape[axis]))
+	}
+	outer := 1
+	for _, d := range t.Shape[:axis] {
+		outer *= d
+	}
+	inner := 1
+	for _, d := range t.Shape[axis+1:] {
+		inner *= d
+	}
+	shape := append([]int(nil), t.Shape...)
+	shape[axis] = to - from
+	out := New(shape...)
+	srcRow := t.Shape[axis] * inner
+	rows := (to - from) * inner
+	for o := 0; o < outer; o++ {
+		copy(out.Data[o*rows:(o+1)*rows], t.Data[o*srcRow+from*inner:o*srcRow+from*inner+rows])
+	}
+	return out
+}
+
+func mustSameShape(op string, a, b *Tensor) {
+	if !SameShape(a, b) {
+		panic(fmt.Sprintf("tensor: %s shape mismatch %v vs %v", op, a.Shape, b.Shape))
+	}
+}

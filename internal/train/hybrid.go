@@ -1,0 +1,121 @@
+package train
+
+import (
+	"fmt"
+
+	"repro/internal/data"
+	"repro/internal/dist"
+	"repro/internal/model"
+	"repro/internal/nn"
+	"repro/internal/optim"
+	"repro/internal/parallel"
+	"repro/internal/tensor"
+)
+
+// Hybrid trains with the paper's Sec. 3.4 composition on the device mesh:
+// every data-parallel replica is a D-CHAG (= TP) group of tp ranks holding a
+// channel shard of its replica's batch shard; gradients are averaged across
+// the DP groups at the end of each backward pass (the single inter-node
+// AllReduce the paper's Sec. 6.3 describes).
+//
+// The returned history holds world-rank-0's view: the DP-mean loss per step,
+// which equals the serial full-batch loss exactly when batch shards are
+// equal — the hybrid trajectory is bit-compatible with
+// model.NewSerialDCHAGEquivalent(arch, tp) trained on the full batch, which
+// the tests assert.
+func Hybrid(arch model.Arch, tp, dp int, tpViT bool, opts Options, batch BatchFn) (History, *dist.Mesh, error) {
+	if tp < 1 || dp < 1 {
+		return History{}, nil, fmt.Errorf("train: invalid hybrid sizes tp=%d dp=%d", tp, dp)
+	}
+	if opts.Batch%dp != 0 {
+		return History{}, nil, fmt.Errorf("train: batch %d not divisible by dp %d", opts.Batch, dp)
+	}
+	spec := dist.MeshSpec{TP: tp, FSDP: 1, DP: dp}
+	// Frontier-shaped placement when the world fills nodes evenly; otherwise
+	// a single "node" wide enough for the whole group (the functional layer
+	// only uses the topology for placement metadata).
+	topo := dist.Topology{Nodes: 1, GPUsPerNode: spec.World()}
+	if spec.World() > 8 && spec.World()%8 == 0 {
+		topo = dist.Frontier(spec.World() / 8)
+	}
+	var hist History
+	mesh, err := dist.RunMesh(spec, topo, func(rank int, m *dist.Mesh) error {
+		tpc := m.TPComm(rank)
+		dpc := m.DPComm(rank)
+		coord := m.Spec.CoordOf(rank)
+
+		mdl := model.NewDistributed(arch, tpc, tpViT)
+		stage := mdl.Stage.(*model.DCHAGStage)
+		lo, hi := stage.ChannelBounds()
+		ddp := parallel.NewDDP(dpc, mdl.Params())
+		opt := optim.NewAdamW(mdl.Params(), opts.LR, opts.WeightDecay)
+		maskRNG := tensor.NewRNG(opts.Seed)
+		mse := nn.NewMSELoss()
+		masked := nn.NewMaskedMSELoss()
+		t := arch.Tokens()
+		accum := opts.accum()
+		sched := opts.schedule()
+		shard := opts.Batch / dp
+
+		for s := 0; s < opts.Steps; s++ {
+			if sched != nil {
+				sched.Apply(opt, s)
+			}
+			nn.ZeroGrads(mdl.Params())
+			stepLoss := 0.0
+			for a := 0; a < accum; a++ {
+				x, y := batch(s*accum + a)
+				// This replica's batch rows, then this rank's channels.
+				xDP := tensor.SliceAxis(x, 0, coord.DP*shard, (coord.DP+1)*shard)
+				yDP := tensor.SliceAxis(y, 0, coord.DP*shard, (coord.DP+1)*shard)
+				xShard := tensor.SliceAxis(xDP, 1, lo, hi)
+				target := model.Patchify(yDP, arch.Patch)
+				var grad *tensor.Tensor
+				tpc.SetPhase("forward")
+				if opts.MaskRatio > 0 {
+					// Draw the full-batch mask so every replica consumes the
+					// same stream as the serial run, then keep this
+					// replica's rows.
+					full := data.RandomMask(maskRNG, x.Shape[0], t, opts.MaskRatio)
+					mask := tensor.SliceAxis(full, 0, coord.DP*shard, (coord.DP+1)*shard)
+					pred := mdl.Forward(xShard, mask)
+					stepLoss += masked.Forward(pred, target, mask)
+					grad = masked.Backward()
+				} else {
+					pred := mdl.Forward(xShard, nil)
+					stepLoss += mse.Forward(pred, target)
+					grad = mse.Backward()
+				}
+				tpc.SetPhase("backward")
+				mdl.Backward(grad)
+			}
+			if accum > 1 {
+				for _, p := range mdl.Params() {
+					tensor.ScaleInPlace(p.Grad, 1/float64(accum))
+				}
+			}
+			// The one cross-replica synchronization point (paper Sec. 6.3).
+			dpc.SetPhase("dp-sync")
+			ddp.SyncGradients()
+			if opts.ClipNorm > 0 {
+				tpc.SetPhase("optim")
+				local, repl := mdl.PartitionParams()
+				DistributedClipGradNorm(tpc, local, repl, opts.ClipNorm)
+			}
+			opt.Step()
+			if rank == 0 {
+				dpc.SetPhase("metrics")
+				meanLoss := dpc.AllReduceScalarSum(stepLoss/float64(accum)) / float64(dp)
+				hist.Loss = append(hist.Loss, meanLoss)
+			} else {
+				dpc.SetPhase("metrics")
+				dpc.AllReduceScalarSum(stepLoss / float64(accum))
+			}
+		}
+		return nil
+	})
+	if err != nil {
+		return History{}, mesh, fmt.Errorf("train: hybrid run failed: %w", err)
+	}
+	return hist, mesh, nil
+}

@@ -1,0 +1,245 @@
+// Package train provides the training loops of the paper's evaluation
+// section: serial baselines on one (simulated) GPU and D-CHAG runs over a
+// group of simulated ranks, with identical hyperparameters, shared masks and
+// batches, and loss/RMSE tracking. It is the machinery behind the Fig. 11
+// (hyperspectral MAE) and Fig. 12 (weather forecasting) reproductions.
+package train
+
+import (
+	"fmt"
+	"math"
+
+	"repro/internal/comm"
+	"repro/internal/data"
+	"repro/internal/model"
+	"repro/internal/nn"
+	"repro/internal/optim"
+	"repro/internal/tensor"
+)
+
+// Options configures a training run.
+type Options struct {
+	// Steps is the number of optimizer steps.
+	Steps int
+	// Batch is the global batch size.
+	Batch int
+	// LR is the AdamW learning rate; WeightDecay its decoupled decay.
+	LR, WeightDecay float64
+	// ClipNorm caps the global gradient norm (0 disables).
+	ClipNorm float64
+	// MaskRatio enables the MAE objective when > 0; otherwise the run is an
+	// image-to-image forecast.
+	MaskRatio float64
+	// AccumSteps accumulates gradients over this many micro-batches per
+	// optimizer step (values < 2 disable accumulation). Batch index passed
+	// to BatchFn is step*AccumSteps + microStep.
+	AccumSteps int
+	// Warmup enables a linear-warmup + cosine-decay LR schedule over Steps
+	// when positive (Warmup = warmup step count); LR is then the peak rate.
+	Warmup int
+	// Seed drives masking; data order is the caller's responsibility.
+	Seed int64
+}
+
+// accum normalizes AccumSteps.
+func (o Options) accum() int {
+	if o.AccumSteps < 1 {
+		return 1
+	}
+	return o.AccumSteps
+}
+
+// schedule returns the run's LR schedule, or nil when Warmup is disabled.
+func (o Options) schedule() *optim.CosineSchedule {
+	if o.Warmup <= 0 {
+		return nil
+	}
+	return &optim.CosineSchedule{
+		BaseLR: o.LR, MinLR: o.LR / 10,
+		WarmupSteps: o.Warmup, TotalSteps: o.Steps,
+	}
+}
+
+// BatchFn materializes the global (input, target) batch for a step. For MAE
+// target may equal input; for forecasting it is the future snapshot.
+type BatchFn func(step int) (x, y *tensor.Tensor)
+
+// History records per-step training metrics.
+type History struct {
+	Loss []float64
+}
+
+// Last returns the final loss.
+func (h History) Last() float64 {
+	if len(h.Loss) == 0 {
+		return 0
+	}
+	return h.Loss[len(h.Loss)-1]
+}
+
+// Serial trains a single-process model, returning the loss history. The
+// same mask stream (Options.Seed) is used by Distributed so the two runs are
+// comparable step for step, the comparison both Figs. 11 and 12 make.
+func Serial(m *model.FoundationModel, opts Options, batch BatchFn) History {
+	var hist History
+	opt := optim.NewAdamW(m.Params(), opts.LR, opts.WeightDecay)
+	maskRNG := tensor.NewRNG(opts.Seed)
+	mse := nn.NewMSELoss()
+	masked := nn.NewMaskedMSELoss()
+	t := m.Arch.Tokens()
+	accum := opts.accum()
+	sched := opts.schedule()
+	for s := 0; s < opts.Steps; s++ {
+		if sched != nil {
+			sched.Apply(opt, s)
+		}
+		nn.ZeroGrads(m.Params())
+		stepLoss := 0.0
+		for a := 0; a < accum; a++ {
+			x, y := batch(s*accum + a)
+			target := model.Patchify(y, m.Arch.Patch)
+			var grad *tensor.Tensor
+			if opts.MaskRatio > 0 {
+				mask := data.RandomMask(maskRNG, x.Shape[0], t, opts.MaskRatio)
+				pred := m.Forward(x, mask)
+				stepLoss += masked.Forward(pred, target, mask)
+				grad = masked.Backward()
+			} else {
+				pred := m.Forward(x, nil)
+				stepLoss += mse.Forward(pred, target)
+				grad = mse.Backward()
+			}
+			m.Backward(grad)
+		}
+		if accum > 1 {
+			for _, p := range m.Params() {
+				tensor.ScaleInPlace(p.Grad, 1/float64(accum))
+			}
+		}
+		if opts.ClipNorm > 0 {
+			optim.ClipGradNorm(m.Params(), opts.ClipNorm)
+		}
+		opt.Step()
+		hist.Loss = append(hist.Loss, stepLoss/float64(accum))
+	}
+	return hist
+}
+
+// Distributed trains a D-CHAG model over p simulated ranks and returns rank
+// 0's loss history plus the comm group (for traffic inspection). Every rank
+// sees the full spatial batch but only its channel shard, exactly the
+// paper's D-CHAG data layout; masks are drawn from the same stream as
+// Serial.
+func Distributed(arch model.Arch, p int, tpViT bool, opts Options, batch BatchFn) (History, *comm.Group, error) {
+	var hist History
+	g, err := comm.Run(p, func(c *comm.Communicator) error {
+		m := model.NewDistributed(arch, c, tpViT)
+		stage := m.Stage.(*model.DCHAGStage)
+		lo, hi := stage.ChannelBounds()
+		opt := optim.NewAdamW(m.Params(), opts.LR, opts.WeightDecay)
+		maskRNG := tensor.NewRNG(opts.Seed)
+		mse := nn.NewMSELoss()
+		masked := nn.NewMaskedMSELoss()
+		t := arch.Tokens()
+		accum := opts.accum()
+		sched := opts.schedule()
+		for s := 0; s < opts.Steps; s++ {
+			if sched != nil {
+				sched.Apply(opt, s)
+			}
+			nn.ZeroGrads(m.Params())
+			stepLoss := 0.0
+			for a := 0; a < accum; a++ {
+				x, y := batch(s*accum + a)
+				xShard := tensor.SliceAxis(x, 1, lo, hi)
+				target := model.Patchify(y, arch.Patch)
+				var grad *tensor.Tensor
+				c.SetPhase("forward")
+				if opts.MaskRatio > 0 {
+					mask := data.RandomMask(maskRNG, x.Shape[0], t, opts.MaskRatio)
+					pred := m.Forward(xShard, mask)
+					stepLoss += masked.Forward(pred, target, mask)
+					grad = masked.Backward()
+				} else {
+					pred := m.Forward(xShard, nil)
+					stepLoss += mse.Forward(pred, target)
+					grad = mse.Backward()
+				}
+				c.SetPhase("backward")
+				m.Backward(grad)
+			}
+			if accum > 1 {
+				for _, p := range m.Params() {
+					tensor.ScaleInPlace(p.Grad, 1/float64(accum))
+				}
+			}
+			if opts.ClipNorm > 0 {
+				c.SetPhase("optim")
+				local, repl := m.PartitionParams()
+				DistributedClipGradNorm(c, local, repl, opts.ClipNorm)
+			}
+			opt.Step()
+			if c.Rank() == 0 {
+				hist.Loss = append(hist.Loss, stepLoss/float64(accum))
+			}
+		}
+		return nil
+	})
+	if err != nil {
+		return History{}, g, fmt.Errorf("train: distributed run failed: %w", err)
+	}
+	return hist, g, nil
+}
+
+// DistributedClipGradNorm clips gradients to a global L2 norm computed over
+// the whole logical model: local parameter shards are summed across the
+// group (one scalar AllReduce) and replicated parameters — whose gradients
+// are identical on every rank — are counted once. With the same maxNorm this
+// reproduces the serial optim.ClipGradNorm trajectory. Returns the pre-clip
+// global norm.
+func DistributedClipGradNorm(c *comm.Communicator, local, replicated []*nn.Param, maxNorm float64) float64 {
+	sumSq := func(ps []*nn.Param) float64 {
+		s := 0.0
+		for _, p := range ps {
+			for _, g := range p.Grad.Data {
+				s += g * g
+			}
+		}
+		return s
+	}
+	total := c.AllReduceScalarSum(sumSq(local)) + sumSq(replicated)
+	norm := math.Sqrt(total)
+	if norm > maxNorm && norm > 0 {
+		scale := maxNorm / norm
+		for _, ps := range [][]*nn.Param{local, replicated} {
+			for _, p := range ps {
+				for j := range p.Grad.Data {
+					p.Grad.Data[j] *= scale
+				}
+			}
+		}
+	}
+	return norm
+}
+
+// EvalForecastRMSE evaluates a forecast model on held-out (x, y) pairs and
+// returns the latitude-weighted RMSE per requested channel index (Z500,
+// T850, U10 in the paper's Fig. 12). The model must see the channel shard
+// matching its stage; pass the full batch for a serial model.
+func EvalForecastRMSE(m *model.FoundationModel, xs, ys []*tensor.Tensor, channels []int) map[int]float64 {
+	sums := make(map[int]float64, len(channels))
+	for i := range xs {
+		pred := m.PredictImage(xs[i])
+		for _, ch := range channels {
+			p := tensor.SliceAxis(pred, 1, ch, ch+1)
+			y := tensor.SliceAxis(ys[i], 1, ch, ch+1)
+			b, h, w := p.Shape[0], p.Shape[2], p.Shape[3]
+			sums[ch] += nn.LatWeightedRMSE(p.Reshape(b, h, w), y.Reshape(b, h, w))
+		}
+	}
+	out := make(map[int]float64, len(channels))
+	for _, ch := range channels {
+		out[ch] = sums[ch] / float64(len(xs))
+	}
+	return out
+}
