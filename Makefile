@@ -1,0 +1,24 @@
+GO ?= go
+
+.PHONY: verify fmt-check vet build test fmt
+
+# verify is the tier-1 gate: formatting, vet, full build, full test run.
+verify: fmt-check vet build test
+
+fmt-check:
+	@unformatted=$$(gofmt -l .); \
+	if [ -n "$$unformatted" ]; then \
+		echo "gofmt needed on:"; echo "$$unformatted"; exit 1; \
+	fi
+
+fmt:
+	gofmt -w .
+
+vet:
+	$(GO) vet ./...
+
+build:
+	$(GO) build ./...
+
+test:
+	$(GO) test ./...

@@ -14,6 +14,7 @@
 package comm
 
 import (
+	"errors"
 	"fmt"
 	"sync"
 
@@ -33,6 +34,7 @@ type Group struct {
 	slots    []any
 	gathered []any
 	aborted  bool
+	done     chan struct{} // closed on Abort; releases p2p Send/Recv
 
 	p2pMu sync.Mutex
 	p2p   map[pairKey]chan *tensor.Tensor
@@ -46,7 +48,7 @@ func NewGroup(size int) *Group {
 	if size <= 0 {
 		panic(fmt.Sprintf("comm: group size %d must be positive", size))
 	}
-	g := &Group{size: size, slots: make([]any, size), traffic: NewTraffic()}
+	g := &Group{size: size, slots: make([]any, size), traffic: NewTraffic(), done: make(chan struct{})}
 	g.cond = sync.NewCond(&g.mu)
 	return g
 }
@@ -65,18 +67,60 @@ func (g *Group) Comm(rank int) *Communicator {
 	return &Communicator{group: g, rank: rank, phaseLabel: "default"}
 }
 
-// Abort releases every rank blocked in a collective; they panic with
-// ErrAborted. Used when one rank fails so the others do not hang.
+// Abort releases every rank blocked in a collective or a point-to-point
+// Send/Recv; they panic with ErrAborted. Used when one rank fails so the
+// others do not hang. Abort is idempotent and safe to call from any
+// goroutine.
 func (g *Group) Abort() {
 	g.mu.Lock()
-	g.aborted = true
+	if !g.aborted {
+		g.aborted = true
+		close(g.done)
+	}
 	g.cond.Broadcast()
 	g.mu.Unlock()
+}
+
+// Aborted reports whether the group has been aborted.
+func (g *Group) Aborted() bool {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	return g.aborted
 }
 
 // ErrAborted is the panic value raised in ranks blocked on a collective when
 // the group is aborted.
 var ErrAborted = fmt.Errorf("comm: group aborted")
+
+// RankPanicError converts a value recovered from a rank goroutine's panic
+// into that rank's error: ErrAborted releases are wrapped so errors.Is
+// identifies them as cascades; anything else is reported as a panic. Shared
+// by Run and dist.RunMesh so both classify failures identically.
+func RankPanicError(scope string, rank int, rec any) error {
+	if err, ok := rec.(error); ok && errors.Is(err, ErrAborted) {
+		return fmt.Errorf("%s: rank %d released from aborted collective: %w", scope, rank, ErrAborted)
+	}
+	return fmt.Errorf("%s: rank %d panicked: %v", scope, rank, rec)
+}
+
+// RootCause picks the error to surface from a per-rank error slice: the
+// first real error in rank order, falling back to the first ErrAborted
+// cascade when no rank produced one, or nil when all succeeded.
+func RootCause(errs []error) error {
+	var abortErr error
+	for _, err := range errs {
+		switch {
+		case err == nil:
+		case errors.Is(err, ErrAborted):
+			if abortErr == nil {
+				abortErr = err
+			}
+		default:
+			return err
+		}
+	}
+	return abortErr
+}
 
 // exchangeTensor deposits a defensive copy of x (nil allowed), so a rank
 // that mutates its buffer immediately after the collective cannot race with
@@ -121,7 +165,10 @@ func (g *Group) exchange(rank int, val any) []any {
 
 // Run spawns fn on every rank of a fresh group and waits for all of them.
 // A panic in any rank aborts the group (so no rank hangs) and is returned as
-// an error. The group is returned for traffic inspection.
+// an error. When one rank's failure cascades — other ranks are released from
+// blocked collectives with ErrAborted — the root cause is returned in
+// preference to the cascade errors. The group is returned for traffic
+// inspection.
 func Run(size int, fn func(c *Communicator) error) (*Group, error) {
 	g := NewGroup(size)
 	errs := make([]error, size)
@@ -132,7 +179,7 @@ func Run(size int, fn func(c *Communicator) error) (*Group, error) {
 			defer wg.Done()
 			defer func() {
 				if rec := recover(); rec != nil {
-					errs[rank] = fmt.Errorf("comm: rank %d panicked: %v", rank, rec)
+					errs[rank] = RankPanicError("comm", rank, rec)
 					g.Abort()
 				}
 			}()
@@ -143,12 +190,7 @@ func Run(size int, fn func(c *Communicator) error) (*Group, error) {
 		}(r)
 	}
 	wg.Wait()
-	for _, err := range errs {
-		if err != nil {
-			return g, err
-		}
-	}
-	return g, nil
+	return g, RootCause(errs)
 }
 
 // Communicator is a single rank's handle on its group. It is not safe for

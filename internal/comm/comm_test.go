@@ -1,10 +1,12 @@
 package comm
 
 import (
+	"errors"
 	"fmt"
 	"strings"
 	"testing"
 	"testing/quick"
+	"time"
 
 	"repro/internal/tensor"
 )
@@ -268,6 +270,75 @@ func TestRunRecoversPanics(t *testing.T) {
 	})
 	if err == nil || !strings.Contains(err.Error(), "exploded") {
 		t.Fatalf("err = %v, want panic text", err)
+	}
+}
+
+func TestRunPrefersRootCauseOverAbortCascade(t *testing.T) {
+	// Rank 0 blocks in a collective and is released by rank 1's failure with
+	// an ErrAborted panic; Run must report rank 1's error, not the cascade.
+	boom := errors.New("root cause")
+	g, err := Run(2, func(c *Communicator) error {
+		if c.Rank() == 1 {
+			return boom
+		}
+		c.Barrier() // released by abort; the ErrAborted panic reaches Run's recover
+		return nil
+	})
+	if !errors.Is(err, boom) {
+		t.Fatalf("err = %v, want %v", err, boom)
+	}
+	if !g.Aborted() {
+		t.Fatal("group should report aborted")
+	}
+}
+
+func TestAbortReleasesBlockedRecv(t *testing.T) {
+	// A rank stranded in a p2p Recv (not a rendezvous collective) must also
+	// be released by the abort, within the timeout.
+	done := make(chan error, 1)
+	go func() {
+		_, err := Run(2, func(c *Communicator) error {
+			if c.Rank() == 0 {
+				return errors.New("sender died")
+			}
+			c.Recv(0) // never satisfied; must panic ErrAborted on abort
+			return nil
+		})
+		done <- err
+	}()
+	select {
+	case err := <-done:
+		if err == nil || !strings.Contains(err.Error(), "sender died") {
+			t.Fatalf("err = %v, want sender's error", err)
+		}
+	case <-time.After(30 * time.Second):
+		t.Fatal("Recv deadlocked after peer failure")
+	}
+}
+
+func TestAbortReleasesBlockedSend(t *testing.T) {
+	// Send blocks once the pair buffer (capacity 4) is full; abort must
+	// release it too.
+	done := make(chan error, 1)
+	go func() {
+		_, err := Run(2, func(c *Communicator) error {
+			if c.Rank() == 1 {
+				return errors.New("receiver died")
+			}
+			for i := 0; i < 16; i++ { // overflows the buffer, then blocks
+				c.Send(1, tensor.Full(1, 1))
+			}
+			return nil
+		})
+		done <- err
+	}()
+	select {
+	case err := <-done:
+		if err == nil || !strings.Contains(err.Error(), "receiver died") {
+			t.Fatalf("err = %v, want receiver's error", err)
+		}
+	case <-time.After(30 * time.Second):
+		t.Fatal("Send deadlocked after peer failure")
 	}
 }
 

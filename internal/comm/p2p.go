@@ -36,21 +36,35 @@ func (g *Group) pairChan(from, to int) chan *tensor.Tensor {
 }
 
 // Send transmits a copy of x to the destination rank. It blocks only when
-// the pair's in-flight buffer is full.
+// the pair's in-flight buffer is full. A group Abort releases a blocked
+// Send with an ErrAborted panic, matching the collectives' behavior.
 func (c *Communicator) Send(to int, x *tensor.Tensor) {
 	if to < 0 || to >= c.Size() || to == c.rank {
 		panic(fmt.Sprintf("comm: Send to invalid rank %d from %d", to, c.rank))
 	}
-	c.record(OpSend, x.Numel())
-	c.group.pairChan(c.rank, to) <- x.Clone()
+	select {
+	case c.group.pairChan(c.rank, to) <- x.Clone():
+		// Recorded only on success so a Send released by Abort does not
+		// count phantom bytes in post-failure traffic inspection.
+		c.record(OpSend, x.Numel())
+	case <-c.group.done:
+		panic(ErrAborted)
+	}
 }
 
 // Recv blocks until a message from the source rank arrives and returns it.
+// A group Abort releases a blocked Recv with an ErrAborted panic, so a
+// failed peer cannot strand this rank on the channel.
 func (c *Communicator) Recv(from int) *tensor.Tensor {
 	if from < 0 || from >= c.Size() || from == c.rank {
 		panic(fmt.Sprintf("comm: Recv from invalid rank %d on %d", from, c.rank))
 	}
-	return <-c.group.pairChan(from, c.rank)
+	select {
+	case t := <-c.group.pairChan(from, c.rank):
+		return t
+	case <-c.group.done:
+		panic(ErrAborted)
+	}
 }
 
 // RingAllReduceSum computes the same result as AllReduceSum with the

@@ -1,0 +1,138 @@
+package dist
+
+import (
+	"fmt"
+	"sync"
+
+	"repro/internal/comm"
+)
+
+// axisGroups holds one axis's comm groups and the per-world-rank wiring
+// into them. All fields are immutable after NewMesh.
+type axisGroups struct {
+	groups  []*comm.Group        // indexed by group id
+	members [][]int              // group id -> world ranks, in axis-coordinate order
+	groupOf []int                // world rank -> group id
+	comms   []*comm.Communicator // world rank -> this rank's communicator in its group
+}
+
+// Mesh is the constructed device mesh: the logical spec, the physical
+// topology, and one comm.Group per (axis, slice) with every world rank's
+// communicator wired in. A single Mesh is shared read-only by all rank
+// goroutines; each rank addresses its own communicators via the *Comm
+// accessors.
+type Mesh struct {
+	Spec MeshSpec
+	Topo Topology
+	axes [numAxes]axisGroups
+}
+
+// NewMesh validates the spec against the topology and builds the per-axis
+// groups. Most callers use RunMesh, which also drives the rank goroutines.
+func NewMesh(spec MeshSpec, topo Topology) (*Mesh, error) {
+	if err := spec.Validate(); err != nil {
+		return nil, err
+	}
+	if err := topo.Validate(); err != nil {
+		return nil, err
+	}
+	if spec.World() > topo.GCDs() {
+		return nil, fmt.Errorf("dist: world size %d exceeds topology capacity %d (%d nodes x %d GCDs)",
+			spec.World(), topo.GCDs(), topo.Nodes, topo.GPUsPerNode)
+	}
+	m := &Mesh{Spec: spec, Topo: topo}
+	world := spec.World()
+	for a := Axis(0); a < numAxes; a++ {
+		extent := spec.extent(a)
+		nGroups := world / extent
+		ag := axisGroups{
+			groups:  make([]*comm.Group, nGroups),
+			members: make([][]int, nGroups),
+			groupOf: make([]int, world),
+			comms:   make([]*comm.Communicator, world),
+		}
+		for gid := range ag.groups {
+			ag.groups[gid] = comm.NewGroup(extent)
+			ag.members[gid] = make([]int, extent)
+		}
+		for r := 0; r < world; r++ {
+			c := spec.CoordOf(r)
+			gid := spec.groupKeyOf(a, c)
+			pos := c.axisOf(a)
+			ag.groupOf[r] = gid
+			ag.members[gid][pos] = r
+			ag.comms[r] = ag.groups[gid].Comm(pos)
+		}
+		m.axes[a] = ag
+	}
+	return m, nil
+}
+
+// World returns the mesh's total rank count.
+func (m *Mesh) World() int { return m.Spec.World() }
+
+// Comm returns the world rank's communicator within its group along the
+// given axis. The communicator's Rank() is the rank's coordinate along that
+// axis, not the world rank.
+func (m *Mesh) Comm(a Axis, rank int) *comm.Communicator {
+	if rank < 0 || rank >= m.World() {
+		panic(fmt.Sprintf("dist: rank %d out of range [0,%d)", rank, m.World()))
+	}
+	return m.axes[a].comms[rank]
+}
+
+// TPComm returns the world rank's tensor-parallel (D-CHAG) communicator.
+func (m *Mesh) TPComm(rank int) *comm.Communicator { return m.Comm(AxisTP, rank) }
+
+// FSDPComm returns the world rank's FSDP communicator.
+func (m *Mesh) FSDPComm(rank int) *comm.Communicator { return m.Comm(AxisFSDP, rank) }
+
+// DPComm returns the world rank's data-parallel communicator.
+func (m *Mesh) DPComm(rank int) *comm.Communicator { return m.Comm(AxisDP, rank) }
+
+// abortAll releases every rank blocked in any collective of any group of
+// the mesh, so one rank's failure cannot deadlock survivors that are
+// rendezvousing on a different axis.
+func (m *Mesh) abortAll() {
+	for a := range m.axes {
+		for _, g := range m.axes[a].groups {
+			g.Abort()
+		}
+	}
+}
+
+// RunMesh builds the mesh and runs fn once per world rank, each on its own
+// goroutine, then waits for all of them. When any rank's fn returns an
+// error or panics, every group of the mesh is aborted so ranks blocked in
+// collectives are released (they observe comm.ErrAborted) instead of
+// hanging at the rendezvous. The returned error is the root cause — a
+// rank's own error or panic — in preference to the ErrAborted cascades it
+// triggers in other ranks. The mesh is returned even on error so callers
+// can inspect traffic ledgers.
+func RunMesh(spec MeshSpec, topo Topology, fn func(rank int, m *Mesh) error) (*Mesh, error) {
+	m, err := NewMesh(spec, topo)
+	if err != nil {
+		return nil, err
+	}
+	world := spec.World()
+	errs := make([]error, world)
+	var wg sync.WaitGroup
+	for r := 0; r < world; r++ {
+		wg.Add(1)
+		go func(rank int) {
+			defer wg.Done()
+			defer func() {
+				if rec := recover(); rec != nil {
+					errs[rank] = comm.RankPanicError("dist", rank, rec)
+					m.abortAll()
+				}
+			}()
+			if err := fn(rank, m); err != nil {
+				errs[rank] = fmt.Errorf("dist: rank %d: %w", rank, err)
+				m.abortAll()
+			}
+		}(r)
+	}
+	wg.Wait()
+	return m, comm.RootCause(errs)
+}

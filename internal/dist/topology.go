@@ -1,0 +1,38 @@
+package dist
+
+import "fmt"
+
+// Topology is the physical placement model: a cluster of identical nodes,
+// each hosting GPUsPerNode GCDs. World rank r occupies GCD r in dense
+// order, so node boundaries fall every GPUsPerNode ranks.
+type Topology struct {
+	Nodes       int
+	GPUsPerNode int
+}
+
+// Frontier returns the placement of the paper's evaluation machine: the
+// given number of nodes with 8 GCDs each (4 MI250X, 2 GCDs per module).
+func Frontier(nodes int) Topology {
+	return Topology{Nodes: nodes, GPUsPerNode: 8}
+}
+
+// Validate reports whether the topology has at least one node and one GCD
+// per node.
+func (t Topology) Validate() error {
+	if t.Nodes < 1 || t.GPUsPerNode < 1 {
+		return fmt.Errorf("dist: invalid topology Nodes=%d GPUsPerNode=%d", t.Nodes, t.GPUsPerNode)
+	}
+	return nil
+}
+
+// GCDs returns the total device count of the topology.
+func (t Topology) GCDs() int { return t.Nodes * t.GPUsPerNode }
+
+// NodeOf returns the node hosting the given world rank. It panics when the
+// rank does not fit the topology.
+func (t Topology) NodeOf(rank int) int {
+	if rank < 0 || rank >= t.GCDs() {
+		panic(fmt.Sprintf("dist: rank %d outside topology of %d GCDs", rank, t.GCDs()))
+	}
+	return rank / t.GPUsPerNode
+}

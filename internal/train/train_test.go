@@ -2,7 +2,9 @@ package train
 
 import (
 	"math"
+	"strings"
 	"testing"
+	"time"
 
 	"repro/internal/core"
 	"repro/internal/data"
@@ -282,6 +284,72 @@ func TestHybridValidation(t *testing.T) {
 	}
 	if _, _, err := Hybrid(a, 2, 3, false, Options{Steps: 1, Batch: 2}, batch); err == nil {
 		t.Fatal("want error for batch not divisible by dp")
+	}
+}
+
+func TestHybridFrontierPlacementTraffic(t *testing.T) {
+	// The paper's placement claim end to end: on a 16-GCD world (2 Frontier
+	// nodes) the D-CHAG/TP collectives stay inside a node, and the only
+	// inter-node traffic is the DP axis — the per-step gradient AllReduce
+	// (plus the loss-metric scalar), never forward or backward activations.
+	const tp, dp = 2, 8
+	a := tinyArch(4)
+	opts := Options{Steps: 2, Batch: 8, LR: 1e-2, Seed: 61}
+	batch := fixedBatches(t, 4, opts.Steps, opts.Batch)
+	_, mesh, err := Hybrid(a, tp, dp, false, opts, batch)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if mesh.Topo != dist.Frontier(2) {
+		t.Fatalf("topology = %+v, want Frontier(2)", mesh.Topo)
+	}
+	if b := mesh.InterNodeBytes(dist.AxisTP); b != 0 {
+		t.Fatalf("TP moved %d inter-node bytes, want 0", b)
+	}
+	if b := mesh.AxisBytes(dist.AxisTP); b == 0 {
+		t.Fatal("TP moved no bytes at all; test is vacuous")
+	}
+	if b := mesh.InterNodeBytes(dist.AxisDP); b == 0 {
+		t.Fatal("DP gradient sync moved no inter-node bytes")
+	}
+	for gid := 0; gid < mesh.GroupCount(dist.AxisDP); gid++ {
+		tr := mesh.GroupTraffic(dist.AxisDP, gid)
+		for _, phase := range []string{"forward", "backward"} {
+			if b := tr.BytesInPhase(phase); b != 0 {
+				t.Fatalf("DP group %d moved %d bytes in %s phase", gid, b, phase)
+			}
+		}
+		if tr.CallsInPhase("dp-sync") == 0 {
+			t.Fatalf("DP group %d recorded no gradient sync", gid)
+		}
+	}
+}
+
+func TestHybridRankFailureSurfacesError(t *testing.T) {
+	// A batch too short for the high replica's shard makes only the DP=1
+	// ranks panic mid-step while DP=0's ranks run ahead into their
+	// collectives; the mesh abort must release them and Hybrid must return
+	// the root-cause error instead of deadlocking.
+	const tp, dp = 2, 2
+	a := tinyArch(4)
+	opts := Options{Steps: 2, Batch: 4, LR: 1e-2, Seed: 62}
+	good := fixedBatches(t, 4, opts.Steps, opts.Batch)
+	short := func(s int) (*tensor.Tensor, *tensor.Tensor) {
+		x, y := good(s)
+		return tensor.SliceAxis(x, 0, 0, 2), tensor.SliceAxis(y, 0, 0, 2)
+	}
+	done := make(chan error, 1)
+	go func() {
+		_, _, err := Hybrid(a, tp, dp, false, opts, short)
+		done <- err
+	}()
+	select {
+	case err := <-done:
+		if err == nil || !strings.Contains(err.Error(), "SliceAxis") {
+			t.Fatalf("err = %v, want the slicing panic as root cause", err)
+		}
+	case <-time.After(30 * time.Second):
+		t.Fatal("Hybrid deadlocked after partial rank failure")
 	}
 }
 
