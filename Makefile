@@ -1,9 +1,22 @@
 GO ?= go
 
-.PHONY: verify fmt-check vet build test fmt
+.PHONY: verify fmt-check vet build test fmt bench race
 
 # verify is the tier-1 gate: formatting, vet, full build, full test run.
 verify: fmt-check vet build test
+
+# bench runs every benchmark once, writes the topology-aware sweep as the
+# BENCH_sweep.json artifact, and re-parses the artifact through the tier-1
+# schema test — identical to the CI bench job.
+bench:
+	$(GO) test -bench=. -benchtime=1x -run='^$$' ./...
+	$(GO) run ./cmd/dchag-bench -json BENCH_sweep.json
+	BENCH_SWEEP_JSON=BENCH_sweep.json $(GO) test -run TestSweepJSONArtifact .
+
+# race exercises the rendezvous/abort-heavy packages under the race
+# detector — identical to the CI race job.
+race:
+	$(GO) test -race ./internal/comm/... ./internal/dist/... ./internal/train/...
 
 fmt-check:
 	@unformatted=$$(gofmt -l .); \

@@ -1,0 +1,99 @@
+package repro
+
+import (
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"repro/internal/experiments"
+)
+
+// TestSweepJSONArtifact validates the machine-readable sweep output that
+// `dchag-bench -json` emits and CI uploads as the BENCH_sweep.json
+// artifact. By default it round-trips a freshly generated report; when
+// BENCH_SWEEP_JSON names an existing artifact (as the CI bench job does),
+// it validates that file instead, so a malformed artifact fails tier-1.
+func TestSweepJSONArtifact(t *testing.T) {
+	path := os.Getenv("BENCH_SWEEP_JSON")
+	if path == "" {
+		rep := experiments.RunSweep([]int{8, 512})
+		data, err := json.MarshalIndent(rep, "", "  ")
+		if err != nil {
+			t.Fatalf("encoding sweep report: %v", err)
+		}
+		path = filepath.Join(t.TempDir(), "BENCH_sweep.json")
+		if err := os.WriteFile(path, data, 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	raw, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatalf("reading artifact: %v", err)
+	}
+
+	// The artifact must decode into the typed report...
+	var rep experiments.SweepReport
+	if err := json.Unmarshal(raw, &rep); err != nil {
+		t.Fatalf("artifact is not a sweep report: %v", err)
+	}
+	if rep.Schema != experiments.SweepSchema {
+		t.Fatalf("artifact schema %q, want %q", rep.Schema, experiments.SweepSchema)
+	}
+	if len(rep.Points) == 0 || len(rep.Cliff) == 0 {
+		t.Fatal("artifact must carry sweep points and a cliff series")
+	}
+
+	// ...and expose the schema-contract keys to generic tooling that diffs
+	// perf trajectories without importing this module.
+	var generic map[string]any
+	if err := json.Unmarshal(raw, &generic); err != nil {
+		t.Fatalf("artifact is not a JSON object: %v", err)
+	}
+	for _, key := range []string{"schema", "model", "channels", "gpus_per_node", "scales", "cliff_gcds", "points", "cliff"} {
+		if _, ok := generic[key]; !ok {
+			t.Fatalf("artifact missing top-level key %q", key)
+		}
+	}
+	points, ok := generic["points"].([]any)
+	if !ok || len(points) == 0 {
+		t.Fatal("artifact points must be a non-empty array")
+	}
+	point, ok := points[0].(map[string]any)
+	if !ok {
+		t.Fatal("sweep point must be an object")
+	}
+	for _, key := range []string{"gcds", "nodes", "method", "tp", "fsdp", "dp", "tp_intra_node",
+		"micro_batch", "fits", "mem_bytes_per_gpu", "step_seconds", "compute_seconds",
+		"comm_seconds", "tflops_per_sec", "tflops_per_sec_per_node", "best"} {
+		if _, ok := point[key]; !ok {
+			t.Fatalf("sweep point missing key %q", key)
+		}
+	}
+	comm, ok := point["comm_seconds"].(map[string]any)
+	if !ok {
+		t.Fatal("comm_seconds must be an object")
+	}
+	for _, key := range []string{"tp_seconds", "fsdp_seconds", "dp_seconds", "total_seconds"} {
+		if _, ok := comm[key]; !ok {
+			t.Fatalf("comm breakdown missing key %q", key)
+		}
+	}
+
+	// Whatever produced the artifact, the paper's qualitative claim must
+	// hold at the largest scale: the best shape keeps TP within the node.
+	maxScale := 0
+	for _, s := range rep.Scales {
+		if s > maxScale {
+			maxScale = s
+		}
+	}
+	best, ok := rep.BestAt(maxScale)
+	if !ok {
+		t.Fatalf("artifact has no best point at %d GCDs", maxScale)
+	}
+	if best.TP > rep.GPUsPerNode || !best.TPIntraNode {
+		t.Fatalf("best shape at %d GCDs must keep TP node-local, got TP=%d", maxScale, best.TP)
+	}
+}

@@ -45,6 +45,7 @@ func BenchmarkFig13ModelScale(b *testing.B)  { benchFig(b, "fig13") }
 func BenchmarkFig14LargeModel(b *testing.B)  { benchFig(b, "fig14") }
 func BenchmarkFig15Hybrid(b *testing.B)      { benchFig(b, "fig15") }
 func BenchmarkFig16BatchScale(b *testing.B)  { benchFig(b, "fig16") }
+func BenchmarkSweepStepTime(b *testing.B)    { benchFig(b, "sweep") }
 
 // Micro-benchmarks of the substrates the figures run on.
 

@@ -1,0 +1,60 @@
+// Command dchag-bench regenerates the paper's evaluation figures as text
+// tables and emits the topology-aware sweep as machine-readable JSON.
+//
+// Usage:
+//
+//	dchag-bench                 # run every experiment
+//	dchag-bench -fig fig09      # run one figure
+//	dchag-bench -fig sweep      # the 8-512 GCD step-time sweep
+//	dchag-bench -list           # list available experiments
+//	dchag-bench -json out.json  # write the sweep report as JSON (no tables)
+//
+// Figures 6-9 and 13-16 and the sweep are analytic (internal/perfmodel on
+// the Frontier machine model); figures 11 and 12 train real reduced-scale
+// models on the simulated rank substrate and take a few seconds each.
+//
+// # JSON schema (dchag-bench/sweep/v1)
+//
+// The -json flag writes one experiments.SweepReport object. The schema is a
+// stable contract for perf-trajectory tooling (CI uploads the file as the
+// BENCH_sweep.json artifact; future PRs diff these mechanically):
+//
+//	{
+//	  "schema": "dchag-bench/sweep/v1",   // bump on breaking change
+//	  "model": "7B",                      // perfmodel shape of the sweep
+//	  "channels": 500,                    // workload channel count
+//	  "gpus_per_node": 8,                 // Frontier node width
+//	  "scales": [8, 16, ..., 512],        // GCD counts swept
+//	  "cliff_gcds": 512,                  // scale of the cliff series
+//	  "points": [                         // full TP×FSDP×DP grid
+//	    {
+//	      "gcds": 512, "nodes": 64,
+//	      "method": "D-CHAG", "tp": 4, "fsdp": 2, "dp": 64,
+//	      "tp_intra_node": true,          // TP rings stay on one node
+//	      "micro_batch": 16,              // largest fitting (0 = OOM)
+//	      "fits": true,
+//	      "mem_bytes_per_gpu": 6.1e10,
+//	      "step_seconds": 4.49,           // simulated wall time per step
+//	      "compute_seconds": 3.24,
+//	      "comm_seconds": {               // per-axis breakdown
+//	        "tp_seconds": 0.53, "fsdp_seconds": 0.11,
+//	        "dp_seconds": 0.60, "total_seconds": 1.25
+//	      },
+//	      "tflops_per_sec": 45987.2,
+//	      "tflops_per_sec_per_node": 718.5,
+//	      "best": true                    // top throughput at its scale
+//	    }, ...
+//	  ],
+//	  "cliff": [                          // fixed-batch TP series at
+//	    {                                 // cliff_gcds GCDs
+//	      "tp": 16, "fsdp": 8, "dp": 4, "micro_batch": 4,
+//	      "tp_intra_node": false,
+//	      "step_seconds": 1.26, "compute_seconds": 0.21,
+//	      "comm_seconds": { ... }
+//	    }, ...
+//	  ]
+//	}
+//
+// Additive fields may appear within v1; readers must ignore unknown keys.
+// Field removals or meaning changes bump the schema string.
+package main

@@ -1,18 +1,7 @@
-// Command dchag-bench regenerates the paper's evaluation figures as text
-// tables.
-//
-// Usage:
-//
-//	dchag-bench                 # run every experiment
-//	dchag-bench -fig fig09      # run one figure
-//	dchag-bench -list           # list available experiments
-//
-// Figures 6-9 and 13-16 are analytic (internal/perfmodel on the Frontier
-// machine model); figures 11 and 12 train real reduced-scale models on the
-// simulated rank substrate and take a few seconds each.
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
@@ -24,12 +13,30 @@ func main() {
 	fig := flag.String("fig", "", "experiment id to run (default: all)")
 	list := flag.Bool("list", false, "list available experiments")
 	format := flag.String("format", "text", "output format: text | markdown")
+	jsonPath := flag.String("json", "", "write the sweep report as JSON to this path and exit (see doc.go for the schema)")
 	flag.Parse()
 	render := func(r experiments.Result) string {
 		if *format == "markdown" {
 			return r.Markdown()
 		}
 		return r.String()
+	}
+
+	if *jsonPath != "" {
+		rep := experiments.RunSweep(experiments.DefaultSweepScales())
+		data, err := json.MarshalIndent(rep, "", "  ")
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "dchag-bench: encoding sweep report: %v\n", err)
+			os.Exit(1)
+		}
+		data = append(data, '\n')
+		if err := os.WriteFile(*jsonPath, data, 0o644); err != nil {
+			fmt.Fprintf(os.Stderr, "dchag-bench: %v\n", err)
+			os.Exit(1)
+		}
+		fmt.Printf("wrote %s (%s, %d points, cliff @ %d GCDs)\n",
+			*jsonPath, rep.Schema, len(rep.Points), rep.CliffGCDs)
+		return
 	}
 
 	if *list {

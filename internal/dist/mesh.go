@@ -79,6 +79,13 @@ const (
 	numAxes
 )
 
+// NumAxes is the number of mesh axes, for callers that index per-axis
+// arrays by Axis.
+const NumAxes = int(numAxes)
+
+// Axes lists the mesh axes in rank-layout order.
+var Axes = [NumAxes]Axis{AxisTP, AxisFSDP, AxisDP}
+
 // String returns the axis name.
 func (a Axis) String() string {
 	switch a {

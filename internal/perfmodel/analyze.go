@@ -2,6 +2,7 @@ package perfmodel
 
 import (
 	"repro/internal/core"
+	"repro/internal/dist"
 	"repro/internal/hw"
 )
 
@@ -44,6 +45,9 @@ type Report struct {
 	Work    Workload
 	Strat   Strategy
 	Machine hw.Machine
+	// Topo is the physical placement the communication times were priced
+	// on (ranks packed densely, TP innermost — see internal/dist).
+	Topo dist.Topology
 
 	// ParamsPerGPU[c] is the per-GPU parameter count of component c (before
 	// FSDP sharding of optimizer state).
@@ -61,6 +65,10 @@ type Report struct {
 	// per-step math time (forward+backward).
 	CommSeconds    float64
 	ComputeSeconds float64
+	// AxisCommSeconds splits CommSeconds by mesh axis (indexed by
+	// dist.Axis): TP collectives, FSDP parameter traffic, DP gradient
+	// AllReduce. Each axis is priced on its worst-placed group's ring.
+	AxisCommSeconds [dist.NumAxes]float64
 }
 
 // TotalMemBytes returns the per-GPU memory footprint.
@@ -115,28 +123,29 @@ func (r Report) TFLOPsPerSec() float64 {
 	return r.UsefulFLOPsPerSample() * r.SamplesPerStep() / r.StepSeconds() / 1e12
 }
 
-// TFLOPsPerSecPerNode normalizes throughput per Frontier node (paper
-// Fig. 15).
+// TFLOPsPerSecPerNode normalizes throughput per occupied node of the
+// report's topology (paper Fig. 15). Ranks are packed densely, so a world
+// occupies ceil(world/GPUsPerNode) nodes even when the topology has more.
 func (r Report) TFLOPsPerSecPerNode() float64 {
-	nodes := float64(r.Machine.Nodes(r.Strat.World()))
+	perNode := r.Topo.GPUsPerNode
+	if perNode < 1 {
+		// Zero-value Topo (report not built by AnalyzeOn): fall back to the
+		// machine's node width.
+		perNode = r.Machine.GPUsPerNode
+	}
+	nodes := float64((r.Strat.World() + perNode - 1) / perNode)
 	return r.TFLOPsPerSec() / nodes
 }
 
-// Analyze evaluates the analytic model for one configuration.
+// Analyze evaluates the analytic model for one configuration, placing its
+// world densely on the machine (ceil(world/GPUsPerNode) nodes). Callers
+// with an explicit node count use AnalyzeOn.
 func Analyze(shape ModelShape, wl Workload, strat Strategy, machine hw.Machine, cal Calibration) Report {
-	r := Report{Shape: shape, Work: wl, Strat: strat, Machine: machine}
-	r.ParamsPerGPU = paramsPerGPU(shape, wl, strat)
-	for c := 0; c < int(numComponents); c++ {
-		r.StateBytes[c] = r.ParamsPerGPU[c] * cal.StateBytesPerParam / float64(strat.fsdp())
+	r, err := AnalyzeOn(shape, wl, strat, machine, DefaultTopology(machine, strat.World()), cal)
+	if err != nil {
+		// Unreachable: the default topology always fits the world.
+		panic(err)
 	}
-	r.ActBytes = actBytes(shape, wl, strat, cal)
-	r.FwdFLOPs = fwdFLOPs(shape, wl, strat, cal)
-	var fwd float64
-	for _, f := range r.FwdFLOPs {
-		fwd += f
-	}
-	r.ComputeSeconds = machine.ComputeTime(3 * fwd)
-	r.CommSeconds = commSeconds(shape, wl, strat, machine, cal)
 	return r
 }
 
@@ -283,58 +292,6 @@ func fwdFLOPs(shape ModelShape, wl Workload, strat Strategy, cal Calibration) [n
 	out[CompViT] = (bt*12*e*e + 2*bt*tt*e*2) * float64(shape.Layers) / t
 	out[CompHead] = bt * e * c * pp / t
 	return out
-}
-
-// commSeconds models the per-step communication time of the configuration.
-func commSeconds(shape ModelShape, wl Workload, strat Strategy, machine hw.Machine, cal Calibration) float64 {
-	d := cal.DtypeBytes
-	e := float64(shape.Embed)
-	b := float64(wl.MicroBatch)
-	tt := float64(wl.Tokens())
-	t := strat.tp()
-	total := 0.0
-
-	actBT := int64(d * b * tt * e)
-	if t > 1 {
-		// ViT TP: two AllReduces forward and two backward per layer.
-		total += float64(4*shape.Layers) * machine.AllReduceTime(t, actBT)
-		switch strat.Method {
-		case MethodBaseline:
-			// Row-parallel aggregation output AllReduce: the reduced
-			// representation is one token per spatial location.
-			total += 2 * machine.AllReduceTime(t, actBT)
-		case MethodDistTok:
-			total += 2 * machine.AllReduceTime(t, actBT)
-			// Full channel+spatial AllGather (the Sec. 3.1 overhead).
-			cl := float64(localChannels(wl.Channels, t))
-			total += machine.AllGatherTime(t, int64(d*b*tt*cl*e))
-		case MethodDCHAG:
-			// One token per rank forward, nothing backward (Sec. 3.3).
-			total += machine.AllGatherTime(t, actBT)
-			total += 2 * machine.AllReduceTime(t, actBT) // final layer TP reduce
-		}
-	}
-	// FSDP parameter gathers (fwd + bwd) and gradient reduce-scatter.
-	if f := strat.fsdp(); f > 1 {
-		var params float64
-		for _, p := range paramsPerGPU(shape, wl, strat) {
-			params += p
-		}
-		bytes := int64(params * d)
-		intra := strat.tp()*f <= machine.GPUsPerNode
-		total += 2 * machine.AllGatherTimeAt(f, bytes/int64(f), intra)
-		total += machine.ReduceScatterTimeAt(f, bytes, intra)
-	}
-	// DP gradient AllReduce at the end of the backward pass.
-	if dp := strat.dp(); dp > 1 {
-		var params float64
-		for _, p := range paramsPerGPU(shape, wl, strat) {
-			params += p
-		}
-		intra := strat.tp()*strat.fsdp()*dp <= machine.GPUsPerNode
-		total += machine.AllReduceTimeAt(dp, int64(params*d), intra)
-	}
-	return total
 }
 
 // MaxMicroBatch returns the largest micro-batch that fits memory for the

@@ -1,0 +1,119 @@
+package perfmodel
+
+import (
+	"fmt"
+
+	"repro/internal/dist"
+	"repro/internal/hw"
+)
+
+// The topology-aware step-time simulator: each mesh axis of a strategy is
+// converted into concrete rank placements via the dist→hw bridge, every
+// collective of the training step is priced on its axis's worst placement
+// (groups of one axis run in lockstep, so the slowest group gates the
+// step), and the per-axis times compose with compute into the simulated
+// step time. This is what makes TP=8 vs TP=16 a cliff rather than a slope:
+// the moment a TP group's ring crosses a node boundary, every per-layer
+// AllReduce repriced from Infinity Fabric to the Slingshot share.
+
+// Mesh returns the strategy's TP×FSDP×DP shape as a dist mesh spec.
+func (s Strategy) Mesh() dist.MeshSpec {
+	return dist.MeshSpec{TP: s.tp(), FSDP: s.fsdp(), DP: s.dp()}
+}
+
+// DefaultTopology returns the densest placement of the strategy's world on
+// the machine: world ranks packed onto ceil(world/GPUsPerNode) nodes.
+func DefaultTopology(machine hw.Machine, world int) dist.Topology {
+	return dist.Topology{Nodes: machine.Nodes(world), GPUsPerNode: machine.GPUsPerNode}
+}
+
+// AnalyzeOn evaluates the analytic model for one configuration placed on an
+// explicit topology. It fails when the strategy's world does not fit the
+// topology or the topology is malformed.
+func AnalyzeOn(shape ModelShape, wl Workload, strat Strategy, machine hw.Machine, topo dist.Topology, cal Calibration) (Report, error) {
+	if err := topo.Validate(); err != nil {
+		return Report{}, err
+	}
+	spec := strat.Mesh()
+	if spec.World() > topo.GCDs() {
+		return Report{}, fmt.Errorf("perfmodel: strategy world %d exceeds topology capacity %d (%d nodes x %d GCDs)",
+			spec.World(), topo.GCDs(), topo.Nodes, topo.GPUsPerNode)
+	}
+	r := Report{Shape: shape, Work: wl, Strat: strat, Machine: machine, Topo: topo}
+	r.ParamsPerGPU = paramsPerGPU(shape, wl, strat)
+	for c := 0; c < int(numComponents); c++ {
+		r.StateBytes[c] = r.ParamsPerGPU[c] * cal.StateBytesPerParam / float64(strat.fsdp())
+	}
+	r.ActBytes = actBytes(shape, wl, strat, cal)
+	r.FwdFLOPs = fwdFLOPs(shape, wl, strat, cal)
+	var fwd float64
+	for _, f := range r.FwdFLOPs {
+		fwd += f
+	}
+	r.ComputeSeconds = machine.ComputeTime(3 * fwd)
+	r.AxisCommSeconds = axisCommSeconds(shape, wl, strat, machine, topo, cal)
+	for _, t := range r.AxisCommSeconds {
+		r.CommSeconds += t
+	}
+	return r, nil
+}
+
+// axisCommSeconds prices the per-step collectives of each mesh axis on that
+// axis's worst-placed group.
+func axisCommSeconds(shape ModelShape, wl Workload, strat Strategy, machine hw.Machine, topo dist.Topology, cal Calibration) [dist.NumAxes]float64 {
+	var out [dist.NumAxes]float64
+	spec := strat.Mesh()
+	d := cal.DtypeBytes
+	e := float64(shape.Embed)
+	b := float64(wl.MicroBatch)
+	tt := float64(wl.Tokens())
+	actBT := int64(d * b * tt * e)
+
+	if t := strat.tp(); t > 1 {
+		p := dist.WorstAxisPlacement(spec, topo, dist.AxisTP)
+		tpTime := 0.0
+		// ViT TP: two AllReduces forward and two backward per layer.
+		tpTime += float64(4*shape.Layers) * machine.AllReduceTimeOn(p, actBT)
+		switch strat.Method {
+		case MethodBaseline:
+			// Row-parallel aggregation output AllReduce: the reduced
+			// representation is one token per spatial location.
+			tpTime += 2 * machine.AllReduceTimeOn(p, actBT)
+		case MethodDistTok:
+			tpTime += 2 * machine.AllReduceTimeOn(p, actBT)
+			// Full channel+spatial AllGather (the Sec. 3.1 overhead).
+			cl := float64(localChannels(wl.Channels, t))
+			tpTime += machine.AllGatherTimeOn(p, int64(d*b*tt*cl*e))
+		case MethodDCHAG:
+			// One token per rank forward, nothing backward (Sec. 3.3).
+			tpTime += machine.AllGatherTimeOn(p, actBT)
+			tpTime += 2 * machine.AllReduceTimeOn(p, actBT) // final layer TP reduce
+		}
+		out[dist.AxisTP] = tpTime
+	}
+
+	// FSDP parameter gathers (fwd + bwd) and gradient reduce-scatter.
+	if f := strat.fsdp(); f > 1 {
+		p := dist.WorstAxisPlacement(spec, topo, dist.AxisFSDP)
+		bytes := int64(totalParamsPerGPU(shape, wl, strat) * d)
+		out[dist.AxisFSDP] = 2*machine.AllGatherTimeOn(p, bytes/int64(f)) +
+			machine.ReduceScatterTimeOn(p, bytes)
+	}
+
+	// DP gradient AllReduce at the end of the backward pass.
+	if strat.dp() > 1 {
+		p := dist.WorstAxisPlacement(spec, topo, dist.AxisDP)
+		bytes := int64(totalParamsPerGPU(shape, wl, strat) * d)
+		out[dist.AxisDP] = machine.AllReduceTimeOn(p, bytes)
+	}
+	return out
+}
+
+// totalParamsPerGPU sums the per-component per-GPU parameter counts.
+func totalParamsPerGPU(shape ModelShape, wl Workload, strat Strategy) float64 {
+	var params float64
+	for _, p := range paramsPerGPU(shape, wl, strat) {
+		params += p
+	}
+	return params
+}

@@ -1,0 +1,25 @@
+package train
+
+import (
+	"repro/internal/dist"
+	"repro/internal/hw"
+)
+
+// SimulatedCommSeconds prices the communication a finished mesh run (e.g.
+// Hybrid) actually recorded against the hw machine model: each axis's
+// traffic moves through its groups' placement-determined links — intra-node
+// Infinity Fabric for node-local groups, the per-GCD Slingshot share once a
+// group's ring crosses nodes. It returns the per-axis times (indexed by
+// dist.Axis) and their sum.
+//
+// This is the measured-side counterpart of the analytic simulator in
+// internal/perfmodel: the perfmodel prices the collectives a strategy
+// *should* issue, while this prices the bytes a functional run *did* put on
+// the wire, so tests can hold the two against each other.
+func SimulatedCommSeconds(m *dist.Mesh, machine hw.Machine) (perAxis [dist.NumAxes]float64, total float64) {
+	for _, a := range dist.Axes {
+		perAxis[a] = m.AxisWireSeconds(machine, a)
+		total += perAxis[a]
+	}
+	return perAxis, total
+}

@@ -9,6 +9,7 @@ import (
 	"repro/internal/core"
 	"repro/internal/data"
 	"repro/internal/dist"
+	"repro/internal/hw"
 	"repro/internal/model"
 	"repro/internal/nn"
 	"repro/internal/optim"
@@ -322,6 +323,49 @@ func TestHybridFrontierPlacementTraffic(t *testing.T) {
 		if tr.CallsInPhase("dp-sync") == 0 {
 			t.Fatalf("DP group %d recorded no gradient sync", gid)
 		}
+	}
+}
+
+func TestHybridSimulatedCommSeconds(t *testing.T) {
+	// Pricing a real hybrid run's recorded traffic on the Frontier machine
+	// model: the node-local TP axis must be charged at the Infinity Fabric
+	// rate, the node-striding DP axis at the Slingshot share, and the unused
+	// FSDP axis must be free.
+	const tp, dp = 2, 8
+	machine := hw.Frontier()
+	a := tinyArch(4)
+	opts := Options{Steps: 2, Batch: 8, LR: 1e-2, Seed: 67}
+	batch := fixedBatches(t, 4, opts.Steps, opts.Batch)
+	_, mesh, err := Hybrid(a, tp, dp, false, opts, batch)
+	if err != nil {
+		t.Fatal(err)
+	}
+	perAxis, total := SimulatedCommSeconds(mesh, machine)
+	if perAxis[dist.AxisTP] <= 0 || perAxis[dist.AxisDP] <= 0 {
+		t.Fatalf("active axes must price to positive time: %v", perAxis)
+	}
+	if perAxis[dist.AxisFSDP] != 0 {
+		t.Fatalf("FSDP=1 axis must price to zero, got %v", perAxis[dist.AxisFSDP])
+	}
+	if sum := perAxis[dist.AxisTP] + perAxis[dist.AxisFSDP] + perAxis[dist.AxisDP]; sum != total {
+		t.Fatalf("per-axis times must sum to total: %v vs %v", sum, total)
+	}
+	// Exact link selection: the busiest TP group's per-rank bytes at the
+	// intra-node rate, the busiest DP group's at the inter-node share.
+	worstPerRank := func(a dist.Axis, extent int) int64 {
+		var worst int64
+		for gid := 0; gid < mesh.GroupCount(a); gid++ {
+			if b := mesh.GroupTraffic(a, gid).TotalBytes() / int64(extent); b > worst {
+				worst = b
+			}
+		}
+		return worst
+	}
+	if want := float64(worstPerRank(dist.AxisTP, tp)) / machine.IntraBW; perAxis[dist.AxisTP] != want {
+		t.Fatalf("TP axis priced %v, want intra-node %v", perAxis[dist.AxisTP], want)
+	}
+	if want := float64(worstPerRank(dist.AxisDP, dp)) / machine.InterBWPerGPU; perAxis[dist.AxisDP] != want {
+		t.Fatalf("DP axis priced %v, want inter-node %v", perAxis[dist.AxisDP], want)
 	}
 }
 
