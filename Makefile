@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: verify fmt-check vet build test fmt bench race
+.PHONY: verify fmt-check vet build test fmt bench bench-diff race
 
 # verify is the tier-1 gate: formatting, vet, full build, full test run.
 verify: fmt-check vet build test
@@ -13,10 +13,21 @@ bench:
 	$(GO) run ./cmd/dchag-bench -json BENCH_sweep.json
 	BENCH_SWEEP_JSON=BENCH_sweep.json $(GO) test -run TestSweepJSONArtifact .
 
+# bench-diff regenerates the sweep and diffs it against the committed
+# trajectory point (best-shape changes, >5% step-time regressions) —
+# the mechanical perf gate CI runs before refreshing BENCH_sweep.json.
+bench-diff:
+	$(GO) run ./cmd/dchag-bench -json BENCH_sweep.new.json
+	@status=0; \
+	$(GO) run ./cmd/dchag-bench -diff BENCH_sweep.json BENCH_sweep.new.json || status=$$?; \
+	rm -f BENCH_sweep.new.json; \
+	exit $$status
+
 # race exercises the rendezvous/abort-heavy packages under the race
-# detector — identical to the CI race job.
+# detector — including the checkpoint/resume paths, whose shard writes and
+# barriers run on every rank goroutine — identical to the CI race job.
 race:
-	$(GO) test -race ./internal/comm/... ./internal/dist/... ./internal/train/...
+	$(GO) test -race ./internal/comm/... ./internal/dist/... ./internal/train/... ./internal/ckpt/...
 
 fmt-check:
 	@unformatted=$$(gofmt -l .); \

@@ -8,6 +8,7 @@
 //	dchag-bench -fig sweep      # the 8-512 GCD step-time sweep
 //	dchag-bench -list           # list available experiments
 //	dchag-bench -json out.json  # write the sweep report as JSON (no tables)
+//	dchag-bench -diff old.json new.json   # perf-trajectory gate (below)
 //
 // Figures 6-9 and 13-16 and the sweep are analytic (internal/perfmodel on
 // the Frontier machine model); figures 11 and 12 train real reduced-scale
@@ -57,4 +58,16 @@
 //
 // Additive fields may appear within v1; readers must ignore unknown keys.
 // Field removals or meaning changes bump the schema string.
+//
+// # Report diffing (-diff)
+//
+// `dchag-bench -diff old.json new.json` compares two sweep/v1 reports and
+// exits non-zero when the perf trajectory regressed: the best shape at any
+// scale changed, a configuration's simulated step time regressed beyond
+// -diff-tol (default 5%), a configuration flipped to OOM, or coverage was
+// dropped. Improvements and added configurations pass silently. Exit codes:
+// 0 clean, 1 regressions found, 2 unreadable/incomparable reports. CI runs
+// this (`make bench-diff`) against the committed BENCH_sweep.json before
+// refreshing it, so every perf-affecting commit must either stay inside
+// tolerance or consciously update the committed trajectory point.
 package main

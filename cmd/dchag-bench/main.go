@@ -14,7 +14,36 @@ func main() {
 	list := flag.Bool("list", false, "list available experiments")
 	format := flag.String("format", "text", "output format: text | markdown")
 	jsonPath := flag.String("json", "", "write the sweep report as JSON to this path and exit (see doc.go for the schema)")
+	diff := flag.Bool("diff", false, "compare two sweep reports: dchag-bench -diff old.json new.json; exits 1 on regressions")
+	diffTol := flag.Float64("diff-tol", 0.05, "fractional step-time regression tolerance for -diff (0.05 = 5%)")
 	flag.Parse()
+
+	if *diff {
+		if flag.NArg() != 2 {
+			fmt.Fprintln(os.Stderr, "dchag-bench: -diff needs exactly two report paths: old.json new.json")
+			os.Exit(2)
+		}
+		diffs, err := diffReports(flag.Arg(0), flag.Arg(1), *diffTol)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "dchag-bench: %v\n", err)
+			os.Exit(2)
+		}
+		if len(diffs) > 0 {
+			fmt.Printf("%d regression(s) between %s and %s:\n", len(diffs), flag.Arg(0), flag.Arg(1))
+			for _, d := range diffs {
+				fmt.Printf("  %s\n", d)
+			}
+			os.Exit(1)
+		}
+		fmt.Printf("no regressions between %s and %s (tolerance %.1f%%)\n", flag.Arg(0), flag.Arg(1), 100**diffTol)
+		return
+	}
+	// Only -diff takes positional arguments; anything else is a mistake
+	// (e.g. report paths without -diff).
+	if flag.NArg() != 0 {
+		fmt.Fprintf(os.Stderr, "dchag-bench: unexpected arguments %v\n", flag.Args())
+		os.Exit(2)
+	}
 	render := func(r experiments.Result) string {
 		if *format == "markdown" {
 			return r.Markdown()
@@ -57,4 +86,28 @@ func main() {
 	for _, e := range experiments.All() {
 		fmt.Print(render(e.Run()))
 	}
+}
+
+// diffReports loads two sweep-report files and returns their regressions.
+func diffReports(oldPath, newPath string, tol float64) ([]string, error) {
+	load := func(path string) (experiments.SweepReport, error) {
+		data, err := os.ReadFile(path)
+		if err != nil {
+			return experiments.SweepReport{}, err
+		}
+		var rep experiments.SweepReport
+		if err := json.Unmarshal(data, &rep); err != nil {
+			return experiments.SweepReport{}, fmt.Errorf("decoding %s: %w", path, err)
+		}
+		return rep, nil
+	}
+	oldRep, err := load(oldPath)
+	if err != nil {
+		return nil, err
+	}
+	newRep, err := load(newPath)
+	if err != nil {
+		return nil, err
+	}
+	return experiments.DiffSweep(oldRep, newRep, tol)
 }

@@ -8,6 +8,25 @@
 //	dchag-train -task mae -ranks 2 -kind L -steps 50
 //	dchag-train -task weather -ranks 4 -kind C -tree 2
 //	dchag-train -task mae -ranks 1            # serial baseline
+//
+// Checkpointing (-save / -load / -resume) is shard-aware and reshardable
+// (internal/ckpt): each flag names a checkpoint *directory* holding one
+// shard file per rank plus a manifest. A checkpoint saved at p ranks can be
+// loaded at any rank count dividing its logical partition count — including
+// 1, where the serial Reference equivalent of the partitioned model is
+// built — with bit-identical logical weights:
+//
+//	dchag-train -task mae -ranks 4 -steps 20 -save ckpt/
+//	dchag-train -task mae -ranks 2 -steps 20 -load ckpt/   # reshard 4 -> 2
+//	dchag-train -task mae -ranks 1 -steps 20 -load ckpt/   # reshard -> serial
+//	dchag-train -task mae -ranks 4 -steps 40 -resume ckpt/ # exact resume
+//
+// -load warm-starts the weights only; -resume additionally restores the
+// optimizer moments and step count and fast-forwards the mask RNG stream
+// and LR schedule, so the resumed run is step-for-step identical to an
+// uninterrupted one. -partitions fixes the logical D-CHAG partition count
+// independently of -ranks (it defaults to -ranks; on -load/-resume it
+// always comes from the checkpoint manifest).
 package main
 
 import (
@@ -16,10 +35,10 @@ import (
 	"log"
 	"os"
 
+	"repro/internal/ckpt"
 	"repro/internal/core"
 	"repro/internal/data"
 	"repro/internal/model"
-	"repro/internal/nn"
 	"repro/internal/tensor"
 	"repro/internal/train"
 )
@@ -41,8 +60,11 @@ func main() {
 		depth    = flag.Int("depth", 2, "transformer blocks")
 		tpvit    = flag.Bool("tpvit", false, "also tensor-parallelize the ViT blocks")
 		seed     = flag.Int64("seed", 2024, "master seed")
-		save     = flag.String("save", "", "write final weights to this checkpoint file (serial runs)")
-		load     = flag.String("load", "", "initialize weights from this checkpoint file (serial runs)")
+		save     = flag.String("save", "", "write checkpoints (weights + optimizer state) to this directory")
+		saveEach = flag.Int("save-every", 0, "also checkpoint every N optimizer steps (0: final step only)")
+		load     = flag.String("load", "", "warm-start weights from this checkpoint directory (resharding as needed)")
+		resume   = flag.String("resume", "", "resume exactly from this checkpoint directory (weights, optimizer moments, step)")
+		parts    = flag.Int("partitions", 0, "logical D-CHAG partition count (0: one per rank; -load/-resume read it from the manifest)")
 	)
 	flag.Parse()
 
@@ -96,39 +118,77 @@ func main() {
 		log.Fatalf("unknown -task %q (want mae or weather)", *task)
 	}
 
-	fmt.Printf("task=%s ranks=%d kind=%s tree=%d params(serial)=%d\n",
-		*task, *ranks, kind, *tree, arch.ParamCount())
+	// Wire the checkpoint options. -resume implies checkpoints continue to
+	// accumulate in the resume directory.
+	if *resume != "" {
+		if *load != "" {
+			log.Fatal("-resume and -load are mutually exclusive")
+		}
+		if *save != "" && *save != *resume {
+			log.Fatal("-resume writes checkpoints to the resume directory; drop -save or point it at the same directory")
+		}
+		opts.CheckpointDir = *resume
+		opts.Resume = true
+	} else if *save != "" {
+		opts.CheckpointDir = *save
+	}
+	opts.CheckpointEvery = *saveEach
+	opts.InitFrom = *load
+
+	// The logical partition count: the manifest's when restoring (it is a
+	// model property), -partitions or -ranks otherwise.
+	partitions := *parts
+	stageKind := "dchag"
+	if dir := opts.CheckpointDir; opts.Resume || *load != "" {
+		if *load != "" {
+			dir = *load
+		}
+		man, err := ckpt.ReadManifest(dir)
+		if err != nil {
+			log.Fatal(err)
+		}
+		partitions = man.Partitions
+		if k, ok := man.Meta["stage"]; ok {
+			stageKind = k
+		}
+		fmt.Printf("checkpoint %s: step %d, saved at %d ranks, %d logical partitions\n",
+			dir, man.Step, man.World, partitions)
+	}
+	if partitions == 0 {
+		partitions = *ranks
+	}
+	if *ranks > 1 && partitions%*ranks != 0 {
+		log.Fatalf("partition count %d not divisible by %d ranks", partitions, *ranks)
+	}
+	arch.Partitions = partitions
+
+	fmt.Printf("task=%s ranks=%d kind=%s tree=%d partitions=%d params(serial)=%d\n",
+		*task, *ranks, kind, *tree, partitions, arch.ParamCount())
 
 	if *ranks <= 1 {
-		m := model.NewSerial(arch)
-		if *load != "" {
-			f, err := os.Open(*load)
-			if err != nil {
-				log.Fatal(err)
-			}
-			if err := nn.LoadParams(f, m.Params()); err != nil {
-				log.Fatal(err)
-			}
-			f.Close()
-			fmt.Printf("restored weights from %s\n", *load)
+		// A fresh serial run without -partitions is the plain baseline
+		// stage; anything partitioned (or restored from a partitioned
+		// checkpoint) uses the serial equivalent of the partitioned model —
+		// the same logical state tree as any distributed run.
+		fresh := !opts.Resume && *load == ""
+		var m *model.FoundationModel
+		if stageKind == "serial" || (fresh && *parts <= 1) {
+			m = model.NewSerial(arch)
+		} else {
+			m = model.NewSerialDCHAGEquivalent(arch, partitions)
 		}
-		hist := train.Serial(m, opts, batchFn)
+		hist, err := train.SerialCheckpointed(m, opts, batchFn)
+		if err != nil {
+			log.Fatal(err)
+		}
 		printHistory(hist)
-		if *save != "" {
-			f, err := os.Create(*save)
-			if err != nil {
-				log.Fatal(err)
-			}
-			if err := nn.SaveParams(f, m.Params()); err != nil {
-				log.Fatal(err)
-			}
-			f.Close()
-			fmt.Printf("saved weights to %s\n", *save)
+		if opts.CheckpointDir != "" && len(hist.Loss) > 0 {
+			fmt.Printf("checkpoint written to %s\n", opts.CheckpointDir)
 		}
 		return
 	}
-	if *save != "" || *load != "" {
-		log.Fatal("-save/-load support serial runs (-ranks 1); distributed ranks would each need their own shard file")
+	if stageKind == "serial" {
+		log.Fatal("checkpoint was saved from the plain serial stage; load it with -ranks 1")
 	}
 	if *dp > 1 {
 		hist, mesh, err := train.Hybrid(arch, *ranks, *dp, *tpvit, opts, batchFn)
@@ -149,6 +209,9 @@ func main() {
 		log.Fatal(err)
 	}
 	printHistory(hist)
+	if opts.CheckpointDir != "" && len(hist.Loss) > 0 {
+		fmt.Printf("checkpoint written to %s (%d shards)\n", opts.CheckpointDir, *ranks)
+	}
 	fmt.Printf("communication: forward %d B, backward %d B (D-CHAG backward is silent)\n",
 		group.Traffic().BytesInPhase("forward"), group.Traffic().BytesInPhase("backward"))
 	if group.Traffic().BytesInPhase("backward") != 0 {
@@ -160,7 +223,7 @@ func main() {
 func printHistory(h train.History) {
 	for s, l := range h.Loss {
 		if s%5 == 0 || s == len(h.Loss)-1 {
-			fmt.Printf("step %4d  loss %.6f\n", s, l)
+			fmt.Printf("step %4d  loss %.6f\n", h.Start+s, l)
 		}
 	}
 }

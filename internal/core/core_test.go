@@ -3,6 +3,7 @@ package core
 import (
 	"fmt"
 	"math"
+	"sync"
 	"testing"
 	"testing/quick"
 
@@ -246,6 +247,121 @@ func TestDCHAGMatchesReference(t *testing.T) {
 	}
 }
 
+func TestDCHAGPartitionedMatchesReference(t *testing.T) {
+	// The partition count P is a model property decoupled from the rank
+	// count q: every q dividing P must realize the exact logical model
+	// Reference(P) — forward outputs, image gradients, and parameter
+	// gradients — including with uneven channel partitions.
+	for _, tc := range []struct {
+		channels, partitions int
+		kind                 LayerKind
+	}{
+		{8, 4, KindLinear},
+		{10, 4, KindCross}, // uneven: partition sizes 3,3,2,2
+		{8, 8, KindLinear},
+	} {
+		cfg := Config{
+			Channels: tc.channels, ImgH: 4, ImgW: 4, Patch: 2,
+			Embed: 8, Heads: 2, Tree: 0, Kind: tc.kind, Seed: 99,
+		}
+		rng := tensor.NewRNG(17)
+		x := tensor.Randn(rng, 2, cfg.Channels, cfg.ImgH, cfg.ImgW)
+		up := tensor.Randn(rng, 2, cfg.Tokens(), cfg.Embed)
+
+		ref := NewReference(cfg, tc.partitions)
+		wantOut := ref.Forward(x)
+		nn.ZeroGrads(ref.Params())
+		wantDimg := ref.Backward(up)
+		refGrads := map[string]*tensor.Tensor{}
+		for _, pr := range ref.Params() {
+			refGrads[pr.Name] = pr.Grad
+		}
+
+		for q := 1; q <= tc.partitions; q++ {
+			if tc.partitions%q != 0 {
+				continue
+			}
+			name := fmt.Sprintf("channels=%d P=%d q=%d kind=%s", tc.channels, tc.partitions, q, tc.kind)
+			_, err := comm.Run(q, func(c *comm.Communicator) error {
+				d := NewDCHAGPartitioned(cfg, c, tc.partitions)
+				xs := tensor.SliceAxis(x, 1, d.ChLo, d.ChHi)
+				out := d.Forward(xs)
+				if diff := tensor.MaxAbsDiff(out, wantOut); diff > 1e-9 {
+					return fmt.Errorf("rank %d forward differs by %g", c.Rank(), diff)
+				}
+				nn.ZeroGrads(d.Params())
+				dimg := d.Backward(up)
+				wantShard := tensor.SliceAxis(wantDimg, 1, d.ChLo, d.ChHi)
+				if diff := tensor.MaxAbsDiff(dimg, wantShard); diff > 1e-9 {
+					return fmt.Errorf("rank %d image grad differs by %g", c.Rank(), diff)
+				}
+				// Partial-module parameter gradients match the reference's
+				// same-named partials exactly.
+				for _, partial := range d.Partials {
+					for _, pr := range partial.Params() {
+						want, ok := refGrads[pr.Name]
+						if !ok {
+							return fmt.Errorf("rank %d param %q missing from reference", c.Rank(), pr.Name)
+						}
+						if diff := tensor.MaxAbsDiff(pr.Grad, want); diff > 1e-9 {
+							return fmt.Errorf("rank %d param %q grad differs by %g", c.Rank(), pr.Name, diff)
+						}
+					}
+				}
+				return nil
+			})
+			if err != nil {
+				t.Fatalf("%s: %v", name, err)
+			}
+		}
+	}
+}
+
+func TestDCHAGShardAnnotations(t *testing.T) {
+	// Channel-sharded parameters carry the shard metadata checkpointing
+	// reshards by; together the ranks tile the full logical extent.
+	cfg := Config{
+		Channels: 10, ImgH: 4, ImgW: 4, Patch: 2,
+		Embed: 4, Heads: 1, Tree: 0, Kind: KindLinear, Seed: 3,
+	}
+	const p = 4
+	covered := make([]int, cfg.Channels)
+	var mu sync.Mutex
+	_, err := comm.Run(p, func(c *comm.Communicator) error {
+		d := NewDCHAG(cfg, c)
+		for _, pr := range []*nn.Param{d.Tok.Weight, d.Tok.Bias, d.ChEmb.Table} {
+			if pr.Shard == nil {
+				return fmt.Errorf("param %q lacks shard metadata", pr.Name)
+			}
+			if pr.Shard.Lo != d.ChLo || pr.Shard.Hi != d.ChHi || pr.Shard.Axis != 0 {
+				return fmt.Errorf("param %q shard %+v does not match channel range [%d,%d)", pr.Name, pr.Shard, d.ChLo, d.ChHi)
+			}
+			if pr.Shard.FullShape[0] != cfg.Channels {
+				return fmt.Errorf("param %q full shape %v does not lead with %d channels", pr.Name, pr.Shard.FullShape, cfg.Channels)
+			}
+		}
+		for _, pr := range d.Final.Params() {
+			if pr.Shard != nil {
+				return fmt.Errorf("replicated param %q unexpectedly sharded", pr.Name)
+			}
+		}
+		mu.Lock()
+		for ch := d.ChLo; ch < d.ChHi; ch++ {
+			covered[ch]++
+		}
+		mu.Unlock()
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for ch, n := range covered {
+		if n != 1 {
+			t.Fatalf("channel %d covered %d times", ch, n)
+		}
+	}
+}
+
 func TestDCHAGBackwardHasZeroCommunication(t *testing.T) {
 	// The paper's headline implementation claim (Sec. 3.3): the backward
 	// pass of the D-CHAG stage needs no communication at all, and the
@@ -302,8 +418,10 @@ func TestDCHAGParamGradsMatchReference(t *testing.T) {
 		d.Forward(xs)
 		nn.ZeroGrads(d.Params())
 		d.Backward(up)
-		for _, pr := range d.Partial.Params() {
-			grads[c.Rank()] = append(grads[c.Rank()], nameGrad{pr.Name, pr.Grad.Clone()})
+		for _, partial := range d.Partials {
+			for _, pr := range partial.Params() {
+				grads[c.Rank()] = append(grads[c.Rank()], nameGrad{pr.Name, pr.Grad.Clone()})
+			}
 		}
 		for _, pr := range d.Final.Params() {
 			grads[c.Rank()] = append(grads[c.Rank()], nameGrad{pr.Name, pr.Grad.Clone()})

@@ -58,7 +58,7 @@ const (
 //
 //	local channel shard --PatchEmbed--> [B, Cl, T, E]
 //	                    --ChannelEmbed--> (+ channel ID tokens)
-//	                    --partial aggregation--> [B, T, E]   (1 token/rank)
+//	                    --partial aggregation--> [B, T, E]   (1 token/partition)
 //	  --AllGather (the ONLY communication)--> [B*T, P, E]
 //	  --final shared cross-attention--> [B, T, E]
 //
@@ -68,47 +68,92 @@ const (
 // back-propagates through the local partial module and tokenizer with zero
 // communication — the property the paper's Sec. 3.3 claims and the tests
 // assert via the traffic ledger.
+//
+// The channel-partition count P is a property of the *model*, decoupled from
+// the rank count q: each rank owns a contiguous block of P/q partitions
+// (one partial module per partition). The logical model — its parameters and
+// its training trajectory — depends only on (Config, P), so a checkpoint
+// saved at q ranks can be restored at any q' dividing P (including q' = 1,
+// which is exactly Reference). The default constructor keeps the historical
+// one-partition-per-rank layout.
 type DCHAG struct {
 	Cfg        Config
 	Comm       *comm.Communicator
 	ChLo, ChHi int
+	// Partitions is the logical channel-partition count P; PartLo, PartHi
+	// bound this rank's owned partition block [PartLo, PartHi).
+	Partitions     int
+	PartLo, PartHi int
 
-	Tok     *nn.PatchEmbed
-	ChEmb   *nn.ChannelEmbed
-	Partial *HierarchicalAggregator
-	Final   *CrossAttnAggregator
+	Tok      *nn.PatchEmbed
+	ChEmb    *nn.ChannelEmbed
+	Partials []*HierarchicalAggregator // one per owned partition
+	Final    *CrossAttnAggregator
 
 	b int
 }
 
-// NewDCHAG constructs rank c.Rank()'s module. Channels are EvenSplit across
-// the group; the partial module of rank r draws its parameters from
-// SubSeed(seed, seedPartial+r) and the final layer from SubSeed(seed,
-// seedFinal) on every rank (replicated).
+// NewDCHAG constructs rank c.Rank()'s module with one partition per rank.
+// Channels are EvenSplit across the group; the partial module of rank r
+// draws its parameters from SubSeed(seed, seedPartial+r) and the final layer
+// from SubSeed(seed, seedFinal) on every rank (replicated).
 func NewDCHAG(cfg Config, c *comm.Communicator) *DCHAG {
+	return NewDCHAGPartitioned(cfg, c, c.Size())
+}
+
+// NewDCHAGPartitioned constructs rank c.Rank()'s slice of the P-partition
+// D-CHAG stage. The group size q must divide partitions; rank r owns
+// partitions [r*P/q, (r+1)*P/q) and the channel range they cover. Partition
+// k's partial module draws its parameters from SubSeed(seed, seedPartial+k)
+// regardless of q, so every q realizes the identical logical model.
+func NewDCHAGPartitioned(cfg Config, c *comm.Communicator, partitions int) *DCHAG {
 	cfg.validate()
-	p := c.Size()
-	if cfg.Channels < p {
-		panic(fmt.Sprintf("core: %d channels cannot be split across %d ranks", cfg.Channels, p))
+	q := c.Size()
+	if partitions < 1 || cfg.Channels < partitions {
+		panic(fmt.Sprintf("core: %d channels cannot form %d partitions", cfg.Channels, partitions))
 	}
-	lo, hi := ChannelRange(cfg.Channels, p, c.Rank())
-	localC := hi - lo
-	return &DCHAG{
-		Cfg:  cfg,
-		Comm: c,
-		ChLo: lo, ChHi: hi,
-		Tok:   nn.NewPatchEmbedShard("dchag.tok", lo, hi, cfg.ImgH, cfg.ImgW, cfg.Patch, cfg.Embed, nn.SubSeed(cfg.Seed, seedTok)),
-		ChEmb: nn.NewChannelEmbedShard("dchag.chemb", lo, hi, cfg.Embed, nn.SubSeed(cfg.Seed, seedChEmb)),
-		Partial: NewHierarchicalAggregator(
-			fmt.Sprintf("dchag.partial%d", c.Rank()),
-			BuildTreePlan(localC, cfg.Tree), cfg.Kind, cfg.Embed, cfg.Heads,
-			nn.SubSeed(cfg.Seed, seedPartial+c.Rank())),
-		Final: NewCrossAttnAggregator("dchag.final", p, cfg.Embed, cfg.Heads, nn.SubSeed(cfg.Seed, seedFinal)),
+	if partitions%q != 0 {
+		panic(fmt.Sprintf("core: partition count %d not divisible by %d ranks", partitions, q))
 	}
+	perRank := partitions / q
+	partLo, partHi := c.Rank()*perRank, (c.Rank()+1)*perRank
+	lo, _ := ChannelRange(cfg.Channels, partitions, partLo)
+	_, hi := ChannelRange(cfg.Channels, partitions, partHi-1)
+	d := &DCHAG{
+		Cfg:        cfg,
+		Comm:       c,
+		ChLo:       lo,
+		ChHi:       hi,
+		Partitions: partitions,
+		PartLo:     partLo,
+		PartHi:     partHi,
+		Tok:        nn.NewPatchEmbedShard("dchag.tok", lo, hi, cfg.ImgH, cfg.ImgW, cfg.Patch, cfg.Embed, nn.SubSeed(cfg.Seed, seedTok)),
+		ChEmb:      nn.NewChannelEmbedShard("dchag.chemb", lo, hi, cfg.Embed, nn.SubSeed(cfg.Seed, seedChEmb)),
+		Final:      NewCrossAttnAggregator("dchag.final", partitions, cfg.Embed, cfg.Heads, nn.SubSeed(cfg.Seed, seedFinal)),
+	}
+	for k := partLo; k < partHi; k++ {
+		klo, khi := ChannelRange(cfg.Channels, partitions, k)
+		d.Partials = append(d.Partials, NewHierarchicalAggregator(
+			fmt.Sprintf("dchag.partial%d", k),
+			BuildTreePlan(khi-klo, cfg.Tree), cfg.Kind, cfg.Embed, cfg.Heads,
+			nn.SubSeed(cfg.Seed, seedPartial+k)))
+	}
+	pp := cfg.Patch * cfg.Patch
+	d.Tok.Weight.MarkShard("dchag.tok.weight", 0, []int{cfg.Channels, pp, cfg.Embed}, lo, hi)
+	d.Tok.Bias.MarkShard("dchag.tok.bias", 0, []int{cfg.Channels, cfg.Embed}, lo, hi)
+	d.ChEmb.Table.MarkShard("dchag.chemb.chan", 0, []int{cfg.Channels, cfg.Embed}, lo, hi)
+	return d
 }
 
 // LocalChannels returns the size of this rank's channel shard.
 func (d *DCHAG) LocalChannels() int { return d.ChHi - d.ChLo }
+
+// partChannels returns owned partition j's channel bounds relative to this
+// rank's shard.
+func (d *DCHAG) partChannels(j int) (lo, hi int) {
+	glo, ghi := ChannelRange(d.Cfg.Channels, d.Partitions, d.PartLo+j)
+	return glo - d.ChLo, ghi - d.ChLo
+}
 
 // Forward consumes this rank's image shard [B, Cl, H, W] and returns the
 // aggregated representation [B, T, E], identical on every rank.
@@ -119,9 +164,14 @@ func (d *DCHAG) Forward(x *tensor.Tensor) *tensor.Tensor {
 	d.b = x.Shape[0]
 	tok := d.Tok.Forward(x)
 	emb := d.ChEmb.Forward(tok)
-	local := d.Partial.Forward(emb) // [B, T, E]: one token per rank
+	outs := make([]*tensor.Tensor, len(d.Partials))
+	for j, partial := range d.Partials {
+		lo, hi := d.partChannels(j)
+		outs[j] = partial.Forward(tensor.SliceAxis(emb, 1, lo, hi)) // [B, T, E]
+	}
+	local := tensor.Stack(outs...) // [k, B, T, E]: one token per owned partition
 	parts := d.Comm.AllGather(local)
-	seq := RanksToSeq(parts) // [B*T, P, E]
+	seq := StackedToSeq(parts) // [B*T, P, E]
 	out := d.Final.Forward(seq)
 	return out.Reshape(d.b, d.Cfg.Tokens(), d.Cfg.Embed)
 }
@@ -135,19 +185,25 @@ func (d *DCHAG) Backward(grad *tensor.Tensor) *tensor.Tensor {
 		panic(fmt.Sprintf("core: DCHAG.Backward want [%d,%d,%d], got %v", d.b, t, e, grad.Shape))
 	}
 	dSeq := d.Final.Backward(grad.Reshape(d.b*t, e)) // [N, P, E]
-	dLocal := SeqSlice(dSeq, d.Comm.Rank(), d.b, t)  // [B, T, E]
-	dEmb := d.Partial.Backward(dLocal)               // [B, Cl, T, E]
+	dEmbParts := make([]*tensor.Tensor, len(d.Partials))
+	for j, partial := range d.Partials {
+		dLocal := SeqSlice(dSeq, d.PartLo+j, d.b, t) // [B, T, E]
+		dEmbParts[j] = partial.Backward(dLocal)      // [B, ck, T, E]
+	}
+	dEmb := tensor.Concat(1, dEmbParts...) // [B, Cl, T, E]
 	dTok := d.ChEmb.Backward(dEmb)
 	return d.Tok.Backward(dTok)
 }
 
 // Params returns this rank's parameters: the tokenizer and channel-embedding
-// shards, the rank-local partial module, and the replicated final layer.
+// shards, the rank-local partial modules, and the replicated final layer.
 func (d *DCHAG) Params() []*nn.Param {
 	var ps []*nn.Param
 	ps = append(ps, d.Tok.Params()...)
 	ps = append(ps, d.ChEmb.Params()...)
-	ps = append(ps, d.Partial.Params()...)
+	for _, partial := range d.Partials {
+		ps = append(ps, partial.Params()...)
+	}
 	ps = append(ps, d.Final.Params()...)
 	return ps
 }
@@ -158,7 +214,9 @@ func (d *DCHAG) LocalParams() []*nn.Param {
 	var ps []*nn.Param
 	ps = append(ps, d.Tok.Params()...)
 	ps = append(ps, d.ChEmb.Params()...)
-	ps = append(ps, d.Partial.Params()...)
+	for _, partial := range d.Partials {
+		ps = append(ps, partial.Params()...)
+	}
 	return ps
 }
 
@@ -185,6 +243,28 @@ func RanksToSeq(parts []*tensor.Tensor) *tensor.Tensor {
 		}
 	}
 	return out
+}
+
+// StackedToSeq assembles per-rank partition-token stacks (q tensors of
+// [k, B, T, E], rank r holding partitions [r*k, (r+1)*k)) into the final
+// layer's input layout [B*T, P, E] with P = q*k. With k = 1 it reduces to
+// RanksToSeq on the unstacked parts.
+func StackedToSeq(parts []*tensor.Tensor) *tensor.Tensor {
+	if len(parts) == 0 {
+		panic("core: StackedToSeq of zero parts")
+	}
+	k := parts[0].Shape[0]
+	flat := make([]*tensor.Tensor, 0, len(parts)*k)
+	for _, part := range parts {
+		if len(part.Shape) != 4 || part.Shape[0] != k {
+			panic(fmt.Sprintf("core: StackedToSeq inconsistent part shape %v", part.Shape))
+		}
+		b, t, e := part.Shape[1], part.Shape[2], part.Shape[3]
+		for _, one := range tensor.SplitEqual(part, 0, k) {
+			flat = append(flat, one.Reshape(b, t, e))
+		}
+	}
+	return RanksToSeq(flat)
 }
 
 // SeqSlice extracts rank p's token gradient [B, T, E] from the final-layer

@@ -1,0 +1,123 @@
+package experiments
+
+import (
+	"fmt"
+	"sort"
+)
+
+// shapeKey identifies one swept configuration across reports.
+type shapeKey struct {
+	GCDs   int
+	Method string
+	TP     int
+	FSDP   int
+	DP     int
+}
+
+func (k shapeKey) String() string {
+	return fmt.Sprintf("%d GCDs %s TP=%d FSDP=%d DP=%d", k.GCDs, k.Method, k.TP, k.FSDP, k.DP)
+}
+
+func pointKey(p SweepPoint) shapeKey {
+	return shapeKey{GCDs: p.GCDs, Method: p.Method, TP: p.TP, FSDP: p.FSDP, DP: p.DP}
+}
+
+// DiffSweep mechanically compares two sweep reports (schema
+// dchag-bench/sweep/v1) and returns the regressions between them, for the
+// perf-trajectory gate behind `dchag-bench -diff`:
+//
+//   - the best (highest-throughput) shape at any scale changed;
+//   - a configuration present in both reports regressed in simulated step
+//     time by more than tolFrac (e.g. 0.05 = 5%);
+//   - a configuration flipped between fitting and OOM;
+//   - a scale or configuration covered by the old report disappeared.
+//
+// Improvements and newly added configurations are not regressions. An error
+// (as opposed to diffs) means the reports cannot be compared at all.
+func DiffSweep(oldRep, newRep SweepReport, tolFrac float64) ([]string, error) {
+	if oldRep.Schema != SweepSchema {
+		return nil, fmt.Errorf("experiments: old report schema %q is not %q", oldRep.Schema, SweepSchema)
+	}
+	if newRep.Schema != SweepSchema {
+		return nil, fmt.Errorf("experiments: new report schema %q is not %q", newRep.Schema, SweepSchema)
+	}
+	if tolFrac < 0 {
+		return nil, fmt.Errorf("experiments: negative tolerance %v", tolFrac)
+	}
+	var diffs []string
+
+	newScales := make(map[int]bool, len(newRep.Scales))
+	for _, s := range newRep.Scales {
+		newScales[s] = true
+	}
+	for _, s := range oldRep.Scales {
+		if !newScales[s] {
+			diffs = append(diffs, fmt.Sprintf("scale %d GCDs dropped from the sweep", s))
+		}
+	}
+
+	// Best-shape changes per scale covered by both reports.
+	for _, s := range oldRep.Scales {
+		if !newScales[s] {
+			continue
+		}
+		oldBest, oldOK := oldRep.BestAt(s)
+		newBest, newOK := newRep.BestAt(s)
+		switch {
+		case oldOK && !newOK:
+			diffs = append(diffs, fmt.Sprintf("%d GCDs: no best shape anymore (was %s)", s, pointKey(oldBest)))
+		case oldOK && newOK && pointKey(oldBest) != pointKey(newBest):
+			diffs = append(diffs, fmt.Sprintf("%d GCDs: best shape changed: %s -> %s", s, pointKey(oldBest), pointKey(newBest)))
+		}
+	}
+
+	// Per-configuration step-time and fit regressions.
+	newPoints := make(map[shapeKey]SweepPoint, len(newRep.Points))
+	for _, p := range newRep.Points {
+		newPoints[pointKey(p)] = p
+	}
+	for _, op := range oldRep.Points {
+		key := pointKey(op)
+		np, ok := newPoints[key]
+		if !ok {
+			if newScales[op.GCDs] {
+				diffs = append(diffs, fmt.Sprintf("%s: configuration dropped from the sweep", key))
+			}
+			continue
+		}
+		switch {
+		case op.Fits && !np.Fits:
+			diffs = append(diffs, fmt.Sprintf("%s: previously fit, now OOM", key))
+		case op.Fits && np.Fits && np.StepSeconds > op.StepSeconds*(1+tolFrac):
+			diffs = append(diffs, fmt.Sprintf("%s: step time %.4fs -> %.4fs (+%.1f%%, tolerance %.1f%%)",
+				key, op.StepSeconds, np.StepSeconds,
+				100*(np.StepSeconds/op.StepSeconds-1), 100*tolFrac))
+		}
+	}
+
+	// Cliff series: scale changes, dropped points, and step-time
+	// regressions are all coverage signal — the cliff is the sweep's
+	// headline claim, so it cannot silently disappear.
+	if oldRep.CliffGCDs != newRep.CliffGCDs {
+		diffs = append(diffs, fmt.Sprintf("cliff scale changed: %d -> %d GCDs", oldRep.CliffGCDs, newRep.CliffGCDs))
+	} else {
+		newCliff := make(map[shapeKey]CliffPoint, len(newRep.Cliff))
+		for _, c := range newRep.Cliff {
+			newCliff[shapeKey{GCDs: newRep.CliffGCDs, Method: "cliff", TP: c.TP, FSDP: c.FSDP, DP: c.DP}] = c
+		}
+		for _, oc := range oldRep.Cliff {
+			key := shapeKey{GCDs: oldRep.CliffGCDs, Method: "cliff", TP: oc.TP, FSDP: oc.FSDP, DP: oc.DP}
+			nc, ok := newCliff[key]
+			switch {
+			case !ok:
+				diffs = append(diffs, fmt.Sprintf("cliff TP=%d: point dropped from the series", oc.TP))
+			case nc.StepSeconds > oc.StepSeconds*(1+tolFrac):
+				diffs = append(diffs, fmt.Sprintf("cliff TP=%d: step time %.4fs -> %.4fs (+%.1f%%, tolerance %.1f%%)",
+					oc.TP, oc.StepSeconds, nc.StepSeconds, 100*(nc.StepSeconds/oc.StepSeconds-1), 100*tolFrac))
+			}
+		}
+	}
+
+	sort.Strings(diffs)
+	return diffs, nil
+}

@@ -1,0 +1,143 @@
+package experiments
+
+import (
+	"strings"
+	"testing"
+)
+
+// diffFixture builds a minimal valid sweep report.
+func diffFixture() SweepReport {
+	return SweepReport{
+		Schema:    SweepSchema,
+		Scales:    []int{8, 16},
+		CliffGCDs: 16,
+		Points: []SweepPoint{
+			{GCDs: 8, Method: "D-CHAG", TP: 4, FSDP: 2, DP: 1, Fits: true, StepSeconds: 1.0, TFLOPsPerSecPerNode: 100, Best: true},
+			{GCDs: 8, Method: "pure-FSDP", TP: 1, FSDP: 8, DP: 1, Fits: true, StepSeconds: 2.0, TFLOPsPerSecPerNode: 50},
+			{GCDs: 16, Method: "D-CHAG", TP: 8, FSDP: 2, DP: 1, Fits: true, StepSeconds: 1.5, TFLOPsPerSecPerNode: 90, Best: true},
+		},
+		Cliff: []CliffPoint{
+			{TP: 8, FSDP: 2, DP: 1, StepSeconds: 1.5},
+		},
+	}
+}
+
+func TestDiffSweepIdenticalReportsClean(t *testing.T) {
+	rep := diffFixture()
+	diffs, err := DiffSweep(rep, rep, 0.05)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(diffs) != 0 {
+		t.Fatalf("identical reports produced diffs: %v", diffs)
+	}
+}
+
+func TestDiffSweepFlagsBestShapeChange(t *testing.T) {
+	oldRep, newRep := diffFixture(), diffFixture()
+	newRep.Points[0].Best = false
+	newRep.Points[1].Best = true
+	diffs, err := DiffSweep(oldRep, newRep, 0.05)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(diffs) != 1 || !strings.Contains(diffs[0], "best shape changed") {
+		t.Fatalf("diffs = %v, want one best-shape change", diffs)
+	}
+}
+
+func TestDiffSweepStepTimeTolerance(t *testing.T) {
+	oldRep, newRep := diffFixture(), diffFixture()
+	newRep.Points[1].StepSeconds = 2.08 // +4%, inside 5%
+	diffs, err := DiffSweep(oldRep, newRep, 0.05)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(diffs) != 0 {
+		t.Fatalf("within-tolerance change flagged: %v", diffs)
+	}
+	newRep.Points[1].StepSeconds = 2.2 // +10%
+	diffs, err = DiffSweep(oldRep, newRep, 0.05)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(diffs) != 1 || !strings.Contains(diffs[0], "step time") {
+		t.Fatalf("diffs = %v, want one step-time regression", diffs)
+	}
+}
+
+func TestDiffSweepFlagsOOMFlipAndDroppedCoverage(t *testing.T) {
+	oldRep, newRep := diffFixture(), diffFixture()
+	newRep.Points[1].Fits = false
+	newRep.Scales = []int{8}
+	newRep.Points = newRep.Points[:2]
+	diffs, err := DiffSweep(oldRep, newRep, 0.05)
+	if err != nil {
+		t.Fatal(err)
+	}
+	joined := strings.Join(diffs, "\n")
+	for _, want := range []string{"now OOM", "scale 16 GCDs dropped"} {
+		if !strings.Contains(joined, want) {
+			t.Fatalf("diffs %v missing %q", diffs, want)
+		}
+	}
+}
+
+func TestDiffSweepCliffRegression(t *testing.T) {
+	oldRep, newRep := diffFixture(), diffFixture()
+	newRep.Cliff[0].StepSeconds = 2.0
+	diffs, err := DiffSweep(oldRep, newRep, 0.05)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(diffs) != 1 || !strings.Contains(diffs[0], "cliff TP=8") {
+		t.Fatalf("diffs = %v, want one cliff regression", diffs)
+	}
+}
+
+func TestDiffSweepCliffCoverage(t *testing.T) {
+	// Dropping the cliff series (or moving its scale) is coverage loss,
+	// not a silent pass.
+	oldRep, newRep := diffFixture(), diffFixture()
+	newRep.CliffGCDs = 8
+	diffs, err := DiffSweep(oldRep, newRep, 0.05)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(diffs) != 1 || !strings.Contains(diffs[0], "cliff scale changed") {
+		t.Fatalf("diffs = %v, want one cliff-scale change", diffs)
+	}
+	newRep = diffFixture()
+	newRep.Cliff = nil
+	diffs, err = DiffSweep(oldRep, newRep, 0.05)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(diffs) != 1 || !strings.Contains(diffs[0], "point dropped") {
+		t.Fatalf("diffs = %v, want one dropped cliff point", diffs)
+	}
+}
+
+func TestDiffSweepSchemaGuard(t *testing.T) {
+	oldRep, newRep := diffFixture(), diffFixture()
+	newRep.Schema = "dchag-bench/sweep/v0"
+	if _, err := DiffSweep(oldRep, newRep, 0.05); err == nil {
+		t.Fatal("want schema error")
+	}
+	if _, err := DiffSweep(oldRep, diffFixture(), -1); err == nil {
+		t.Fatal("want tolerance error")
+	}
+}
+
+func TestDiffSweepSelfConsistentOnRealSweep(t *testing.T) {
+	// The real sweep is deterministic: diffing it against itself must be
+	// clean, which is exactly the CI gate's steady state.
+	rep := RunSweep([]int{8, 16})
+	diffs, err := DiffSweep(rep, rep, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(diffs) != 0 {
+		t.Fatalf("self-diff of the real sweep produced: %v", diffs)
+	}
+}

@@ -29,6 +29,12 @@ type Arch struct {
 	// attention operates on the intact spatial grid. Blocks alternate
 	// unshifted and shifted windows.
 	SwinWindow int
+	// Partitions is the logical D-CHAG channel-partition count P; 0 means
+	// one partition per rank (the historical layout). P is a property of the
+	// model, not the topology: any rank count dividing P realizes the same
+	// logical model, which is what lets checkpoints reshard across rank
+	// counts (including to serial via NewSerialDCHAGEquivalent(a, P)).
+	Partitions int
 }
 
 // HeadDim returns the per-token regression width C*P*P.
@@ -76,7 +82,7 @@ func NewSerial(a Arch) *FoundationModel {
 // same group (the paper's D-CHAG + TP combination); otherwise the ViT is
 // replicated, which is functionally identical.
 func NewDistributed(a Arch, c *comm.Communicator, tpViT bool) *FoundationModel {
-	return build(a, NewDCHAGStage(a.Config, c), c, tpViT)
+	return build(a, NewDCHAGStage(a.Config, c, a.Partitions), c, tpViT)
 }
 
 func build(a Arch, stage ChannelStage, c *comm.Communicator, tpViT bool) *FoundationModel {

@@ -280,7 +280,7 @@ func TestStageLocalChannels(t *testing.T) {
 		t.Fatal("reference stage owns all channels")
 	}
 	_, err := comm.Run(2, func(c *comm.Communicator) error {
-		s := NewDCHAGStage(a.Config, c)
+		s := NewDCHAGStage(a.Config, c, 0)
 		if s.LocalChannels() != a.Channels/2 {
 			return fmt.Errorf("dchag stage owns %d channels, want %d", s.LocalChannels(), a.Channels/2)
 		}

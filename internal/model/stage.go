@@ -117,9 +117,13 @@ type DCHAGStage struct {
 	D *core.DCHAG
 }
 
-// NewDCHAGStage builds rank c.Rank()'s D-CHAG channel stage.
-func NewDCHAGStage(cfg core.Config, c *comm.Communicator) *DCHAGStage {
-	return &DCHAGStage{D: core.NewDCHAG(cfg, c)}
+// NewDCHAGStage builds rank c.Rank()'s D-CHAG channel stage with the given
+// logical partition count; 0 defaults to one partition per rank.
+func NewDCHAGStage(cfg core.Config, c *comm.Communicator, partitions int) *DCHAGStage {
+	if partitions == 0 {
+		partitions = c.Size()
+	}
+	return &DCHAGStage{D: core.NewDCHAGPartitioned(cfg, c, partitions)}
 }
 
 // Forward maps the rank's shard [B, Cl, H, W] to [B, T, E].

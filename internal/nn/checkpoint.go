@@ -2,6 +2,7 @@ package nn
 
 import (
 	"encoding/gob"
+	"errors"
 	"fmt"
 	"io"
 
@@ -37,34 +38,46 @@ func SaveParams(w io.Writer, params []*Param) error {
 // LoadParams restores parameter values from r into params, matching by
 // name. Every parameter in params must be present in the checkpoint with an
 // identical shape; extra checkpoint entries are an error too, so silent
-// architecture drift cannot pass unnoticed.
+// architecture drift cannot pass unnoticed. All missing, unknown, and
+// shape-mismatched parameters are reported in one joined error, so a single
+// run diagnoses the full drift between checkpoint and model; values are only
+// written when the whole checkpoint matches.
 func LoadParams(r io.Reader, params []*Param) error {
 	var entries []checkpointEntry
 	if err := gob.NewDecoder(r).Decode(&entries); err != nil {
 		return fmt.Errorf("nn: decoding checkpoint: %w", err)
 	}
+	var errs []error
 	byName := make(map[string]checkpointEntry, len(entries))
 	for _, e := range entries {
 		if _, dup := byName[e.Name]; dup {
-			return fmt.Errorf("nn: checkpoint has duplicate parameter %q", e.Name)
+			errs = append(errs, fmt.Errorf("nn: checkpoint has duplicate parameter %q", e.Name))
+			continue
 		}
 		byName[e.Name] = e
 	}
+	matched := make(map[string]checkpointEntry, len(params))
 	for _, p := range params {
 		e, ok := byName[p.Name]
 		if !ok {
-			return fmt.Errorf("nn: checkpoint missing parameter %q", p.Name)
+			errs = append(errs, fmt.Errorf("nn: checkpoint missing parameter %q", p.Name))
+			continue
 		}
-		if !sameIntSlice(e.Shape, p.W.Shape) {
-			return fmt.Errorf("nn: parameter %q shape %v does not match checkpoint %v", p.Name, p.W.Shape, e.Shape)
-		}
-		copy(p.W.Data, e.Data)
 		delete(byName, p.Name)
-	}
-	if len(byName) != 0 {
-		for name := range byName {
-			return fmt.Errorf("nn: checkpoint contains unknown parameter %q", name)
+		if !sameIntSlice(e.Shape, p.W.Shape) {
+			errs = append(errs, fmt.Errorf("nn: parameter %q shape %v does not match checkpoint %v", p.Name, p.W.Shape, e.Shape))
+			continue
 		}
+		matched[p.Name] = e
+	}
+	for name := range byName {
+		errs = append(errs, fmt.Errorf("nn: checkpoint contains unknown parameter %q", name))
+	}
+	if err := errors.Join(errs...); err != nil {
+		return err
+	}
+	for _, p := range params {
+		copy(p.W.Data, matched[p.Name].Data)
 	}
 	return nil
 }

@@ -93,3 +93,71 @@ func TestParamsEqualTolerance(t *testing.T) {
 		t.Fatal("length mismatch should fail")
 	}
 }
+
+func TestLoadParamsReportsAllErrors(t *testing.T) {
+	// One load must surface the full checkpoint/model drift: every missing,
+	// unknown, and shape-mismatched parameter in a single joined error.
+	saved := []*Param{
+		NewParam("shared.ok", tensor.Full(1, 2)),
+		NewParam("shared.shape", tensor.New(2, 3)),
+		NewParam("only.in.checkpoint", tensor.New(1)),
+	}
+	var buf bytes.Buffer
+	if err := SaveParams(&buf, saved); err != nil {
+		t.Fatal(err)
+	}
+	target := []*Param{
+		NewParam("shared.ok", tensor.Full(7, 2)),
+		NewParam("shared.shape", tensor.New(3, 2)),
+		NewParam("only.in.model", tensor.New(1)),
+	}
+	err := LoadParams(&buf, target)
+	if err == nil {
+		t.Fatal("want error")
+	}
+	for _, want := range []string{
+		`parameter "shared.shape" shape`,
+		`missing parameter "only.in.model"`,
+		`unknown parameter "only.in.checkpoint"`,
+	} {
+		if !strings.Contains(err.Error(), want) {
+			t.Fatalf("error %q missing %q", err, want)
+		}
+	}
+	// No partial restore: even the matching parameter stays untouched when
+	// the checkpoint as a whole does not match.
+	if target[0].W.Data[0] != 7 {
+		t.Fatal("partial restore on error")
+	}
+}
+
+func TestMarkShardValidatesSlice(t *testing.T) {
+	p := NewParam("w", tensor.New(2, 3))
+	p.MarkShard("w.logical", 0, []int{6, 3}, 2, 4)
+	if p.LogicalKey() != "w.logical" {
+		t.Fatalf("LogicalKey = %q", p.LogicalKey())
+	}
+	if got := p.FullShape(); got[0] != 6 || got[1] != 3 {
+		t.Fatalf("FullShape = %v", got)
+	}
+	whole := NewParam("u", tensor.New(4))
+	if whole.LogicalKey() != "u" || whole.FullShape()[0] != 4 {
+		t.Fatal("whole params report their own name and shape")
+	}
+	for _, bad := range []func(){
+		func() { NewParam("w", tensor.New(2, 3)).MarkShard("l", 2, []int{6, 3}, 0, 2) }, // axis range
+		func() { NewParam("w", tensor.New(2, 3)).MarkShard("l", 0, []int{6, 3}, 4, 8) }, // bounds
+		func() { NewParam("w", tensor.New(2, 3)).MarkShard("l", 0, []int{6, 3}, 0, 3) }, // wrong width
+		func() { NewParam("w", tensor.New(2, 3)).MarkShard("l", 0, []int{6, 4}, 0, 2) }, // wrong trailing dim
+		func() { NewParam("w", tensor.New(2, 3)).MarkShard("l", 0, []int{6}, 0, 2) },    // rank mismatch
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Fatal("invalid MarkShard must panic")
+				}
+			}()
+			bad()
+		}()
+	}
+}

@@ -30,11 +30,81 @@ type Param struct {
 	W *tensor.Tensor
 	// Grad accumulates the gradient; it always has W's shape.
 	Grad *tensor.Tensor
+	// Shard annotates W as a contiguous slice of a larger logical tensor;
+	// nil means the parameter is whole (replicated or unsharded).
+	Shard *ShardInfo
+}
+
+// ShardInfo describes a parameter's place in a logical (unsharded) tensor.
+// Layers that slice a full logical tensor deterministically (attention-head
+// shards, D-CHAG channel shards — see the SubSeed contract) attach one so
+// checkpointing can reassemble the logical tensor from any saved topology
+// and re-slice it for the loading one.
+type ShardInfo struct {
+	// Logical is the logical tensor's name, shared by every shard of it and
+	// equal to the serial layer's parameter name.
+	Logical string
+	// Axis is the sharded axis of the logical tensor.
+	Axis int
+	// FullShape is the logical tensor's full shape.
+	FullShape []int
+	// Lo, Hi bound this shard's slice [Lo, Hi) along Axis.
+	Lo, Hi int
 }
 
 // NewParam allocates a parameter wrapping w with a zeroed gradient.
 func NewParam(name string, w *tensor.Tensor) *Param {
 	return &Param{Name: name, W: w, Grad: tensor.New(w.Shape...)}
+}
+
+// MarkShard annotates the parameter as the [lo, hi) slice along axis of the
+// logical tensor named logical with the given full shape. It validates that
+// the parameter's actual shape is exactly that slice and returns the
+// parameter for chaining.
+func (p *Param) MarkShard(logical string, axis int, fullShape []int, lo, hi int) *Param {
+	if axis < 0 || axis >= len(fullShape) {
+		panic(fmt.Sprintf("nn: MarkShard axis %d out of range for %v", axis, fullShape))
+	}
+	if lo < 0 || hi <= lo || hi > fullShape[axis] {
+		panic(fmt.Sprintf("nn: MarkShard bounds [%d,%d) invalid for extent %d", lo, hi, fullShape[axis]))
+	}
+	if len(p.W.Shape) != len(fullShape) {
+		panic(fmt.Sprintf("nn: MarkShard rank mismatch: param %v vs logical %v", p.W.Shape, fullShape))
+	}
+	for i, d := range fullShape {
+		want := d
+		if i == axis {
+			want = hi - lo
+		}
+		if p.W.Shape[i] != want {
+			panic(fmt.Sprintf("nn: MarkShard param %q shape %v is not the [%d,%d) slice of %v along axis %d",
+				p.Name, p.W.Shape, lo, hi, fullShape, axis))
+		}
+	}
+	p.Shard = &ShardInfo{
+		Logical: logical, Axis: axis,
+		FullShape: append([]int(nil), fullShape...),
+		Lo:        lo, Hi: hi,
+	}
+	return p
+}
+
+// LogicalKey returns the name of the logical tensor this parameter belongs
+// to: the shard's logical name when sharded, the parameter name otherwise.
+func (p *Param) LogicalKey() string {
+	if p.Shard != nil {
+		return p.Shard.Logical
+	}
+	return p.Name
+}
+
+// FullShape returns the logical tensor's shape: the shard's full shape when
+// sharded, W's shape otherwise.
+func (p *Param) FullShape() []int {
+	if p.Shard != nil {
+		return p.Shard.FullShape
+	}
+	return p.W.Shape
 }
 
 // ZeroGrad clears the accumulated gradient.

@@ -3,11 +3,18 @@
 // decoupled weight decay, cosine schedules with linear warmup, and global
 // gradient-norm clipping.
 //
-// Optimizers key their state by parameter identity, so the same optimizer
-// instance must be reused across steps. All updates are deterministic.
+// Optimizers key their per-parameter state (moments, velocities) by the
+// parameter's name, so state survives checkpointing: ExportState snapshots
+// the moments and step count into a name-keyed State and ImportState
+// restores them, preserving the exact optimization trajectory across
+// save/resume — including across reshardings, since a moment buffer shares
+// its parameter's shard layout. Parameter names must therefore be unique
+// within one optimizer instance. All updates are deterministic.
 package optim
 
 import (
+	"errors"
+	"fmt"
 	"math"
 
 	"repro/internal/nn"
@@ -25,22 +32,113 @@ type Optimizer interface {
 	LR() float64
 }
 
+// Moment holds one parameter's optimizer buffers keyed by buffer name
+// ("m"/"v" for AdamW, "velocity" for SGD). Every buffer has the same length
+// as the parameter's data and shares its shard layout, which is what lets
+// checkpoints reshard optimizer state alongside the weights.
+type Moment map[string][]float64
+
+// State is a topology-agnostic snapshot of an optimizer: the algorithm, the
+// update count, and every parameter's moment buffers keyed by parameter
+// name. It is the optimizer half of the checkpoint state tree.
+type State struct {
+	// Algo identifies the optimizer family ("adamw" or "sgd").
+	Algo string
+	// Step is the number of updates applied (drives AdamW bias correction).
+	Step int
+	// Moments maps parameter name to that parameter's buffers. Parameters
+	// without state (e.g. SGD with zero momentum) are absent.
+	Moments map[string]Moment
+}
+
+// Stateful is an Optimizer whose full state can be exported and restored,
+// the contract checkpointing relies on.
+type Stateful interface {
+	Optimizer
+	// ExportState returns a deep copy of the optimizer's state.
+	ExportState() State
+	// ImportState restores a previously exported state. Every moment buffer
+	// must match a current parameter's name and length; all mismatches are
+	// reported in one joined error and nothing is restored on error.
+	ImportState(State) error
+}
+
+// uniqueNames panics when two parameters share a name: name-keyed state
+// would silently alias them.
+func uniqueNames(params []*nn.Param) {
+	seen := make(map[string]struct{}, len(params))
+	for _, p := range params {
+		if _, dup := seen[p.Name]; dup {
+			panic(fmt.Sprintf("optim: duplicate parameter name %q", p.Name))
+		}
+		seen[p.Name] = struct{}{}
+	}
+}
+
+// importMoments validates that state provides exactly one buffer of the
+// right length per expected key for every parameter in have (a name ->
+// length map), reporting all mismatches at once. On success it returns the
+// validated buffers (deep-copied) keyed by parameter name.
+func importMoments(algo string, state State, params []*nn.Param, keys []string) (map[string]Moment, error) {
+	var errs []error
+	if state.Algo != algo {
+		errs = append(errs, fmt.Errorf("optim: state algo %q does not match optimizer %q", state.Algo, algo))
+	}
+	known := make(map[string]struct{}, len(params))
+	out := make(map[string]Moment, len(params))
+	for _, p := range params {
+		known[p.Name] = struct{}{}
+		m, ok := state.Moments[p.Name]
+		if !ok {
+			errs = append(errs, fmt.Errorf("optim: state missing moments for parameter %q", p.Name))
+			continue
+		}
+		cp := make(Moment, len(keys))
+		for _, k := range keys {
+			buf, ok := m[k]
+			if !ok {
+				errs = append(errs, fmt.Errorf("optim: state for %q missing buffer %q", p.Name, k))
+				continue
+			}
+			if len(buf) != p.Numel() {
+				errs = append(errs, fmt.Errorf("optim: state buffer %q/%q has %d values, parameter has %d",
+					p.Name, k, len(buf), p.Numel()))
+				continue
+			}
+			cp[k] = append([]float64(nil), buf...)
+		}
+		if len(cp) == len(keys) {
+			out[p.Name] = cp
+		}
+	}
+	for name := range state.Moments {
+		if _, ok := known[name]; !ok {
+			errs = append(errs, fmt.Errorf("optim: state has moments for unknown parameter %q", name))
+		}
+	}
+	if err := errors.Join(errs...); err != nil {
+		return nil, err
+	}
+	return out, nil
+}
+
 // SGD is stochastic gradient descent with optional momentum.
 type SGD struct {
 	Params   []*nn.Param
 	lr       float64
 	Momentum float64
 
-	velocity [][]float64
+	velocity map[string][]float64 // nil when Momentum == 0
 }
 
 // NewSGD constructs an SGD optimizer over params.
 func NewSGD(params []*nn.Param, lr, momentum float64) *SGD {
+	uniqueNames(params)
 	s := &SGD{Params: params, lr: lr, Momentum: momentum}
 	if momentum != 0 {
-		s.velocity = make([][]float64, len(params))
-		for i, p := range params {
-			s.velocity[i] = make([]float64, p.Numel())
+		s.velocity = make(map[string][]float64, len(params))
+		for _, p := range params {
+			s.velocity[p.Name] = make([]float64, p.Numel())
 		}
 	}
 	return s
@@ -48,19 +146,47 @@ func NewSGD(params []*nn.Param, lr, momentum float64) *SGD {
 
 // Step applies w -= lr * (v or g).
 func (s *SGD) Step() {
-	for i, p := range s.Params {
+	for _, p := range s.Params {
 		if s.velocity == nil {
 			for j := range p.W.Data {
 				p.W.Data[j] -= s.lr * p.Grad.Data[j]
 			}
 			continue
 		}
-		v := s.velocity[i]
+		v := s.velocity[p.Name]
 		for j := range p.W.Data {
 			v[j] = s.Momentum*v[j] + p.Grad.Data[j]
 			p.W.Data[j] -= s.lr * v[j]
 		}
 	}
+}
+
+// ExportState snapshots the velocity buffers keyed by parameter name.
+func (s *SGD) ExportState() State {
+	st := State{Algo: "sgd", Moments: make(map[string]Moment, len(s.velocity))}
+	for name, v := range s.velocity {
+		st.Moments[name] = Moment{"velocity": append([]float64(nil), v...)}
+	}
+	return st
+}
+
+// ImportState restores previously exported velocities. With zero momentum
+// the state must carry no moments.
+func (s *SGD) ImportState(st State) error {
+	if s.velocity == nil {
+		if st.Algo != "sgd" || len(st.Moments) != 0 {
+			return fmt.Errorf("optim: momentum-free SGD cannot import state (algo %q, %d moments)", st.Algo, len(st.Moments))
+		}
+		return nil
+	}
+	moments, err := importMoments("sgd", st, s.Params, []string{"velocity"})
+	if err != nil {
+		return err
+	}
+	for name, m := range moments {
+		s.velocity[name] = m["velocity"]
+	}
+	return nil
 }
 
 // SetLR overrides the learning rate.
@@ -80,23 +206,24 @@ type AdamW struct {
 	WeightDecay float64
 
 	step int
-	m    [][]float64
-	v    [][]float64
+	m    map[string][]float64
+	v    map[string][]float64
 }
 
 // NewAdamW constructs an AdamW optimizer with the standard defaults
 // beta1=0.9, beta2=0.999, eps=1e-8.
 func NewAdamW(params []*nn.Param, lr, weightDecay float64) *AdamW {
+	uniqueNames(params)
 	a := &AdamW{
 		Params: params, lr: lr,
 		Beta1: 0.9, Beta2: 0.999, Eps: 1e-8,
 		WeightDecay: weightDecay,
-		m:           make([][]float64, len(params)),
-		v:           make([][]float64, len(params)),
+		m:           make(map[string][]float64, len(params)),
+		v:           make(map[string][]float64, len(params)),
 	}
-	for i, p := range params {
-		a.m[i] = make([]float64, p.Numel())
-		a.v[i] = make([]float64, p.Numel())
+	for _, p := range params {
+		a.m[p.Name] = make([]float64, p.Numel())
+		a.v[p.Name] = make([]float64, p.Numel())
 	}
 	return a
 }
@@ -109,8 +236,8 @@ func (a *AdamW) Step() {
 	a.step++
 	c1 := 1 - math.Pow(a.Beta1, float64(a.step))
 	c2 := 1 - math.Pow(a.Beta2, float64(a.step))
-	for i, p := range a.Params {
-		m, v := a.m[i], a.v[i]
+	for _, p := range a.Params {
+		m, v := a.m[p.Name], a.v[p.Name]
 		for j := range p.W.Data {
 			g := p.Grad.Data[j]
 			m[j] = a.Beta1*m[j] + (1-a.Beta1)*g
@@ -120,6 +247,38 @@ func (a *AdamW) Step() {
 			p.W.Data[j] -= a.lr * (mh/(math.Sqrt(vh)+a.Eps) + a.WeightDecay*p.W.Data[j])
 		}
 	}
+}
+
+// ExportState snapshots the first and second moments and the step count,
+// keyed by parameter name.
+func (a *AdamW) ExportState() State {
+	st := State{Algo: "adamw", Step: a.step, Moments: make(map[string]Moment, len(a.m))}
+	for name, m := range a.m {
+		st.Moments[name] = Moment{
+			"m": append([]float64(nil), m...),
+			"v": append([]float64(nil), a.v[name]...),
+		}
+	}
+	return st
+}
+
+// ImportState restores previously exported moments and the step count, so a
+// resumed run continues the exact Adam trajectory (bias correction
+// included).
+func (a *AdamW) ImportState(st State) error {
+	moments, err := importMoments("adamw", st, a.Params, []string{"m", "v"})
+	if err != nil {
+		return err
+	}
+	if st.Step < 0 {
+		return fmt.Errorf("optim: negative step count %d", st.Step)
+	}
+	a.step = st.Step
+	for name, m := range moments {
+		a.m[name] = m["m"]
+		a.v[name] = m["v"]
+	}
+	return nil
 }
 
 // SetLR overrides the learning rate.

@@ -2,6 +2,7 @@ package optim
 
 import (
 	"math"
+	"strings"
 	"testing"
 
 	"repro/internal/nn"
@@ -164,4 +165,114 @@ func TestOptimizerTrainsLinearRegression(t *testing.T) {
 	if last > 1e-3 {
 		t.Fatalf("linear regression did not fit: loss %v", last)
 	}
+}
+
+func TestAdamWStateRoundTripContinuesTrajectory(t *testing.T) {
+	// Export after k steps, import into a fresh optimizer over a copied
+	// parameter, continue both: the trajectories must be bitwise identical
+	// (moments and bias-correction step count both restored).
+	target := []float64{3, -1, 0.5}
+	p1, step1 := quadratic(target)
+	o1 := NewAdamW([]*nn.Param{p1}, 0.05, 0.01)
+	for i := 0; i < 5; i++ {
+		step1()
+		o1.Step()
+	}
+
+	p2, step2 := quadratic(target)
+	copy(p2.W.Data, p1.W.Data)
+	o2 := NewAdamW([]*nn.Param{p2}, 0.05, 0.01)
+	if err := o2.ImportState(o1.ExportState()); err != nil {
+		t.Fatal(err)
+	}
+	if o2.StepCount() != 5 {
+		t.Fatalf("imported step count %d, want 5", o2.StepCount())
+	}
+	for i := 0; i < 5; i++ {
+		step1()
+		o1.Step()
+		step2()
+		o2.Step()
+		for j := range p1.W.Data {
+			if p1.W.Data[j] != p2.W.Data[j] {
+				t.Fatalf("trajectories diverge at continued step %d index %d", i, j)
+			}
+		}
+	}
+}
+
+func TestSGDStateRoundTrip(t *testing.T) {
+	p1, step1 := quadratic([]float64{2})
+	o1 := NewSGD([]*nn.Param{p1}, 0.1, 0.9)
+	for i := 0; i < 3; i++ {
+		step1()
+		o1.Step()
+	}
+	p2, step2 := quadratic([]float64{2})
+	copy(p2.W.Data, p1.W.Data)
+	o2 := NewSGD([]*nn.Param{p2}, 0.1, 0.9)
+	if err := o2.ImportState(o1.ExportState()); err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 3; i++ {
+		step1()
+		o1.Step()
+		step2()
+		o2.Step()
+	}
+	if p1.W.Data[0] != p2.W.Data[0] {
+		t.Fatal("SGD velocity not restored exactly")
+	}
+}
+
+func TestImportStateReportsAllMismatches(t *testing.T) {
+	params := []*nn.Param{
+		nn.NewParam("a", tensor.New(2)),
+		nn.NewParam("b", tensor.New(3)),
+	}
+	o := NewAdamW(params, 0.1, 0)
+	st := State{
+		Algo: "sgd", // wrong algo
+		Moments: map[string]Moment{
+			"a":     {"m": []float64{1}, "v": []float64{1, 2}}, // short "m"
+			"ghost": {"m": []float64{0}, "v": []float64{0}},    // unknown param
+		},
+		// "b" missing entirely
+	}
+	err := o.ImportState(st)
+	if err == nil {
+		t.Fatal("want error")
+	}
+	for _, want := range []string{`algo "sgd"`, `"a"`, `missing moments for parameter "b"`, `unknown parameter "ghost"`} {
+		if !strings.Contains(err.Error(), want) {
+			t.Fatalf("error %q missing %q", err, want)
+		}
+	}
+	// Failed import must not have touched the optimizer's state.
+	if s := o.ExportState(); s.Step != 0 || len(s.Moments["a"]["m"]) != 2 {
+		t.Fatal("failed import mutated optimizer state")
+	}
+}
+
+func TestMomentumFreeSGDImport(t *testing.T) {
+	p, _ := quadratic([]float64{1})
+	o := NewSGD([]*nn.Param{p}, 0.1, 0)
+	if err := o.ImportState(State{Algo: "sgd"}); err != nil {
+		t.Fatal(err)
+	}
+	if err := o.ImportState(State{Algo: "adamw"}); err == nil {
+		t.Fatal("want algo error")
+	}
+}
+
+func TestDuplicateParamNamesPanic(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("duplicate names must panic")
+		}
+	}()
+	NewAdamW([]*nn.Param{
+		nn.NewParam("w", tensor.New(1)),
+		nn.NewParam("w", tensor.New(1)),
+	}, 0.1, 0)
 }

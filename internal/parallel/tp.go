@@ -39,10 +39,13 @@ func NewColumnParallelLinear(name string, in, out int, seed int64, c *comm.Commu
 	lo := out / t
 	w := tensor.SliceAxis(full.Weight.W, 1, c.Rank()*lo, (c.Rank()+1)*lo)
 	b := tensor.SliceAxis(full.Bias.W, 0, c.Rank()*lo, (c.Rank()+1)*lo)
-	return &ColumnParallelLinear{
+	l := &ColumnParallelLinear{
 		Comm: c, In: in, Out: out, LocalOut: lo,
 		Local: nn.NewLinearFrom(fmt.Sprintf("%s.col%d", name, c.Rank()), w, b),
 	}
+	l.Local.Weight.MarkShard(name+".weight", 1, []int{in, out}, c.Rank()*lo, (c.Rank()+1)*lo)
+	l.Local.Bias.MarkShard(name+".bias", 0, []int{out}, c.Rank()*lo, (c.Rank()+1)*lo)
+	return l
 }
 
 // Forward computes the local output slice [.., Out/t] from the replicated
@@ -95,11 +98,13 @@ func NewRowParallelLinear(name string, in, out int, seed int64, c *comm.Communic
 	full := nn.NewLinear(name, in, out, seed)
 	li := in / t
 	w := tensor.SliceAxis(full.Weight.W, 0, c.Rank()*li, (c.Rank()+1)*li)
-	return &RowParallelLinear{
+	l := &RowParallelLinear{
 		Comm: c, In: in, Out: out, LocalIn: li,
 		Local: nn.NewLinearFrom(fmt.Sprintf("%s.row%d", name, c.Rank()), w, nil),
 		Bias:  nn.NewParam(name+".bias", full.Bias.W),
 	}
+	l.Local.Weight.MarkShard(name+".weight", 0, []int{in, out}, c.Rank()*li, (c.Rank()+1)*li)
+	return l
 }
 
 // Forward computes the partial product from the local input slice and

@@ -409,6 +409,43 @@ func SliceAxis(t *Tensor, axis, from, to int) *Tensor {
 	return out
 }
 
+// SetSliceAxis writes src into the [from, from+src.Shape[axis]) range of dst
+// along the given axis; the inverse of SliceAxis. All other dimensions of src
+// must match dst.
+func SetSliceAxis(dst *Tensor, axis, from int, src *Tensor) {
+	if axis < 0 {
+		axis += len(dst.Shape)
+	}
+	if axis < 0 || axis >= len(dst.Shape) {
+		panic(fmt.Sprintf("tensor: SetSliceAxis axis out of range for shape %v", dst.Shape))
+	}
+	if len(src.Shape) != len(dst.Shape) {
+		panic(fmt.Sprintf("tensor: SetSliceAxis rank mismatch %v vs %v", src.Shape, dst.Shape))
+	}
+	for i := range dst.Shape {
+		if i != axis && src.Shape[i] != dst.Shape[i] {
+			panic(fmt.Sprintf("tensor: SetSliceAxis shape mismatch %v vs %v on axis %d", src.Shape, dst.Shape, i))
+		}
+	}
+	to := from + src.Shape[axis]
+	if from < 0 || to > dst.Shape[axis] {
+		panic(fmt.Sprintf("tensor: SetSliceAxis bounds [%d,%d) invalid for extent %d", from, to, dst.Shape[axis]))
+	}
+	outer := 1
+	for _, d := range dst.Shape[:axis] {
+		outer *= d
+	}
+	inner := 1
+	for _, d := range dst.Shape[axis+1:] {
+		inner *= d
+	}
+	dstRow := dst.Shape[axis] * inner
+	rows := src.Shape[axis] * inner
+	for o := 0; o < outer; o++ {
+		copy(dst.Data[o*dstRow+from*inner:o*dstRow+from*inner+rows], src.Data[o*rows:(o+1)*rows])
+	}
+}
+
 func mustSameShape(op string, a, b *Tensor) {
 	if !SameShape(a, b) {
 		panic(fmt.Sprintf("tensor: %s shape mismatch %v vs %v", op, a.Shape, b.Shape))

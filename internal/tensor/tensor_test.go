@@ -574,3 +574,34 @@ func TestBatchedMatMulParallelPath(t *testing.T) {
 		}
 	}
 }
+
+func TestSetSliceAxisInvertsSliceAxis(t *testing.T) {
+	rng := NewRNG(9)
+	src := Randn(rng, 3, 6, 2)
+	dst := New(3, 6, 2)
+	for _, bounds := range [][2]int{{0, 2}, {2, 5}, {5, 6}} {
+		part := SliceAxis(src, 1, bounds[0], bounds[1])
+		SetSliceAxis(dst, 1, bounds[0], part)
+	}
+	if MaxAbsDiff(src, dst) != 0 {
+		t.Fatal("tiling SetSliceAxis with SliceAxis pieces must reproduce the source")
+	}
+}
+
+func TestSetSliceAxisValidation(t *testing.T) {
+	for _, bad := range []func(){
+		func() { SetSliceAxis(New(2, 2), 0, 1, New(2, 2)) }, // out of bounds
+		func() { SetSliceAxis(New(2, 2), 0, 0, New(1, 3)) }, // off-axis mismatch
+		func() { SetSliceAxis(New(2, 2), 2, 0, New(2, 2)) }, // axis range
+		func() { SetSliceAxis(New(2, 2), 0, 0, New(2)) },    // rank mismatch
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Fatal("invalid SetSliceAxis must panic")
+				}
+			}()
+			bad()
+		}()
+	}
+}

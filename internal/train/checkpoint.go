@@ -1,0 +1,137 @@
+package train
+
+import (
+	"fmt"
+	"math/rand"
+
+	"repro/internal/ckpt"
+	"repro/internal/data"
+	"repro/internal/model"
+	"repro/internal/nn"
+	"repro/internal/optim"
+)
+
+// Stage fingerprints recorded in checkpoint manifests so a load into the
+// wrong architecture family fails with a clear message instead of a wall of
+// name mismatches. "dchag" covers both the distributed stage and its serial
+// Reference equivalent — they are the same logical model.
+const (
+	stageDCHAG  = "dchag"
+	stageSerial = "serial"
+)
+
+// metaStageKey is the manifest Meta key holding the stage fingerprint.
+const metaStageKey = "stage"
+
+// stageKind fingerprints a model's channel stage for the manifest.
+func stageKind(m *model.FoundationModel) string {
+	switch m.Stage.(type) {
+	case *model.DCHAGStage, *model.ReferenceStage:
+		return stageDCHAG
+	default:
+		return stageSerial
+	}
+}
+
+// modelPartitions returns the logical D-CHAG partition count of a model: the
+// stage's partition count for partitioned stages, 1 otherwise.
+func modelPartitions(m *model.FoundationModel) int {
+	switch s := m.Stage.(type) {
+	case *model.DCHAGStage:
+		return s.D.Partitions
+	case *model.ReferenceStage:
+		return s.R.P
+	default:
+		return 1
+	}
+}
+
+// writeShard snapshots one rank's parameters and optimizer state into the
+// checkpoint directory.
+func writeShard(dir string, rank int, params []*nn.Param, opt optim.Stateful) error {
+	return ckpt.WriteShard(dir, rank, ckpt.BuildTree(params, opt))
+}
+
+// writeManifest commits a checkpoint: call only after every rank's shard is
+// written.
+func writeManifest(dir string, world, partitions, step int, stage string) error {
+	return ckpt.WriteManifest(dir, ckpt.Manifest{
+		World:      world,
+		Partitions: partitions,
+		Step:       step,
+		OptAlgo:    "adamw",
+		Meta:       map[string]string{metaStageKey: stage},
+	})
+}
+
+// checkStage rejects checkpoints saved from a different architecture
+// family.
+func checkStage(m ckpt.Manifest, stage string) error {
+	if saved, ok := m.Meta[metaStageKey]; ok && saved != stage {
+		return fmt.Errorf("train: checkpoint was saved from a %q stage, this model is %q", saved, stage)
+	}
+	return nil
+}
+
+// openRestore opens the checkpoint the Resume/InitFrom options name, or
+// returns nil when no restore was requested. It runs once per training run
+// — before the rank fan-out in distributed runs — so every rank shares one
+// read-only *ckpt.Checkpoint instead of re-reading and re-assembling all
+// shards per goroutine.
+func openRestore(opts Options) (*ckpt.Checkpoint, error) {
+	switch {
+	case opts.InitFrom != "":
+		return ckpt.Open(opts.InitFrom)
+	case opts.Resume:
+		return ckpt.Open(opts.CheckpointDir)
+	default:
+		return nil, nil
+	}
+}
+
+// restoreStart applies an opened checkpoint (nil: fresh run) to params and
+// opt per the Resume/InitFrom options, returning the step index training
+// starts from (0 unless resuming). All validation — stage fingerprint,
+// partition count, step bound — happens before anything is written, so a
+// failed restore leaves model and optimizer untouched. The caller's logical
+// partition count must match a resumed checkpoint's: the partition count is
+// a model property, so a mismatch means a genuinely different model, not a
+// resharding.
+func restoreStart(ck *ckpt.Checkpoint, opts Options, params []*nn.Param, opt optim.Stateful, partitions int, stage string) (int, error) {
+	if ck == nil {
+		return 0, nil
+	}
+	if err := checkStage(ck.Manifest, stage); err != nil {
+		return 0, err
+	}
+	if opts.InitFrom != "" {
+		return 0, ck.RestoreParams(params)
+	}
+	if ck.Manifest.Partitions != partitions {
+		return 0, fmt.Errorf("train: checkpoint has %d logical partitions, model has %d (set the model's partition count from the manifest)",
+			ck.Manifest.Partitions, partitions)
+	}
+	if ck.Manifest.Step > opts.Steps {
+		return 0, fmt.Errorf("train: checkpoint is at step %d, beyond Steps=%d", ck.Manifest.Step, opts.Steps)
+	}
+	if err := ck.RestoreParams(params); err != nil {
+		return 0, err
+	}
+	if err := ck.RestoreOptimizer(opt, params); err != nil {
+		return 0, err
+	}
+	return ck.Manifest.Step, nil
+}
+
+// fastForwardMasks replays the mask stream consumed by `steps` completed
+// optimizer steps, so a resumed run draws exactly the masks the
+// uninterrupted run would have drawn. Each accumulation micro-step consumes
+// one full-batch mask; forecast runs (MaskRatio == 0) consume nothing.
+func fastForwardMasks(rng *rand.Rand, steps int, opts Options, tokens int) {
+	if opts.MaskRatio <= 0 || steps <= 0 {
+		return
+	}
+	for i := 0; i < steps*opts.accum(); i++ {
+		data.RandomMask(rng, opts.Batch, tokens, opts.MaskRatio)
+	}
+}

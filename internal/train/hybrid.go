@@ -30,6 +30,14 @@ func Hybrid(arch model.Arch, tp, dp int, tpViT bool, opts Options, batch BatchFn
 	if opts.Batch%dp != 0 {
 		return History{}, nil, fmt.Errorf("train: batch %d not divisible by dp %d", opts.Batch, dp)
 	}
+	if err := opts.validateCheckpoint(); err != nil {
+		return History{}, nil, err
+	}
+	// One read-only Checkpoint shared by all rank goroutines.
+	ck, err := openRestore(opts)
+	if err != nil {
+		return History{}, nil, err
+	}
 	spec := dist.MeshSpec{TP: tp, FSDP: 1, DP: dp}
 	// Frontier-shaped placement when the world fills nodes evenly; otherwise
 	// a single "node" wide enough for the whole group (the functional layer
@@ -56,8 +64,16 @@ func Hybrid(arch model.Arch, tp, dp int, tpViT bool, opts Options, batch BatchFn
 		accum := opts.accum()
 		sched := opts.schedule()
 		shard := opts.Batch / dp
+		start, err := restoreStart(ck, opts, mdl.Params(), opt, stage.D.Partitions, stageDCHAG)
+		if err != nil {
+			return err
+		}
+		fastForwardMasks(maskRNG, start, opts, t)
+		if rank == 0 {
+			hist.Start = start
+		}
 
-		for s := 0; s < opts.Steps; s++ {
+		for s := start; s < opts.Steps; s++ {
 			if sched != nil {
 				sched.Apply(opt, s)
 			}
@@ -110,6 +126,23 @@ func Hybrid(arch model.Arch, tp, dp int, tpViT bool, opts Options, batch BatchFn
 			} else {
 				dpc.SetPhase("metrics")
 				dpc.AllReduceScalarSum(stepLoss / float64(accum))
+			}
+			if opts.checkpointDue(s) && coord.DP == 0 {
+				// DP replicas hold identical state after SyncGradients, so
+				// replica 0's TP group alone writes the checkpoint; world
+				// rank 0 commits the manifest once its group's shards are
+				// durable.
+				tpc.SetPhase("ckpt")
+				if err := writeShard(opts.CheckpointDir, coord.TP, mdl.Params(), opt); err != nil {
+					return err
+				}
+				tpc.Barrier()
+				if rank == 0 {
+					if err := writeManifest(opts.CheckpointDir, tp, stage.D.Partitions, s+1, stageDCHAG); err != nil {
+						return err
+					}
+				}
+				tpc.Barrier()
 			}
 		}
 		return nil

@@ -39,6 +39,49 @@ type Options struct {
 	Warmup int
 	// Seed drives masking; data order is the caller's responsibility.
 	Seed int64
+	// CheckpointDir, when set, enables shard-aware checkpointing to that
+	// directory (internal/ckpt format): a checkpoint is written after the
+	// final step, and additionally every CheckpointEvery steps.
+	CheckpointDir string
+	// CheckpointEvery writes a checkpoint every N optimizer steps when
+	// positive (in addition to the final-step checkpoint).
+	CheckpointEvery int
+	// Resume restores parameters, optimizer state, and the step count from
+	// CheckpointDir before training, then continues with exact-resume
+	// semantics: the mask RNG stream and LR schedule are fast-forwarded to
+	// the restored step so the resumed run is step-for-step identical to an
+	// uninterrupted one. Exactness requires BatchFn to be a pure function of
+	// the step index returning Options.Batch rows (the repository's batch
+	// functions are), since the fast-forward replays the mask stream at that
+	// batch size.
+	Resume bool
+	// InitFrom restores parameter values only (no optimizer state, step 0)
+	// from the given checkpoint directory — a warm start rather than a
+	// resume. Mutually exclusive with Resume.
+	InitFrom string
+}
+
+// validateCheckpoint rejects inconsistent checkpoint options.
+func (o Options) validateCheckpoint() error {
+	if o.Resume && o.CheckpointDir == "" {
+		return fmt.Errorf("train: Resume requires CheckpointDir")
+	}
+	if o.Resume && o.InitFrom != "" {
+		return fmt.Errorf("train: Resume and InitFrom are mutually exclusive")
+	}
+	if o.CheckpointEvery > 0 && o.CheckpointDir == "" {
+		return fmt.Errorf("train: CheckpointEvery requires CheckpointDir")
+	}
+	return nil
+}
+
+// checkpointDue reports whether a checkpoint must be written after
+// (0-indexed) step s.
+func (o Options) checkpointDue(s int) bool {
+	if o.CheckpointDir == "" {
+		return false
+	}
+	return s == o.Steps-1 || (o.CheckpointEvery > 0 && (s+1)%o.CheckpointEvery == 0)
 }
 
 // accum normalizes AccumSteps.
@@ -64,9 +107,11 @@ func (o Options) schedule() *optim.CosineSchedule {
 // target may equal input; for forecasting it is the future snapshot.
 type BatchFn func(step int) (x, y *tensor.Tensor)
 
-// History records per-step training metrics.
+// History records per-step training metrics. Loss[i] is the loss of global
+// step Start+i; Start is nonzero when the run resumed from a checkpoint.
 type History struct {
-	Loss []float64
+	Start int
+	Loss  []float64
 }
 
 // Last returns the final loss.
@@ -79,9 +124,27 @@ func (h History) Last() float64 {
 
 // Serial trains a single-process model, returning the loss history. The
 // same mask stream (Options.Seed) is used by Distributed so the two runs are
-// comparable step for step, the comparison both Figs. 11 and 12 make.
+// comparable step for step, the comparison both Figs. 11 and 12 make. It
+// panics on checkpoint I/O errors; callers using the checkpoint options
+// should prefer SerialCheckpointed.
 func Serial(m *model.FoundationModel, opts Options, batch BatchFn) History {
+	hist, err := SerialCheckpointed(m, opts, batch)
+	if err != nil {
+		panic(fmt.Sprintf("train: %v", err))
+	}
+	return hist
+}
+
+// SerialCheckpointed is Serial with error reporting for the checkpoint
+// options: Resume/InitFrom restore state before the first step, and
+// CheckpointDir/CheckpointEvery write shard-aware checkpoints during the
+// run. On resume the returned history covers only the steps this invocation
+// ran (the saved step onward).
+func SerialCheckpointed(m *model.FoundationModel, opts Options, batch BatchFn) (History, error) {
 	var hist History
+	if err := opts.validateCheckpoint(); err != nil {
+		return hist, err
+	}
 	opt := optim.NewAdamW(m.Params(), opts.LR, opts.WeightDecay)
 	maskRNG := tensor.NewRNG(opts.Seed)
 	mse := nn.NewMSELoss()
@@ -89,7 +152,17 @@ func Serial(m *model.FoundationModel, opts Options, batch BatchFn) History {
 	t := m.Arch.Tokens()
 	accum := opts.accum()
 	sched := opts.schedule()
-	for s := 0; s < opts.Steps; s++ {
+	ck, err := openRestore(opts)
+	if err != nil {
+		return hist, err
+	}
+	start, err := restoreStart(ck, opts, m.Params(), opt, modelPartitions(m), stageKind(m))
+	if err != nil {
+		return hist, err
+	}
+	fastForwardMasks(maskRNG, start, opts, t)
+	hist.Start = start
+	for s := start; s < opts.Steps; s++ {
 		if sched != nil {
 			sched.Apply(opt, s)
 		}
@@ -121,8 +194,16 @@ func Serial(m *model.FoundationModel, opts Options, batch BatchFn) History {
 		}
 		opt.Step()
 		hist.Loss = append(hist.Loss, stepLoss/float64(accum))
+		if opts.checkpointDue(s) {
+			if err := writeShard(opts.CheckpointDir, 0, m.Params(), opt); err != nil {
+				return hist, err
+			}
+			if err := writeManifest(opts.CheckpointDir, 1, modelPartitions(m), s+1, stageKind(m)); err != nil {
+				return hist, err
+			}
+		}
 	}
-	return hist
+	return hist, nil
 }
 
 // Distributed trains a D-CHAG model over p simulated ranks and returns rank
@@ -132,6 +213,14 @@ func Serial(m *model.FoundationModel, opts Options, batch BatchFn) History {
 // Serial.
 func Distributed(arch model.Arch, p int, tpViT bool, opts Options, batch BatchFn) (History, *comm.Group, error) {
 	var hist History
+	if err := opts.validateCheckpoint(); err != nil {
+		return hist, nil, err
+	}
+	// One read-only Checkpoint shared by all rank goroutines.
+	ck, err := openRestore(opts)
+	if err != nil {
+		return hist, nil, err
+	}
 	g, err := comm.Run(p, func(c *comm.Communicator) error {
 		m := model.NewDistributed(arch, c, tpViT)
 		stage := m.Stage.(*model.DCHAGStage)
@@ -143,7 +232,15 @@ func Distributed(arch model.Arch, p int, tpViT bool, opts Options, batch BatchFn
 		t := arch.Tokens()
 		accum := opts.accum()
 		sched := opts.schedule()
-		for s := 0; s < opts.Steps; s++ {
+		start, err := restoreStart(ck, opts, m.Params(), opt, stage.D.Partitions, stageDCHAG)
+		if err != nil {
+			return err
+		}
+		fastForwardMasks(maskRNG, start, opts, t)
+		if c.Rank() == 0 {
+			hist.Start = start
+		}
+		for s := start; s < opts.Steps; s++ {
 			if sched != nil {
 				sched.Apply(opt, s)
 			}
@@ -181,6 +278,19 @@ func Distributed(arch model.Arch, p int, tpViT bool, opts Options, batch BatchFn
 			opt.Step()
 			if c.Rank() == 0 {
 				hist.Loss = append(hist.Loss, stepLoss/float64(accum))
+			}
+			if opts.checkpointDue(s) {
+				c.SetPhase("ckpt")
+				if err := writeShard(opts.CheckpointDir, c.Rank(), m.Params(), opt); err != nil {
+					return err
+				}
+				c.Barrier() // every shard durable before the manifest commits
+				if c.Rank() == 0 {
+					if err := writeManifest(opts.CheckpointDir, c.Size(), stage.D.Partitions, s+1, stageDCHAG); err != nil {
+						return err
+					}
+				}
+				c.Barrier() // checkpoint complete before training continues
 			}
 		}
 		return nil
