@@ -25,9 +25,11 @@ bench-diff:
 
 # race exercises the rendezvous/abort-heavy packages under the race
 # detector — including the checkpoint/resume paths, whose shard writes and
-# barriers run on every rank goroutine — identical to the CI race job.
+# barriers run on every rank goroutine, and the perfmodel/experiments
+# layer, whose sweeps and RunMesh-backed spot-checks fan out across
+# goroutines — identical to the CI race job.
 race:
-	$(GO) test -race ./internal/comm/... ./internal/dist/... ./internal/train/... ./internal/ckpt/...
+	$(GO) test -race ./internal/comm/... ./internal/dist/... ./internal/train/... ./internal/ckpt/... ./internal/perfmodel/... ./internal/experiments/...
 
 fmt-check:
 	@unformatted=$$(gofmt -l .); \

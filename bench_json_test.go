@@ -51,7 +51,7 @@ func TestSweepJSONArtifact(t *testing.T) {
 	if err := json.Unmarshal(raw, &generic); err != nil {
 		t.Fatalf("artifact is not a JSON object: %v", err)
 	}
-	for _, key := range []string{"schema", "model", "channels", "gpus_per_node", "scales", "cliff_gcds", "points", "cliff"} {
+	for _, key := range []string{"schema", "model", "channels", "gpus_per_node", "overlap", "scales", "cliff_gcds", "points", "cliff"} {
 		if _, ok := generic[key]; !ok {
 			t.Fatalf("artifact missing top-level key %q", key)
 		}
@@ -65,19 +65,22 @@ func TestSweepJSONArtifact(t *testing.T) {
 		t.Fatal("sweep point must be an object")
 	}
 	for _, key := range []string{"gcds", "nodes", "method", "tp", "fsdp", "dp", "tp_intra_node",
-		"micro_batch", "fits", "mem_bytes_per_gpu", "step_seconds", "compute_seconds",
-		"comm_seconds", "tflops_per_sec", "tflops_per_sec_per_node", "best"} {
+		"micro_batch", "fits", "mem_bytes_per_gpu", "step_seconds", "serial_step_seconds",
+		"compute_seconds", "comm_seconds", "exposed_seconds",
+		"tflops_per_sec", "tflops_per_sec_per_node", "best"} {
 		if _, ok := point[key]; !ok {
 			t.Fatalf("sweep point missing key %q", key)
 		}
 	}
-	comm, ok := point["comm_seconds"].(map[string]any)
-	if !ok {
-		t.Fatal("comm_seconds must be an object")
-	}
-	for _, key := range []string{"tp_seconds", "fsdp_seconds", "dp_seconds", "total_seconds"} {
-		if _, ok := comm[key]; !ok {
-			t.Fatalf("comm breakdown missing key %q", key)
+	for _, bd := range []string{"comm_seconds", "exposed_seconds"} {
+		comm, ok := point[bd].(map[string]any)
+		if !ok {
+			t.Fatalf("%s must be an object", bd)
+		}
+		for _, key := range []string{"tp_seconds", "fsdp_seconds", "dp_seconds", "total_seconds"} {
+			if _, ok := comm[key]; !ok {
+				t.Fatalf("%s breakdown missing key %q", bd, key)
+			}
 		}
 	}
 

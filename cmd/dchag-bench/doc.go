@@ -8,41 +8,48 @@
 //	dchag-bench -fig sweep      # the 8-512 GCD step-time sweep
 //	dchag-bench -list           # list available experiments
 //	dchag-bench -json out.json  # write the sweep report as JSON (no tables)
-//	dchag-bench -diff old.json new.json   # perf-trajectory gate (below)
+//	dchag-bench -json out.json -no-overlap  # serial (pre-overlap) pricing
+//	dchag-bench -diff old.json new.json     # perf-trajectory gate (below)
 //
 // Figures 6-9 and 13-16 and the sweep are analytic (internal/perfmodel on
 // the Frontier machine model); figures 11 and 12 train real reduced-scale
 // models on the simulated rank substrate and take a few seconds each.
 //
-// # JSON schema (dchag-bench/sweep/v1)
+// # JSON schema (dchag-bench/sweep/v2)
 //
 // The -json flag writes one experiments.SweepReport object. The schema is a
 // stable contract for perf-trajectory tooling (CI uploads the file as the
 // BENCH_sweep.json artifact; future PRs diff these mechanically):
 //
 //	{
-//	  "schema": "dchag-bench/sweep/v1",   // bump on breaking change
+//	  "schema": "dchag-bench/sweep/v2",   // bump on breaking change
 //	  "model": "7B",                      // perfmodel shape of the sweep
 //	  "channels": 500,                    // workload channel count
 //	  "gpus_per_node": 8,                 // Frontier node width
+//	  "overlap": true,                    // false under -no-overlap
 //	  "scales": [8, 16, ..., 512],        // GCD counts swept
 //	  "cliff_gcds": 512,                  // scale of the cliff series
 //	  "points": [                         // full TP×FSDP×DP grid
 //	    {
 //	      "gcds": 512, "nodes": 64,
-//	      "method": "D-CHAG", "tp": 4, "fsdp": 2, "dp": 64,
+//	      "method": "D-CHAG", "tp": 2, "fsdp": 4, "dp": 64,
 //	      "tp_intra_node": true,          // TP rings stay on one node
-//	      "micro_batch": 16,              // largest fitting (0 = OOM)
+//	      "micro_batch": 10,              // largest fitting (0 = OOM)
 //	      "fits": true,
 //	      "mem_bytes_per_gpu": 6.1e10,
-//	      "step_seconds": 4.49,           // simulated wall time per step
-//	      "compute_seconds": 3.24,
-//	      "comm_seconds": {               // per-axis breakdown
-//	        "tp_seconds": 0.53, "fsdp_seconds": 0.11,
-//	        "dp_seconds": 0.60, "total_seconds": 1.25
+//	      "step_seconds": 4.57,           // overlapped step time
+//	      "serial_step_seconds": 5.80,    // compute + total comm (v1)
+//	      "compute_seconds": 4.04,
+//	      "comm_seconds": {               // full per-axis collective time
+//	        "tp_seconds": 0.22, "fsdp_seconds": 0.34,
+//	        "dp_seconds": 1.19, "total_seconds": 1.76
 //	      },
-//	      "tflops_per_sec": 45987.2,
-//	      "tflops_per_sec_per_node": 718.5,
+//	      "exposed_seconds": {            // left on the critical path
+//	        "tp_seconds": 0.22, "fsdp_seconds": 0.19,
+//	        "dp_seconds": 0.12, "total_seconds": 0.53
+//	      },
+//	      "tflops_per_sec": 56519.7,      // from the overlapped step
+//	      "tflops_per_sec_per_node": 883.1,
 //	      "best": true                    // top throughput at its scale
 //	    }, ...
 //	  ],
@@ -50,24 +57,43 @@
 //	    {                                 // cliff_gcds GCDs
 //	      "tp": 16, "fsdp": 8, "dp": 4, "micro_batch": 4,
 //	      "tp_intra_node": false,
-//	      "step_seconds": 1.26, "compute_seconds": 0.21,
-//	      "comm_seconds": { ... }
+//	      "step_seconds": 1.06, "serial_step_seconds": 1.26,
+//	      "compute_seconds": 0.21,
+//	      "comm_seconds": { ... }, "exposed_seconds": { ... }
 //	    }, ...
 //	  ]
 //	}
 //
-// Additive fields may appear within v1; readers must ignore unknown keys.
+// v2 prices step times under the overlap composition model (see
+// internal/perfmodel/overlap.go): FSDP parameter traffic prefetches
+// against compute, DP gradient buckets overlap the backward pass, TP
+// collectives stay on the critical path. step_seconds is compute plus the
+// exposed comm; serial_step_seconds keeps the v1 compute + total-comm
+// composition so trajectories remain comparable across the schema bump.
+// Under -no-overlap the two coincide and "overlap" is false.
+//
+// Additive fields may appear within v2; readers must ignore unknown keys.
 // Field removals or meaning changes bump the schema string.
 //
 // # Report diffing (-diff)
 //
-// `dchag-bench -diff old.json new.json` compares two sweep/v1 reports and
+// `dchag-bench -diff old.json new.json` compares two sweep reports and
 // exits non-zero when the perf trajectory regressed: the best shape at any
-// scale changed, a configuration's simulated step time regressed beyond
-// -diff-tol (default 5%), a configuration flipped to OOM, or coverage was
-// dropped. Improvements and added configurations pass silently. Exit codes:
-// 0 clean, 1 regressions found, 2 unreadable/incomparable reports. CI runs
-// this (`make bench-diff`) against the committed BENCH_sweep.json before
-// refreshing it, so every perf-affecting commit must either stay inside
-// tolerance or consciously update the committed trajectory point.
+// scale changed, a configuration's simulated step time (serial, and under
+// v2 also overlapped) regressed beyond -diff-tol (default 5%), a
+// configuration flipped to OOM, or coverage was dropped. Improvements and
+// added configurations pass silently.
+//
+// Reports of different schema versions (a committed v1 artifact against a
+// v2 regeneration) are comparable: the version change is printed as an
+// explicit note and only the fields both schemas share are gated — serial
+// step times, fit/OOM status, and coverage. Best-shape marks and
+// overlapped times are skipped across versions (v2 chooses best shapes by
+// overlapped throughput) and the notes say so.
+//
+// Exit codes: 0 clean, 1 regressions found, 2 unreadable/incomparable
+// reports. CI runs this (`make bench-diff`) against the committed
+// BENCH_sweep.json before refreshing it, so every perf-affecting commit
+// must either stay inside tolerance or consciously update the committed
+// trajectory point.
 package main

@@ -14,6 +14,7 @@ func main() {
 	list := flag.Bool("list", false, "list available experiments")
 	format := flag.String("format", "text", "output format: text | markdown")
 	jsonPath := flag.String("json", "", "write the sweep report as JSON to this path and exit (see doc.go for the schema)")
+	noOverlap := flag.Bool("no-overlap", false, "price the sweep with the serial compute+comm composition instead of the overlap model (affects -json)")
 	diff := flag.Bool("diff", false, "compare two sweep reports: dchag-bench -diff old.json new.json; exits 1 on regressions")
 	diffTol := flag.Float64("diff-tol", 0.05, "fractional step-time regression tolerance for -diff (0.05 = 5%)")
 	flag.Parse()
@@ -23,15 +24,18 @@ func main() {
 			fmt.Fprintln(os.Stderr, "dchag-bench: -diff needs exactly two report paths: old.json new.json")
 			os.Exit(2)
 		}
-		diffs, err := diffReports(flag.Arg(0), flag.Arg(1), *diffTol)
+		d, err := diffReports(flag.Arg(0), flag.Arg(1), *diffTol)
 		if err != nil {
 			fmt.Fprintf(os.Stderr, "dchag-bench: %v\n", err)
 			os.Exit(2)
 		}
-		if len(diffs) > 0 {
-			fmt.Printf("%d regression(s) between %s and %s:\n", len(diffs), flag.Arg(0), flag.Arg(1))
-			for _, d := range diffs {
-				fmt.Printf("  %s\n", d)
+		for _, n := range d.Notes {
+			fmt.Printf("note: %s\n", n)
+		}
+		if !d.Clean() {
+			fmt.Printf("%d regression(s) between %s and %s:\n", len(d.Regressions), flag.Arg(0), flag.Arg(1))
+			for _, r := range d.Regressions {
+				fmt.Printf("  %s\n", r)
 			}
 			os.Exit(1)
 		}
@@ -52,7 +56,11 @@ func main() {
 	}
 
 	if *jsonPath != "" {
-		rep := experiments.RunSweep(experiments.DefaultSweepScales())
+		run := experiments.RunSweep
+		if *noOverlap {
+			run = experiments.RunSweepSerial
+		}
+		rep := run(experiments.DefaultSweepScales())
 		data, err := json.MarshalIndent(rep, "", "  ")
 		if err != nil {
 			fmt.Fprintf(os.Stderr, "dchag-bench: encoding sweep report: %v\n", err)
@@ -88,8 +96,8 @@ func main() {
 	}
 }
 
-// diffReports loads two sweep-report files and returns their regressions.
-func diffReports(oldPath, newPath string, tol float64) ([]string, error) {
+// diffReports loads two sweep-report files and returns their comparison.
+func diffReports(oldPath, newPath string, tol float64) (experiments.SweepDiff, error) {
 	load := func(path string) (experiments.SweepReport, error) {
 		data, err := os.ReadFile(path)
 		if err != nil {
@@ -103,11 +111,11 @@ func diffReports(oldPath, newPath string, tol float64) ([]string, error) {
 	}
 	oldRep, err := load(oldPath)
 	if err != nil {
-		return nil, err
+		return experiments.SweepDiff{}, err
 	}
 	newRep, err := load(newPath)
 	if err != nil {
-		return nil, err
+		return experiments.SweepDiff{}, err
 	}
 	return experiments.DiffSweep(oldRep, newRep, tol)
 }

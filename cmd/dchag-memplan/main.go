@@ -100,8 +100,8 @@ func main() {
 	} else {
 		fmt.Printf("  no TP degree up to 32 fits this configuration\n")
 	}
-	fmt.Printf("  modeled step time: %.3f s (compute %.3f, comm %.3f), %.1f TFLOPs/s/node\n",
-		r.StepSeconds(), r.ComputeSeconds, r.CommSeconds, r.TFLOPsPerSecPerNode())
+	fmt.Printf("  modeled step time: %.3f s (compute %.3f + exposed comm %.3f; %.3f s comm before overlap, %.3f s serial), %.1f TFLOPs/s/node\n",
+		r.StepSeconds(), r.ComputeSeconds, r.ExposedCommSeconds, r.CommSeconds, r.SerialStepSeconds(), r.TFLOPsPerSecPerNode())
 	if !r.Fits() {
 		os.Exit(2)
 	}

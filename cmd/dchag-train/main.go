@@ -62,6 +62,7 @@ func main() {
 		seed     = flag.Int64("seed", 2024, "master seed")
 		save     = flag.String("save", "", "write checkpoints (weights + optimizer state) to this directory")
 		saveEach = flag.Int("save-every", 0, "also checkpoint every N optimizer steps (0: final step only)")
+		keep     = flag.Int("keep", 1, "retain the newest K checkpoints as step subdirectories (1: single-slot overwrite)")
 		load     = flag.String("load", "", "warm-start weights from this checkpoint directory (resharding as needed)")
 		resume   = flag.String("resume", "", "resume exactly from this checkpoint directory (weights, optimizer moments, step)")
 		parts    = flag.Int("partitions", 0, "logical D-CHAG partition count (0: one per rank; -load/-resume read it from the manifest)")
@@ -133,6 +134,8 @@ func main() {
 		opts.CheckpointDir = *save
 	}
 	opts.CheckpointEvery = *saveEach
+	opts.CheckpointKeep = *keep
+
 	opts.InitFrom = *load
 
 	// The logical partition count: the manifest's when restoring (it is a
@@ -142,6 +145,12 @@ func main() {
 	if dir := opts.CheckpointDir; opts.Resume || *load != "" {
 		if *load != "" {
 			dir = *load
+		}
+		// Resolve keep-last-k retention roots to their newest complete
+		// checkpoint; single-slot directories resolve to themselves.
+		dir, err := ckpt.LatestDir(dir)
+		if err != nil {
+			log.Fatal(err)
 		}
 		man, err := ckpt.ReadManifest(dir)
 		if err != nil {

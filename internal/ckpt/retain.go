@@ -1,0 +1,160 @@
+// Keep-last-k checkpoint retention. A retention root is a directory whose
+// step-numbered subdirectories each hold one complete checkpoint
+// (shards + manifest); train.Options.CheckpointKeep >= 2 switches the
+// training loops from the historical single-slot layout (the checkpoint
+// directory overwritten in place) to this layout, pruning the oldest
+// committed checkpoints after each successful save.
+//
+// Safety rules, enforced here and covered by the package tests:
+//
+//   - A checkpoint is committed exactly when its MANIFEST.json exists (the
+//     same commit point the writers use). Only committed checkpoints are
+//     retention candidates.
+//   - Prune never touches an uncommitted directory — in particular the
+//     directory currently being written, whose manifest lands last — nor
+//     any entry it does not recognize as a step directory.
+//   - LatestDir resolves to the newest *committed* checkpoint, so a crash
+//     that left a partial (manifest-less) save behind resumes from the
+//     previous complete one instead of failing on the debris.
+
+package ckpt
+
+import (
+	"fmt"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+)
+
+// stepDirPrefix prefixes retention subdirectory names; the suffix is the
+// zero-padded optimizer step the checkpoint was committed at.
+const stepDirPrefix = "step-"
+
+// StepDirName returns the retention subdirectory name for a checkpoint
+// committed at the given optimizer step.
+func StepDirName(step int) string { return fmt.Sprintf("%s%08d", stepDirPrefix, step) }
+
+// StepDir returns the retention subdirectory path for a step under root.
+func StepDir(root string, step int) string { return filepath.Join(root, StepDirName(step)) }
+
+// stepOf parses a retention subdirectory name back into its step; ok is
+// false for names this package did not generate — including non-canonical
+// digit strings (unpadded "step-7"), which would otherwise resolve to a
+// different path than the directory they name.
+func stepOf(name string) (step int, ok bool) {
+	digits, found := strings.CutPrefix(name, stepDirPrefix)
+	if !found || digits == "" {
+		return 0, false
+	}
+	for _, c := range digits {
+		if c < '0' || c > '9' {
+			return 0, false
+		}
+		step = step*10 + int(c-'0')
+	}
+	if StepDirName(step) != name {
+		return 0, false
+	}
+	return step, true
+}
+
+// Committed reports whether dir holds a complete checkpoint: the manifest
+// is written last, so its presence is the commit point.
+func Committed(dir string) bool {
+	_, err := os.Stat(filepath.Join(dir, ManifestName))
+	return err == nil
+}
+
+// ListSteps returns the steps of every committed checkpoint under root, in
+// ascending order. Uncommitted (partial) step directories and entries this
+// package did not create are skipped. A missing root lists as empty.
+func ListSteps(root string) ([]int, error) {
+	entries, err := os.ReadDir(root)
+	if os.IsNotExist(err) {
+		return nil, nil
+	}
+	if err != nil {
+		return nil, fmt.Errorf("ckpt: reading retention root: %w", err)
+	}
+	var steps []int
+	for _, e := range entries {
+		if !e.IsDir() {
+			continue
+		}
+		step, ok := stepOf(e.Name())
+		if !ok || !Committed(filepath.Join(root, e.Name())) {
+			continue
+		}
+		steps = append(steps, step)
+	}
+	sort.Ints(steps)
+	return steps, nil
+}
+
+// LatestDir resolves dir to its newest complete checkpoint: dir itself
+// under the single-slot layout (a manifest of its own), the highest-step
+// committed retention subdirectory otherwise. When both layouts are
+// present — a run that switched CheckpointKeep leaves the old single-slot
+// manifest behind next to newer step directories — the manifests' step
+// counts decide, so resume never silently rolls back to the older save.
+// It fails when no complete checkpoint exists — including when only
+// partial saves are present.
+func LatestDir(dir string) (string, error) {
+	steps, err := ListSteps(dir)
+	if err != nil {
+		return "", err
+	}
+	if len(steps) == 0 {
+		if Committed(dir) {
+			return dir, nil
+		}
+		return "", fmt.Errorf("ckpt: no committed checkpoint under %s", dir)
+	}
+	latest := StepDir(dir, steps[len(steps)-1])
+	if Committed(dir) {
+		m, err := ReadManifest(dir)
+		if err != nil {
+			return "", err
+		}
+		if m.Step > steps[len(steps)-1] {
+			return dir, nil
+		}
+	}
+	return latest, nil
+}
+
+// OpenLatest opens the newest complete checkpoint under dir (see
+// LatestDir).
+func OpenLatest(dir string) (*Checkpoint, error) {
+	latest, err := LatestDir(dir)
+	if err != nil {
+		return nil, err
+	}
+	return Open(latest)
+}
+
+// Prune deletes committed checkpoints under root beyond the newest keep,
+// oldest first, and returns the pruned steps. Directories without a
+// manifest — a save still in flight, or debris from a crash — are never
+// deleted. keep must be at least 1: retention never removes the latest
+// complete checkpoint.
+func Prune(root string, keep int) ([]int, error) {
+	if keep < 1 {
+		return nil, fmt.Errorf("ckpt: retention must keep at least 1 checkpoint, got %d", keep)
+	}
+	steps, err := ListSteps(root)
+	if err != nil {
+		return nil, err
+	}
+	if len(steps) <= keep {
+		return nil, nil
+	}
+	doomed := steps[:len(steps)-keep]
+	for _, step := range doomed {
+		if err := os.RemoveAll(StepDir(root, step)); err != nil {
+			return nil, fmt.Errorf("ckpt: pruning step %d: %w", step, err)
+		}
+	}
+	return append([]int(nil), doomed...), nil
+}

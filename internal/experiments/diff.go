@@ -22,9 +22,46 @@ func pointKey(p SweepPoint) shapeKey {
 	return shapeKey{GCDs: p.GCDs, Method: p.Method, TP: p.TP, FSDP: p.FSDP, DP: p.DP}
 }
 
-// DiffSweep mechanically compares two sweep reports (schema
-// dchag-bench/sweep/v1) and returns the regressions between them, for the
-// perf-trajectory gate behind `dchag-bench -diff`:
+// SweepDiff is the result of comparing two sweep reports: Regressions fail
+// the perf gate (dchag-bench -diff exits 1), Notes are informational — the
+// explicit record of what a cross-schema comparison could and could not
+// check.
+type SweepDiff struct {
+	Notes       []string
+	Regressions []string
+}
+
+// Clean reports whether the comparison found no regressions.
+func (d SweepDiff) Clean() bool { return len(d.Regressions) == 0 }
+
+// knownSchema reports whether the diff machinery understands the schema.
+func knownSchema(schema string) bool {
+	return schema == SweepSchema || schema == SweepSchemaV1
+}
+
+// serialStepOf returns a point's serial (compute + total comm) step time
+// under its report's schema: v1 reports carried it as step_seconds, v2
+// reports carry it as serial_step_seconds. The serial composition is the
+// one quantity priced identically by both schema generations, so it is the
+// step-time field cross-schema comparisons use.
+func serialStepOf(p SweepPoint, schema string) float64 {
+	if schema == SweepSchemaV1 {
+		return p.StepSeconds
+	}
+	return p.SerialStepSeconds
+}
+
+// serialCliffOf is serialStepOf for cliff points.
+func serialCliffOf(c CliffPoint, schema string) float64 {
+	if schema == SweepSchemaV1 {
+		return c.StepSeconds
+	}
+	return c.SerialStepSeconds
+}
+
+// DiffSweep mechanically compares two sweep reports and returns the
+// regressions between them, for the perf-trajectory gate behind
+// `dchag-bench -diff`:
 //
 //   - the best (highest-throughput) shape at any scale changed;
 //   - a configuration present in both reports regressed in simulated step
@@ -32,19 +69,49 @@ func pointKey(p SweepPoint) shapeKey {
 //   - a configuration flipped between fitting and OOM;
 //   - a scale or configuration covered by the old report disappeared.
 //
-// Improvements and newly added configurations are not regressions. An error
-// (as opposed to diffs) means the reports cannot be compared at all.
-func DiffSweep(oldRep, newRep SweepReport, tolFrac float64) ([]string, error) {
-	if oldRep.Schema != SweepSchema {
-		return nil, fmt.Errorf("experiments: old report schema %q is not %q", oldRep.Schema, SweepSchema)
+// Reports of different schema versions (v1 vs v2) are comparable: the
+// version change is reported as an explicit note and only the fields both
+// schemas share are compared — serial step times, fit/OOM status, and
+// coverage. Overlapped step times and best-shape marks exist only under
+// v2 semantics (v2 chooses best shapes by overlapped throughput), so
+// cross-schema runs skip them and say so, instead of failing opaquely or
+// flagging false regressions. The same shared-fields-plus-note treatment
+// applies to two v2 reports priced under different overlap settings (one
+// written with -no-overlap).
+//
+// Improvements and newly added configurations are not regressions. An
+// error (as opposed to regressions) means the reports cannot be compared
+// at all.
+func DiffSweep(oldRep, newRep SweepReport, tolFrac float64) (SweepDiff, error) {
+	var d SweepDiff
+	if !knownSchema(oldRep.Schema) {
+		return d, fmt.Errorf("experiments: old report schema %q is not %q or %q", oldRep.Schema, SweepSchema, SweepSchemaV1)
 	}
-	if newRep.Schema != SweepSchema {
-		return nil, fmt.Errorf("experiments: new report schema %q is not %q", newRep.Schema, SweepSchema)
+	if !knownSchema(newRep.Schema) {
+		return d, fmt.Errorf("experiments: new report schema %q is not %q or %q", newRep.Schema, SweepSchema, SweepSchemaV1)
 	}
 	if tolFrac < 0 {
-		return nil, fmt.Errorf("experiments: negative tolerance %v", tolFrac)
+		return d, fmt.Errorf("experiments: negative tolerance %v", tolFrac)
 	}
-	var diffs []string
+	sameSchema := oldRep.Schema == newRep.Schema
+	if !sameSchema {
+		d.Notes = append(d.Notes,
+			fmt.Sprintf("schema changed: %s -> %s; comparing shared fields only (serial step times, fits, coverage)", oldRep.Schema, newRep.Schema),
+			"best-shape marks and overlapped step times are not comparable across schema versions and were skipped")
+	}
+	// Two v2 reports priced under different overlap settings (one written
+	// with -no-overlap) also disagree on what step_seconds and the best
+	// marks mean; gate only the shared serial fields there too.
+	overlapComparable := sameSchema && oldRep.Schema == SweepSchema && oldRep.Overlap == newRep.Overlap
+	if sameSchema && oldRep.Schema == SweepSchema && oldRep.Overlap != newRep.Overlap {
+		d.Notes = append(d.Notes,
+			fmt.Sprintf("overlap pricing changed: %v -> %v; comparing shared fields only (serial step times, fits, coverage)", oldRep.Overlap, newRep.Overlap),
+			"best-shape marks and overlapped step times are not comparable across overlap settings and were skipped")
+	}
+	bestComparable := sameSchema && (oldRep.Schema == SweepSchemaV1 || overlapComparable)
+	regress := func(format string, args ...any) {
+		d.Regressions = append(d.Regressions, fmt.Sprintf(format, args...))
+	}
 
 	newScales := make(map[int]bool, len(newRep.Scales))
 	for _, s := range newRep.Scales {
@@ -52,22 +119,26 @@ func DiffSweep(oldRep, newRep SweepReport, tolFrac float64) ([]string, error) {
 	}
 	for _, s := range oldRep.Scales {
 		if !newScales[s] {
-			diffs = append(diffs, fmt.Sprintf("scale %d GCDs dropped from the sweep", s))
+			regress("scale %d GCDs dropped from the sweep", s)
 		}
 	}
 
-	// Best-shape changes per scale covered by both reports.
-	for _, s := range oldRep.Scales {
-		if !newScales[s] {
-			continue
-		}
-		oldBest, oldOK := oldRep.BestAt(s)
-		newBest, newOK := newRep.BestAt(s)
-		switch {
-		case oldOK && !newOK:
-			diffs = append(diffs, fmt.Sprintf("%d GCDs: no best shape anymore (was %s)", s, pointKey(oldBest)))
-		case oldOK && newOK && pointKey(oldBest) != pointKey(newBest):
-			diffs = append(diffs, fmt.Sprintf("%d GCDs: best shape changed: %s -> %s", s, pointKey(oldBest), pointKey(newBest)))
+	// Best-shape changes per scale covered by both reports — only when the
+	// reports agree on what "best" means (same schema, same overlap
+	// pricing).
+	if bestComparable {
+		for _, s := range oldRep.Scales {
+			if !newScales[s] {
+				continue
+			}
+			oldBest, oldOK := oldRep.BestAt(s)
+			newBest, newOK := newRep.BestAt(s)
+			switch {
+			case oldOK && !newOK:
+				regress("%d GCDs: no best shape anymore (was %s)", s, pointKey(oldBest))
+			case oldOK && newOK && pointKey(oldBest) != pointKey(newBest):
+				regress("%d GCDs: best shape changed: %s -> %s", s, pointKey(oldBest), pointKey(newBest))
+			}
 		}
 	}
 
@@ -81,17 +152,25 @@ func DiffSweep(oldRep, newRep SweepReport, tolFrac float64) ([]string, error) {
 		np, ok := newPoints[key]
 		if !ok {
 			if newScales[op.GCDs] {
-				diffs = append(diffs, fmt.Sprintf("%s: configuration dropped from the sweep", key))
+				regress("%s: configuration dropped from the sweep", key)
 			}
 			continue
 		}
-		switch {
-		case op.Fits && !np.Fits:
-			diffs = append(diffs, fmt.Sprintf("%s: previously fit, now OOM", key))
-		case op.Fits && np.Fits && np.StepSeconds > op.StepSeconds*(1+tolFrac):
-			diffs = append(diffs, fmt.Sprintf("%s: step time %.4fs -> %.4fs (+%.1f%%, tolerance %.1f%%)",
-				key, op.StepSeconds, np.StepSeconds,
-				100*(np.StepSeconds/op.StepSeconds-1), 100*tolFrac))
+		if op.Fits && !np.Fits {
+			regress("%s: previously fit, now OOM", key)
+			continue
+		}
+		if !op.Fits || !np.Fits {
+			continue
+		}
+		oldSerial, newSerial := serialStepOf(op, oldRep.Schema), serialStepOf(np, newRep.Schema)
+		if newSerial > oldSerial*(1+tolFrac) {
+			regress("%s: serial step time %.4fs -> %.4fs (+%.1f%%, tolerance %.1f%%)",
+				key, oldSerial, newSerial, 100*(newSerial/oldSerial-1), 100*tolFrac)
+		}
+		if overlapComparable && np.StepSeconds > op.StepSeconds*(1+tolFrac) {
+			regress("%s: overlapped step time %.4fs -> %.4fs (+%.1f%%, tolerance %.1f%%)",
+				key, op.StepSeconds, np.StepSeconds, 100*(np.StepSeconds/op.StepSeconds-1), 100*tolFrac)
 		}
 	}
 
@@ -99,7 +178,7 @@ func DiffSweep(oldRep, newRep SweepReport, tolFrac float64) ([]string, error) {
 	// regressions are all coverage signal — the cliff is the sweep's
 	// headline claim, so it cannot silently disappear.
 	if oldRep.CliffGCDs != newRep.CliffGCDs {
-		diffs = append(diffs, fmt.Sprintf("cliff scale changed: %d -> %d GCDs", oldRep.CliffGCDs, newRep.CliffGCDs))
+		regress("cliff scale changed: %d -> %d GCDs", oldRep.CliffGCDs, newRep.CliffGCDs)
 	} else {
 		newCliff := make(map[shapeKey]CliffPoint, len(newRep.Cliff))
 		for _, c := range newRep.Cliff {
@@ -108,16 +187,22 @@ func DiffSweep(oldRep, newRep SweepReport, tolFrac float64) ([]string, error) {
 		for _, oc := range oldRep.Cliff {
 			key := shapeKey{GCDs: oldRep.CliffGCDs, Method: "cliff", TP: oc.TP, FSDP: oc.FSDP, DP: oc.DP}
 			nc, ok := newCliff[key]
-			switch {
-			case !ok:
-				diffs = append(diffs, fmt.Sprintf("cliff TP=%d: point dropped from the series", oc.TP))
-			case nc.StepSeconds > oc.StepSeconds*(1+tolFrac):
-				diffs = append(diffs, fmt.Sprintf("cliff TP=%d: step time %.4fs -> %.4fs (+%.1f%%, tolerance %.1f%%)",
-					oc.TP, oc.StepSeconds, nc.StepSeconds, 100*(nc.StepSeconds/oc.StepSeconds-1), 100*tolFrac))
+			if !ok {
+				regress("cliff TP=%d: point dropped from the series", oc.TP)
+				continue
+			}
+			oldSerial, newSerial := serialCliffOf(oc, oldRep.Schema), serialCliffOf(nc, newRep.Schema)
+			if newSerial > oldSerial*(1+tolFrac) {
+				regress("cliff TP=%d: serial step time %.4fs -> %.4fs (+%.1f%%, tolerance %.1f%%)",
+					oc.TP, oldSerial, newSerial, 100*(newSerial/oldSerial-1), 100*tolFrac)
+			}
+			if overlapComparable && nc.StepSeconds > oc.StepSeconds*(1+tolFrac) {
+				regress("cliff TP=%d: overlapped step time %.4fs -> %.4fs (+%.1f%%, tolerance %.1f%%)",
+					oc.TP, oc.StepSeconds, nc.StepSeconds, 100*(nc.StepSeconds/oc.StepSeconds-1), 100*tolFrac)
 			}
 		}
 	}
 
-	sort.Strings(diffs)
-	return diffs, nil
+	sort.Strings(d.Regressions)
+	return d, nil
 }

@@ -1,35 +1,67 @@
 package experiments
 
 import (
+	"encoding/json"
+	"os"
 	"strings"
 	"testing"
 )
 
-// diffFixture builds a minimal valid sweep report.
+// diffFixture builds a minimal valid v2 sweep report.
 func diffFixture() SweepReport {
 	return SweepReport{
 		Schema:    SweepSchema,
+		Overlap:   true,
 		Scales:    []int{8, 16},
 		CliffGCDs: 16,
 		Points: []SweepPoint{
-			{GCDs: 8, Method: "D-CHAG", TP: 4, FSDP: 2, DP: 1, Fits: true, StepSeconds: 1.0, TFLOPsPerSecPerNode: 100, Best: true},
-			{GCDs: 8, Method: "pure-FSDP", TP: 1, FSDP: 8, DP: 1, Fits: true, StepSeconds: 2.0, TFLOPsPerSecPerNode: 50},
-			{GCDs: 16, Method: "D-CHAG", TP: 8, FSDP: 2, DP: 1, Fits: true, StepSeconds: 1.5, TFLOPsPerSecPerNode: 90, Best: true},
+			{GCDs: 8, Method: "D-CHAG", TP: 4, FSDP: 2, DP: 1, Fits: true, StepSeconds: 0.8, SerialStepSeconds: 1.0, TFLOPsPerSecPerNode: 100, Best: true},
+			{GCDs: 8, Method: "pure-FSDP", TP: 1, FSDP: 8, DP: 1, Fits: true, StepSeconds: 1.5, SerialStepSeconds: 2.0, TFLOPsPerSecPerNode: 50},
+			{GCDs: 16, Method: "D-CHAG", TP: 8, FSDP: 2, DP: 1, Fits: true, StepSeconds: 1.2, SerialStepSeconds: 1.5, TFLOPsPerSecPerNode: 90, Best: true},
 		},
 		Cliff: []CliffPoint{
-			{TP: 8, FSDP: 2, DP: 1, StepSeconds: 1.5},
+			{TP: 8, FSDP: 2, DP: 1, StepSeconds: 1.2, SerialStepSeconds: 1.5},
 		},
 	}
 }
 
-func TestDiffSweepIdenticalReportsClean(t *testing.T) {
+// diffFixtureV1 is the fixture's pre-overlap ancestor: same shapes and
+// serial numbers, but carried under v1 semantics (step_seconds is the
+// serial composition, no overlap fields).
+func diffFixtureV1() SweepReport {
 	rep := diffFixture()
-	diffs, err := DiffSweep(rep, rep, 0.05)
+	rep.Schema = SweepSchemaV1
+	rep.Overlap = false
+	for i := range rep.Points {
+		rep.Points[i].StepSeconds = rep.Points[i].SerialStepSeconds
+		rep.Points[i].SerialStepSeconds = 0
+		rep.Points[i].Exposed = CommBreakdown{}
+	}
+	for i := range rep.Cliff {
+		rep.Cliff[i].StepSeconds = rep.Cliff[i].SerialStepSeconds
+		rep.Cliff[i].SerialStepSeconds = 0
+		rep.Cliff[i].Exposed = CommBreakdown{}
+	}
+	return rep
+}
+
+func mustClean(t *testing.T, oldRep, newRep SweepReport, tol float64) SweepDiff {
+	t.Helper()
+	d, err := DiffSweep(oldRep, newRep, tol)
 	if err != nil {
 		t.Fatal(err)
 	}
-	if len(diffs) != 0 {
-		t.Fatalf("identical reports produced diffs: %v", diffs)
+	if !d.Clean() {
+		t.Fatalf("unexpected regressions: %v", d.Regressions)
+	}
+	return d
+}
+
+func TestDiffSweepIdenticalReportsClean(t *testing.T) {
+	rep := diffFixture()
+	d := mustClean(t, rep, rep, 0.05)
+	if len(d.Notes) != 0 {
+		t.Fatalf("same-schema diff produced notes: %v", d.Notes)
 	}
 }
 
@@ -37,32 +69,39 @@ func TestDiffSweepFlagsBestShapeChange(t *testing.T) {
 	oldRep, newRep := diffFixture(), diffFixture()
 	newRep.Points[0].Best = false
 	newRep.Points[1].Best = true
-	diffs, err := DiffSweep(oldRep, newRep, 0.05)
+	d, err := DiffSweep(oldRep, newRep, 0.05)
 	if err != nil {
 		t.Fatal(err)
 	}
-	if len(diffs) != 1 || !strings.Contains(diffs[0], "best shape changed") {
-		t.Fatalf("diffs = %v, want one best-shape change", diffs)
+	if len(d.Regressions) != 1 || !strings.Contains(d.Regressions[0], "best shape changed") {
+		t.Fatalf("regressions = %v, want one best-shape change", d.Regressions)
 	}
 }
 
 func TestDiffSweepStepTimeTolerance(t *testing.T) {
 	oldRep, newRep := diffFixture(), diffFixture()
-	newRep.Points[1].StepSeconds = 2.08 // +4%, inside 5%
-	diffs, err := DiffSweep(oldRep, newRep, 0.05)
+	newRep.Points[1].SerialStepSeconds = 2.08 // +4%, inside 5%
+	mustClean(t, oldRep, newRep, 0.05)
+	newRep.Points[1].SerialStepSeconds = 2.2 // +10%
+	d, err := DiffSweep(oldRep, newRep, 0.05)
 	if err != nil {
 		t.Fatal(err)
 	}
-	if len(diffs) != 0 {
-		t.Fatalf("within-tolerance change flagged: %v", diffs)
+	if len(d.Regressions) != 1 || !strings.Contains(d.Regressions[0], "serial step time") {
+		t.Fatalf("regressions = %v, want one serial step-time regression", d.Regressions)
 	}
-	newRep.Points[1].StepSeconds = 2.2 // +10%
-	diffs, err = DiffSweep(oldRep, newRep, 0.05)
+}
+
+func TestDiffSweepOverlappedStepTimeRegression(t *testing.T) {
+	// v2 reports also gate the overlapped step time — the headline number.
+	oldRep, newRep := diffFixture(), diffFixture()
+	newRep.Points[0].StepSeconds = 0.95 // +18.75% overlapped, serial unchanged
+	d, err := DiffSweep(oldRep, newRep, 0.05)
 	if err != nil {
 		t.Fatal(err)
 	}
-	if len(diffs) != 1 || !strings.Contains(diffs[0], "step time") {
-		t.Fatalf("diffs = %v, want one step-time regression", diffs)
+	if len(d.Regressions) != 1 || !strings.Contains(d.Regressions[0], "overlapped step time") {
+		t.Fatalf("regressions = %v, want one overlapped step-time regression", d.Regressions)
 	}
 }
 
@@ -71,27 +110,27 @@ func TestDiffSweepFlagsOOMFlipAndDroppedCoverage(t *testing.T) {
 	newRep.Points[1].Fits = false
 	newRep.Scales = []int{8}
 	newRep.Points = newRep.Points[:2]
-	diffs, err := DiffSweep(oldRep, newRep, 0.05)
+	d, err := DiffSweep(oldRep, newRep, 0.05)
 	if err != nil {
 		t.Fatal(err)
 	}
-	joined := strings.Join(diffs, "\n")
+	joined := strings.Join(d.Regressions, "\n")
 	for _, want := range []string{"now OOM", "scale 16 GCDs dropped"} {
 		if !strings.Contains(joined, want) {
-			t.Fatalf("diffs %v missing %q", diffs, want)
+			t.Fatalf("regressions %v missing %q", d.Regressions, want)
 		}
 	}
 }
 
 func TestDiffSweepCliffRegression(t *testing.T) {
 	oldRep, newRep := diffFixture(), diffFixture()
-	newRep.Cliff[0].StepSeconds = 2.0
-	diffs, err := DiffSweep(oldRep, newRep, 0.05)
+	newRep.Cliff[0].SerialStepSeconds = 2.0
+	d, err := DiffSweep(oldRep, newRep, 0.05)
 	if err != nil {
 		t.Fatal(err)
 	}
-	if len(diffs) != 1 || !strings.Contains(diffs[0], "cliff TP=8") {
-		t.Fatalf("diffs = %v, want one cliff regression", diffs)
+	if len(d.Regressions) != 1 || !strings.Contains(d.Regressions[0], "cliff TP=8") {
+		t.Fatalf("regressions = %v, want one cliff regression", d.Regressions)
 	}
 }
 
@@ -100,32 +139,143 @@ func TestDiffSweepCliffCoverage(t *testing.T) {
 	// not a silent pass.
 	oldRep, newRep := diffFixture(), diffFixture()
 	newRep.CliffGCDs = 8
-	diffs, err := DiffSweep(oldRep, newRep, 0.05)
+	d, err := DiffSweep(oldRep, newRep, 0.05)
 	if err != nil {
 		t.Fatal(err)
 	}
-	if len(diffs) != 1 || !strings.Contains(diffs[0], "cliff scale changed") {
-		t.Fatalf("diffs = %v, want one cliff-scale change", diffs)
+	if len(d.Regressions) != 1 || !strings.Contains(d.Regressions[0], "cliff scale changed") {
+		t.Fatalf("regressions = %v, want one cliff-scale change", d.Regressions)
 	}
 	newRep = diffFixture()
 	newRep.Cliff = nil
-	diffs, err = DiffSweep(oldRep, newRep, 0.05)
+	d, err = DiffSweep(oldRep, newRep, 0.05)
 	if err != nil {
 		t.Fatal(err)
 	}
-	if len(diffs) != 1 || !strings.Contains(diffs[0], "point dropped") {
-		t.Fatalf("diffs = %v, want one dropped cliff point", diffs)
+	if len(d.Regressions) != 1 || !strings.Contains(d.Regressions[0], "point dropped") {
+		t.Fatalf("regressions = %v, want one dropped cliff point", d.Regressions)
 	}
 }
 
 func TestDiffSweepSchemaGuard(t *testing.T) {
+	// Genuinely unknown schemas are errors — not silently compared.
 	oldRep, newRep := diffFixture(), diffFixture()
 	newRep.Schema = "dchag-bench/sweep/v0"
 	if _, err := DiffSweep(oldRep, newRep, 0.05); err == nil {
-		t.Fatal("want schema error")
+		t.Fatal("want schema error for unknown new schema")
 	}
-	if _, err := DiffSweep(oldRep, diffFixture(), -1); err == nil {
+	oldRep.Schema = "not-a-sweep"
+	if _, err := DiffSweep(oldRep, diffFixture(), 0.05); err == nil {
+		t.Fatal("want schema error for unknown old schema")
+	}
+	if _, err := DiffSweep(diffFixture(), diffFixture(), -1); err == nil {
 		t.Fatal("want tolerance error")
+	}
+}
+
+func TestDiffSweepAcrossSchemaVersions(t *testing.T) {
+	// A v1 old report against a v2 new report is a defined comparison: the
+	// version change is reported explicitly as a note, serial step times /
+	// fits / coverage are compared, and best-shape marks are skipped (v2
+	// chooses them under overlapped throughput).
+	oldRep, newRep := diffFixtureV1(), diffFixture()
+	// Move the v2 best mark: across schemas this must NOT be a regression.
+	newRep.Points[0].Best = false
+	newRep.Points[1].Best = true
+	d := mustClean(t, oldRep, newRep, 0.05)
+	joined := strings.Join(d.Notes, "\n")
+	if !strings.Contains(joined, "schema changed") || !strings.Contains(joined, SweepSchemaV1) || !strings.Contains(joined, SweepSchema) {
+		t.Fatalf("notes %v must name the schema transition explicitly", d.Notes)
+	}
+	if !strings.Contains(joined, "best-shape") {
+		t.Fatalf("notes %v must say best-shape marks were skipped", d.Notes)
+	}
+
+	// Shared fields still gate: a serial regression in the v2 report is
+	// caught against the v1 baseline's step_seconds.
+	newRep = diffFixture()
+	newRep.Points[1].SerialStepSeconds = 3.0 // v1 carried 2.0
+	d, err := DiffSweep(oldRep, newRep, 0.05)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(d.Regressions) != 1 || !strings.Contains(d.Regressions[0], "serial step time") {
+		t.Fatalf("regressions = %v, want one cross-schema serial regression", d.Regressions)
+	}
+
+	// OOM flips are shared too.
+	newRep = diffFixture()
+	newRep.Points[0].Fits = false
+	d, err = DiffSweep(oldRep, newRep, 0.05)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(d.Regressions) != 1 || !strings.Contains(d.Regressions[0], "now OOM") {
+		t.Fatalf("regressions = %v, want one OOM flip", d.Regressions)
+	}
+}
+
+func TestDiffSweepAcrossOverlapSettings(t *testing.T) {
+	// Two v2 reports priced under different overlap settings disagree on
+	// what step_seconds and best marks mean: the mismatch is noted and
+	// only the shared serial fields are gated.
+	oldRep, newRep := diffFixture(), diffFixture()
+	oldRep.Overlap = false
+	for i := range oldRep.Points {
+		oldRep.Points[i].StepSeconds = oldRep.Points[i].SerialStepSeconds
+	}
+	// Overlap-on step times are smaller than overlap-off ones — a naive
+	// same-schema comparison in the other direction would flag them; and
+	// the best mark sits elsewhere under the other pricing.
+	newRep.Points[0].Best = false
+	newRep.Points[1].Best = true
+	d := mustClean(t, oldRep, newRep, 0.05)
+	joined := strings.Join(d.Notes, "\n")
+	if !strings.Contains(joined, "overlap pricing changed") {
+		t.Fatalf("notes %v must name the overlap-setting change", d.Notes)
+	}
+	// The regressing direction (overlap-on old, overlap-off new) must not
+	// drown the gate in false overlapped step-time regressions either —
+	// serial fields still gate.
+	d = mustClean(t, newRep, oldRep, 0.05)
+	if len(d.Notes) == 0 {
+		t.Fatal("reverse overlap-setting diff must carry the note too")
+	}
+	worse := diffFixture()
+	worse.Overlap = false
+	for i := range worse.Points {
+		worse.Points[i].StepSeconds = worse.Points[i].SerialStepSeconds
+	}
+	worse.Points[1].SerialStepSeconds = 3.0
+	d, err := DiffSweep(newRep, worse, 0.05)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(d.Regressions) != 1 || !strings.Contains(d.Regressions[0], "serial step time") {
+		t.Fatalf("regressions = %v, want exactly the serial regression", d.Regressions)
+	}
+}
+
+func TestDiffSweepV1ArtifactTransition(t *testing.T) {
+	// The committed pre-overlap trajectory point (the real sweep/v1
+	// BENCH_sweep.json this repository shipped) must diff cleanly against
+	// the current code's v2 sweep: serial pricing is untouched by the
+	// overlap model, so the v1 -> v2 transition cannot trip the perf gate.
+	raw, err := os.ReadFile("testdata/BENCH_sweep_v1.json")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var oldRep SweepReport
+	if err := json.Unmarshal(raw, &oldRep); err != nil {
+		t.Fatal(err)
+	}
+	if oldRep.Schema != SweepSchemaV1 {
+		t.Fatalf("fixture schema %q, want %q", oldRep.Schema, SweepSchemaV1)
+	}
+	newRep := RunSweep(oldRep.Scales)
+	d := mustClean(t, oldRep, newRep, 0.05)
+	if len(d.Notes) == 0 {
+		t.Fatal("cross-schema diff must report the version change")
 	}
 }
 
@@ -133,11 +283,5 @@ func TestDiffSweepSelfConsistentOnRealSweep(t *testing.T) {
 	// The real sweep is deterministic: diffing it against itself must be
 	// clean, which is exactly the CI gate's steady state.
 	rep := RunSweep([]int{8, 16})
-	diffs, err := DiffSweep(rep, rep, 0)
-	if err != nil {
-		t.Fatal(err)
-	}
-	if len(diffs) != 0 {
-		t.Fatalf("self-diff of the real sweep produced: %v", diffs)
-	}
+	mustClean(t, rep, rep, 0)
 }

@@ -12,14 +12,25 @@ import (
 func init() {
 	register(Experiment{
 		ID:    "sweep",
-		Title: "Topology-aware hybrid-shape sweep, 8-512 GCDs (paper Fig. 15 at scale)",
+		Title: "Topology-aware hybrid-shape sweep with overlap, 8-512 GCDs (paper Fig. 15 at scale)",
 		Run:   runSweep,
 	})
 }
 
 // SweepSchema identifies the JSON layout of SweepReport. Bump the suffix on
 // any breaking change so perf-trajectory tooling can refuse mixed inputs.
-const SweepSchema = "dchag-bench/sweep/v1"
+//
+// v2 prices step times under the overlap composition model (FSDP prefetch,
+// DP bucket overlap, TP on the critical path): step_seconds is the
+// overlapped step time, serial_step_seconds the v1 compute+total-comm
+// composition, and exposed_seconds the per-axis comm left on the critical
+// path. DiffSweep still understands v1 reports (SweepSchemaV1) and compares
+// the fields the schemas share.
+const SweepSchema = "dchag-bench/sweep/v2"
+
+// SweepSchemaV1 is the pre-overlap schema: step_seconds was the serial
+// composition and no overlap fields existed.
+const SweepSchemaV1 = "dchag-bench/sweep/v1"
 
 // SweepModel and SweepChannels fix the workload of the sweep: the paper's
 // Fig. 15 point (7B model, 500-channel images).
@@ -28,8 +39,9 @@ const (
 	SweepChannels = 500
 )
 
-// CommBreakdown is the per-axis simulated communication time of one
-// configuration, in seconds per step.
+// CommBreakdown is a per-axis simulated communication time of one
+// configuration, in seconds per step — used both for the full collective
+// times and for the exposed (post-overlap) times.
 type CommBreakdown struct {
 	TP    float64 `json:"tp_seconds"`
 	FSDP  float64 `json:"fsdp_seconds"`
@@ -37,12 +49,12 @@ type CommBreakdown struct {
 	Total float64 `json:"total_seconds"`
 }
 
-func breakdown(r perfmodel.Report) CommBreakdown {
+func breakdown(axis [dist.NumAxes]float64, total float64) CommBreakdown {
 	return CommBreakdown{
-		TP:    r.AxisCommSeconds[dist.AxisTP],
-		FSDP:  r.AxisCommSeconds[dist.AxisFSDP],
-		DP:    r.AxisCommSeconds[dist.AxisDP],
-		Total: r.CommSeconds,
+		TP:    axis[dist.AxisTP],
+		FSDP:  axis[dist.AxisFSDP],
+		DP:    axis[dist.AxisDP],
+		Total: total,
 	}
 }
 
@@ -57,43 +69,58 @@ type SweepPoint struct {
 	TPIntraNode bool   `json:"tp_intra_node"`
 	// MicroBatch is the largest per-replica batch that fits memory;
 	// 0 means the shape OOMs even at batch 1 (Fits false, times zero).
-	MicroBatch          int           `json:"micro_batch"`
-	Fits                bool          `json:"fits"`
-	MemBytesPerGPU      float64       `json:"mem_bytes_per_gpu"`
-	StepSeconds         float64       `json:"step_seconds"`
-	ComputeSeconds      float64       `json:"compute_seconds"`
-	Comm                CommBreakdown `json:"comm_seconds"`
-	TFLOPsPerSec        float64       `json:"tflops_per_sec"`
-	TFLOPsPerSecPerNode float64       `json:"tflops_per_sec_per_node"`
+	MicroBatch     int     `json:"micro_batch"`
+	Fits           bool    `json:"fits"`
+	MemBytesPerGPU float64 `json:"mem_bytes_per_gpu"`
+	// StepSeconds is the overlapped step time (compute + exposed comm);
+	// SerialStepSeconds is the v1 compute + total-comm composition.
+	StepSeconds       float64       `json:"step_seconds"`
+	SerialStepSeconds float64       `json:"serial_step_seconds"`
+	ComputeSeconds    float64       `json:"compute_seconds"`
+	Comm              CommBreakdown `json:"comm_seconds"`
+	// Exposed is the per-axis comm left on the critical path after each
+	// axis's overlap discipline hides what it can behind compute.
+	Exposed CommBreakdown `json:"exposed_seconds"`
+	// Throughputs are computed from the overlapped step time.
+	TFLOPsPerSec        float64 `json:"tflops_per_sec"`
+	TFLOPsPerSecPerNode float64 `json:"tflops_per_sec_per_node"`
 	// Best marks the highest-throughput fitting shape of its scale.
 	Best bool `json:"best"`
 }
 
 // CliffPoint is one entry of the TP node-boundary series: micro-batch and
 // FSDP held fixed while TP doubles, exposing the step-time cliff the moment
-// TP rings leave the node.
+// TP rings leave the node. Overlap does not soften it: TP collectives sit
+// on the critical path, so the repriced AllReduces land on the step in
+// full.
 type CliffPoint struct {
-	TP             int           `json:"tp"`
-	FSDP           int           `json:"fsdp"`
-	DP             int           `json:"dp"`
-	MicroBatch     int           `json:"micro_batch"`
-	TPIntraNode    bool          `json:"tp_intra_node"`
-	StepSeconds    float64       `json:"step_seconds"`
-	ComputeSeconds float64       `json:"compute_seconds"`
-	Comm           CommBreakdown `json:"comm_seconds"`
+	TP                int           `json:"tp"`
+	FSDP              int           `json:"fsdp"`
+	DP                int           `json:"dp"`
+	MicroBatch        int           `json:"micro_batch"`
+	TPIntraNode       bool          `json:"tp_intra_node"`
+	StepSeconds       float64       `json:"step_seconds"`
+	SerialStepSeconds float64       `json:"serial_step_seconds"`
+	ComputeSeconds    float64       `json:"compute_seconds"`
+	Comm              CommBreakdown `json:"comm_seconds"`
+	Exposed           CommBreakdown `json:"exposed_seconds"`
 }
 
 // SweepReport is the machine-readable result of the topology-aware sweep —
 // the payload behind `dchag-bench -json` and the BENCH_*.json trajectory.
 type SweepReport struct {
-	Schema      string       `json:"schema"`
-	Model       string       `json:"model"`
-	Channels    int          `json:"channels"`
-	GPUsPerNode int          `json:"gpus_per_node"`
-	Scales      []int        `json:"scales"`
-	CliffGCDs   int          `json:"cliff_gcds"`
-	Points      []SweepPoint `json:"points"`
-	Cliff       []CliffPoint `json:"cliff"`
+	Schema      string `json:"schema"`
+	Model       string `json:"model"`
+	Channels    int    `json:"channels"`
+	GPUsPerNode int    `json:"gpus_per_node"`
+	// Overlap records whether step times were priced under the overlap
+	// model (false: the -no-overlap escape hatch, where StepSeconds equals
+	// SerialStepSeconds).
+	Overlap   bool         `json:"overlap"`
+	Scales    []int        `json:"scales"`
+	CliffGCDs int          `json:"cliff_gcds"`
+	Points    []SweepPoint `json:"points"`
+	Cliff     []CliffPoint `json:"cliff"`
 }
 
 // DefaultSweepScales returns the GCD counts of the full sweep: 8 (one
@@ -167,8 +194,10 @@ func simulate(shape perfmodel.ModelShape, strat perfmodel.Strategy, machine hw.M
 	pt.Fits = true
 	pt.MemBytesPerGPU = r.TotalMemBytes()
 	pt.StepSeconds = r.StepSeconds()
+	pt.SerialStepSeconds = r.SerialStepSeconds()
 	pt.ComputeSeconds = r.ComputeSeconds
-	pt.Comm = breakdown(r)
+	pt.Comm = breakdown(r.AxisCommSeconds, r.CommSeconds)
+	pt.Exposed = breakdown(r.AxisExposedSeconds, r.ExposedCommSeconds)
 	pt.TFLOPsPerSec = r.TFLOPsPerSec()
 	pt.TFLOPsPerSecPerNode = r.TFLOPsPerSecPerNode()
 	return pt
@@ -198,27 +227,41 @@ func cliffSeries(shape perfmodel.ModelShape, gcds int, machine hw.Machine, cal p
 		topo := perfmodel.DefaultTopology(machine, gcds)
 		out = append(out, CliffPoint{
 			TP: tp, FSDP: fsdp, DP: strat.Mesh().DP, MicroBatch: cliffMicroBatch,
-			TPIntraNode:    dist.WorstAxisPlacement(strat.Mesh(), topo, dist.AxisTP).IntraNode(),
-			StepSeconds:    r.StepSeconds(),
-			ComputeSeconds: r.ComputeSeconds,
-			Comm:           breakdown(r),
+			TPIntraNode:       dist.WorstAxisPlacement(strat.Mesh(), topo, dist.AxisTP).IntraNode(),
+			StepSeconds:       r.StepSeconds(),
+			SerialStepSeconds: r.SerialStepSeconds(),
+			ComputeSeconds:    r.ComputeSeconds,
+			Comm:              breakdown(r.AxisCommSeconds, r.CommSeconds),
+			Exposed:           breakdown(r.AxisExposedSeconds, r.ExposedCommSeconds),
 		})
 	}
 	return out
 }
 
-// RunSweep simulates the hybrid grid at every requested scale and returns
-// the machine-readable report. The cliff series is computed at the largest
-// scale.
+// RunSweep simulates the hybrid grid at every requested scale under the
+// calibrated overlap model and returns the machine-readable report. The
+// cliff series is computed at the largest scale.
 func RunSweep(scales []int) SweepReport {
+	return runSweepCal(scales, perfmodel.DefaultCalibration())
+}
+
+// RunSweepSerial is the -no-overlap escape hatch: the same sweep with
+// overlap factors zeroed, so every step time is the serial compute +
+// total-comm composition (StepSeconds == SerialStepSeconds, exposed ==
+// comm) and best shapes are chosen under the v1 pricing.
+func RunSweepSerial(scales []int) SweepReport {
+	return runSweepCal(scales, perfmodel.SerialCalibration())
+}
+
+func runSweepCal(scales []int, cal perfmodel.Calibration) SweepReport {
 	machine := hw.Frontier()
-	cal := perfmodel.DefaultCalibration()
 	shape := perfmodel.Shapes[SweepModel]
 	rep := SweepReport{
 		Schema:      SweepSchema,
 		Model:       SweepModel,
 		Channels:    SweepChannels,
 		GPUsPerNode: machine.GPUsPerNode,
+		Overlap:     cal.Overlap != (perfmodel.Overlap{}),
 		Scales:      append([]int(nil), scales...),
 	}
 	for _, gcds := range scales {
@@ -250,15 +293,15 @@ func runSweep() Result {
 	rep := RunSweep(DefaultSweepScales())
 
 	best := &Table{
-		Title: fmt.Sprintf("Best hybrid shape per scale (%s model, %d channels, max fitting micro-batch)",
+		Title: fmt.Sprintf("Best hybrid shape per scale (%s model, %d channels, max fitting micro-batch, overlap on)",
 			rep.Model, rep.Channels),
-		Headers: []string{"GCDs", "nodes", "best shape", "micro-batch", "step ms",
-			"tp ms", "fsdp ms", "dp ms", "TFLOPs/s/node", "pure-FSDP TFLOPs/s/node"},
+		Headers: []string{"GCDs", "nodes", "best shape", "micro-batch", "step ms", "serial ms",
+			"tp exp ms", "fsdp exp ms", "dp exp ms", "TFLOPs/s/node", "pure-FSDP TFLOPs/s/node"},
 	}
 	for _, gcds := range rep.Scales {
 		bp, ok := rep.BestAt(gcds)
 		if !ok {
-			best.Add(fmt.Sprint(gcds), "-", "no fitting shape", "-", "-", "-", "-", "-", "-", "-")
+			best.Add(fmt.Sprint(gcds), "-", "no fitting shape", "-", "-", "-", "-", "-", "-", "-", "-")
 			continue
 		}
 		pure := "-"
@@ -273,16 +316,16 @@ func runSweep() Result {
 		}
 		best.Add(fmt.Sprint(gcds), fmt.Sprint(bp.Nodes),
 			fmt.Sprintf("D-CHAG-L TP=%d FSDP=%d DP=%d", bp.TP, bp.FSDP, bp.DP),
-			fmt.Sprint(bp.MicroBatch), ms(bp.StepSeconds),
-			ms(bp.Comm.TP), ms(bp.Comm.FSDP), ms(bp.Comm.DP),
+			fmt.Sprint(bp.MicroBatch), ms(bp.StepSeconds), ms(bp.SerialStepSeconds),
+			ms(bp.Exposed.TP), ms(bp.Exposed.FSDP), ms(bp.Exposed.DP),
 			fmt.Sprintf("%.1f", bp.TFLOPsPerSecPerNode), pure)
 	}
-	best.Note("paper Fig. 15: the winning shapes keep TP (= D-CHAG groups) at or below the 8-GCD node width")
+	best.Note("paper Fig. 15: the winning shapes keep TP (= D-CHAG groups) at or below the 8-GCD node width; overlap hides FSDP/DP traffic but TP stays on the critical path")
 
 	cliff := &Table{
 		Title: fmt.Sprintf("TP node-boundary cliff @ %d GCDs (micro-batch %d, FSDP fixed)",
 			rep.CliffGCDs, cliffMicroBatch),
-		Headers: []string{"TP", "FSDP", "DP", "TP placement", "step ms", "tp comm ms", "fsdp ms", "dp ms"},
+		Headers: []string{"TP", "FSDP", "DP", "TP placement", "step ms", "tp comm ms", "fsdp exp ms", "dp exp ms"},
 	}
 	for _, c := range rep.Cliff {
 		placement := "intra-node"
@@ -290,9 +333,9 @@ func runSweep() Result {
 			placement = "inter-node"
 		}
 		cliff.Add(fmt.Sprint(c.TP), fmt.Sprint(c.FSDP), fmt.Sprint(c.DP), placement,
-			ms(c.StepSeconds), ms(c.Comm.TP), ms(c.Comm.FSDP), ms(c.Comm.DP))
+			ms(c.StepSeconds), ms(c.Comm.TP), ms(c.Exposed.FSDP), ms(c.Exposed.DP))
 	}
-	cliff.Note("crossing TP=8 -> 16 reprices every per-layer AllReduce from Infinity Fabric to the Slingshot share")
+	cliff.Note("crossing TP=8 -> 16 reprices every per-layer AllReduce from Infinity Fabric to the Slingshot share — and no overlap discipline can hide it")
 
 	return Result{ID: "sweep", Title: "Topology-aware step-time sweep", Tables: []*Table{best, cliff}}
 }

@@ -61,14 +61,20 @@ type Report struct {
 	// FwdFLOPs[c] is the forward floating-point work per GPU per step.
 	FwdFLOPs [numComponents]float64
 
-	// CommSeconds is the per-step communication time; ComputeSeconds the
-	// per-step math time (forward+backward).
+	// CommSeconds is the per-step total communication time; ComputeSeconds
+	// the per-step math time (forward+backward).
 	CommSeconds    float64
 	ComputeSeconds float64
 	// AxisCommSeconds splits CommSeconds by mesh axis (indexed by
 	// dist.Axis): TP collectives, FSDP parameter traffic, DP gradient
 	// AllReduce. Each axis is priced on its worst-placed group's ring.
 	AxisCommSeconds [dist.NumAxes]float64
+	// AxisExposedSeconds is the per-axis communication time left on the
+	// critical path after each axis's overlap discipline (overlap.go) hides
+	// what it can behind compute; ExposedCommSeconds is the sum. With the
+	// calibration's zero Overlap these equal AxisCommSeconds/CommSeconds.
+	AxisExposedSeconds [dist.NumAxes]float64
+	ExposedCommSeconds float64
 }
 
 // TotalMemBytes returns the per-GPU memory footprint.
@@ -94,8 +100,15 @@ func (r Report) MemFraction() float64 {
 // Fits reports whether the configuration avoids OOM.
 func (r Report) Fits() bool { return r.TotalMemBytes() <= float64(r.Machine.UsableMemBytes()) }
 
-// StepSeconds is the modeled wall time of one training step.
-func (r Report) StepSeconds() float64 { return r.ComputeSeconds + r.CommSeconds }
+// StepSeconds is the modeled wall time of one training step: compute plus
+// the communication left exposed after overlap. Under a zero Overlap
+// calibration this equals SerialStepSeconds bit-for-bit.
+func (r Report) StepSeconds() float64 { return r.ComputeSeconds + r.ExposedCommSeconds }
+
+// SerialStepSeconds is the overlap-free composition — compute plus every
+// collective serialized — kept for pessimistic bounds and for comparing
+// against pre-overlap (sweep/v1) trajectory points.
+func (r Report) SerialStepSeconds() float64 { return r.ComputeSeconds + r.CommSeconds }
 
 // SamplesPerStep returns the global batch processed per step (FSDP and DP
 // groups each process distinct data).

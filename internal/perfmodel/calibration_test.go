@@ -244,6 +244,86 @@ func TestMinTPToFitMatchesBoundaries(t *testing.T) {
 	}
 }
 
+// The overlap-factor calibration pins (ISSUE 4): the fitted Overlap values
+// must keep the paper's qualitative story intact while pulling absolute
+// hybrid gains toward the reported improvements.
+
+func TestOverlapCalibrationOrdering(t *testing.T) {
+	// DP bucket overlap is the more effective machinery than FSDP's
+	// blocking per-layer prefetch, and both are real (nonzero) but
+	// imperfect (< 1). TP has no factor at all: it is on the critical path
+	// by discipline, not by calibration.
+	ov := DefaultOverlap()
+	if !(0 < ov.FSDP && ov.FSDP < ov.DP && ov.DP < 1) {
+		t.Fatalf("want 0 < FSDP (%v) < DP (%v) < 1", ov.FSDP, ov.DP)
+	}
+}
+
+// sweep512Gain prices the 512-GCD Fig. 15 comparison under a calibration:
+// the winning node-local hybrid versus the pure-FSDP baseline, each at its
+// largest fitting micro-batch.
+func sweep512Gain(t *testing.T, cal Calibration) float64 {
+	t.Helper()
+	machine := hw.Frontier()
+	shape := Shapes["7B"]
+	price := func(strat Strategy) float64 {
+		wl := ReferenceWorkload(500)
+		b := MaxMicroBatch(shape, wl, strat, machine, cal)
+		if b == 0 {
+			t.Fatalf("%+v OOMs", strat)
+		}
+		wl.MicroBatch = b
+		return Analyze(shape, wl, strat, machine, cal).TFLOPsPerSecPerNode()
+	}
+	hybrid := price(Strategy{Method: MethodDCHAG, TP: 2, FSDP: 4, DP: 64, Kind: core.KindLinear})
+	pure := price(Strategy{Method: MethodBaseline, TP: 1, FSDP: 512, DP: 1})
+	return hybrid/pure - 1
+}
+
+func TestOverlapCalibrationTracksPaperGains(t *testing.T) {
+	// Under the serial composition the hybrid-vs-pure-FSDP gain is
+	// exaggerated (pure-FSDP is charged every parameter collective at full
+	// price); with the calibrated overlap on, pure-FSDP recovers most of
+	// its gradient traffic while the hybrid's TP time stays exposed, so
+	// the gain comes down toward the "more than 2x" improvement the paper
+	// reports (Figs. 15/16) — and no further.
+	gOver := sweep512Gain(t, DefaultCalibration())
+	gSerial := sweep512Gain(t, SerialCalibration())
+	if !(gOver < gSerial) {
+		t.Fatalf("overlap must shrink the gain: %+.1f%% vs serial %+.1f%%", 100*gOver, 100*gSerial)
+	}
+	if gOver < 1.0 || gOver > 2.2 {
+		t.Fatalf("overlapped hybrid-vs-pure-FSDP gain %+.1f%% outside the paper-tracking band (+100%%..+220%%)", 100*gOver)
+	}
+}
+
+func TestOverlapKeepsNodeLocalHybridWinning(t *testing.T) {
+	// Overlap must not flip the paper's headline: a node-local TP hybrid
+	// still beats both the TP-free D-CHAG shape (whose FSDP/DP traffic
+	// overlap forgives most aggressively) and pure FSDP at 512 GCDs.
+	machine := hw.Frontier()
+	cal := DefaultCalibration()
+	shape := Shapes["7B"]
+	price := func(strat Strategy) float64 {
+		wl := ReferenceWorkload(500)
+		b := MaxMicroBatch(shape, wl, strat, machine, cal)
+		if b == 0 {
+			return 0
+		}
+		wl.MicroBatch = b
+		return Analyze(shape, wl, strat, machine, cal).TFLOPsPerSecPerNode()
+	}
+	hybrid := price(Strategy{Method: MethodDCHAG, TP: 2, FSDP: 4, DP: 64, Kind: core.KindLinear})
+	noTP := price(Strategy{Method: MethodDCHAG, TP: 1, FSDP: 8, DP: 64, Kind: core.KindLinear})
+	pure := price(Strategy{Method: MethodBaseline, TP: 1, FSDP: 512, DP: 1})
+	if !(hybrid > noTP) {
+		t.Fatalf("node-local TP hybrid (%.1f) must beat the TP-free shape (%.1f) under overlap", hybrid, noTP)
+	}
+	if !(hybrid > pure) {
+		t.Fatalf("node-local TP hybrid (%.1f) must beat pure-FSDP (%.1f) under overlap", hybrid, pure)
+	}
+}
+
 func TestStrategyLabels(t *testing.T) {
 	s := Strategy{Method: MethodDCHAG, TP: 2, FSDP: 4, DP: 8, Tree: 0, Kind: core.KindLinear}
 	if s.Label() != "D-CHAG-L-Tree0 TP=2 FSDP=4 DP=8" {

@@ -1,0 +1,110 @@
+package perfmodel
+
+import (
+	"repro/internal/dist"
+	"repro/internal/hw"
+)
+
+// The overlap composition model: each mesh axis's collectives follow the
+// overlap discipline the standard training stacks implement for that axis,
+// so only part of the per-axis communication time lands on the critical
+// path. The paper's hybrid-parallel throughput figures (Figs. 15/16) assume
+// this machinery — FSDP parameter prefetch and DP gradient-bucket overlap
+// are on by default in the frameworks it benchmarks — which is why the
+// serial compute+comm composition is systematically pessimistic.
+//
+// Disciplines, per axis:
+//
+//   - TP: every collective is a data dependency inside a layer (the
+//     AllReduce output feeds the next operator immediately), so TP time is
+//     on the critical path. Window 0 — nothing hides.
+//   - FSDP: parameter AllGathers are prefetched against the previous
+//     layer's compute, forward and backward, and the gradient
+//     ReduceScatter overlaps the backward walk; the whole step's compute
+//     is the window.
+//   - DP: the gradient AllReduce is bucketed and launched as buckets
+//     fill during backward, so only the backward compute is the window.
+//
+// Hidden time is drawn from one shared hw.OverlapBudget of the step's
+// compute seconds (two streams cannot hide behind the same GEMM), FSDP
+// first — its prefetch is scheduled per layer and has first claim on the
+// window — then DP, then TP (which hides nothing). The budget is what
+// guarantees step >= max(compute, total comm) for any factors.
+
+// bwdComputeFrac is the backward share of a step's compute: the model
+// prices fwd+bwd as 3x the forward FLOPs, so backward is 2/3.
+const bwdComputeFrac = 2.0 / 3.0
+
+// Overlap holds the calibrated per-axis overlap factors: the fraction of an
+// axis's communication time its discipline actually hides when the window
+// allows. The zero value disables overlap entirely and reproduces the
+// serial compute + total-comm composition bit-for-bit.
+type Overlap struct {
+	// FSDP is the prefetch efficiency of the FSDP axis's parameter
+	// AllGathers and gradient ReduceScatter.
+	FSDP float64
+	// DP is the bucket-overlap efficiency of the DP gradient AllReduce.
+	DP float64
+}
+
+// DefaultOverlap returns the calibrated overlap factors.
+//
+// DP bucket overlap is the more effective machinery (0.9): buckets reduce
+// while backward keeps walking earlier layers, and only the last bucket's
+// reduction is exposed after the final gradient materializes. FSDP
+// prefetch is markedly less efficient (0.45): each layer's AllGather is a
+// blocking dependency the prefetch must win layer by layer, the first
+// layer's gather and the final ReduceScatter tail are always exposed, and
+// the gathers re-issue both forward and backward.
+//
+// The values are fitted (calibration_test.go) so that with overlap on the
+// sweep still reproduces the paper's Fig. 15 shape — the best shape at
+// every scale keeps the D-CHAG/TP group node-local with a real FSDP/DP
+// hybrid, the TP=8→16 cliff persists — while the hybrid-vs-pure-FSDP
+// throughput gain comes down from the serial composition's exaggerated
+// +209% toward the "more than 2x" improvement the paper reports
+// (Figs. 15/16): overlap forgives pure-FSDP much of its gradient traffic
+// but cannot forgive TP time, which sits on the critical path.
+func DefaultOverlap() Overlap {
+	return Overlap{FSDP: 0.45, DP: 0.9}
+}
+
+// overlapOrder is the budget-draw order: per-layer FSDP prefetch has first
+// claim on the compute window, DP buckets take what backward leaves, TP
+// draws nothing.
+var overlapOrder = [dist.NumAxes]dist.Axis{dist.AxisFSDP, dist.AxisDP, dist.AxisTP}
+
+// axisWindow returns the axis discipline's exposed-comm parameters: the
+// compute window its collectives may hide behind and the calibrated
+// overlap factor.
+func (o Overlap) axisWindow(a dist.Axis, computeSeconds float64) (window, factor float64) {
+	switch a {
+	case dist.AxisTP:
+		return 0, 0 // critical path
+	case dist.AxisFSDP:
+		return computeSeconds, o.FSDP
+	case dist.AxisDP:
+		return bwdComputeFrac * computeSeconds, o.DP
+	}
+	return 0, 0
+}
+
+// Expose applies the per-axis overlap disciplines to per-axis communication
+// times — analytic (Report.AxisCommSeconds) or measured
+// (dist.Mesh.AxisWireSeconds) — and returns the exposed time per axis: what
+// remains on the critical path after hiding. Exposed times satisfy, for any
+// factors:
+//
+//	comm[a] >= exposed[a] >= 0
+//	compute + sum(exposed) >= max(compute, sum(comm))
+//
+// and the zero Overlap returns comm unchanged.
+func (o Overlap) Expose(computeSeconds float64, comm [dist.NumAxes]float64) [dist.NumAxes]float64 {
+	budget := hw.NewOverlapBudget(computeSeconds)
+	var exposed [dist.NumAxes]float64
+	for _, a := range overlapOrder {
+		window, factor := o.axisWindow(a, computeSeconds)
+		exposed[a] = budget.Hide(comm[a], window, factor)
+	}
+	return exposed
+}

@@ -179,6 +179,11 @@ type Calibration struct {
 	// channel stage holds the paper's Fig. 6 "majority of compute" share
 	// (50-70%) rather than dwarfing the transformer.
 	AggProjFactor float64
+	// Overlap holds the per-axis comm/compute overlap factors of the
+	// step-time composition (see overlap.go). The zero value disables
+	// overlap: step time is then the serial compute + total-comm
+	// composition, bit-for-bit.
+	Overlap Overlap
 }
 
 // DefaultCalibration returns the fitted constants.
@@ -193,7 +198,17 @@ func DefaultCalibration() Calibration {
 		VitActBytesPerToken: 24,
 		VitReplFrac:         0.3,
 		AggProjFactor:       1,
+		Overlap:             DefaultOverlap(),
 	}
+}
+
+// SerialCalibration returns the fitted constants with overlap disabled —
+// the pre-overlap serial composition, kept as the -no-overlap escape hatch
+// and the baseline the overlap property tests compare against.
+func SerialCalibration() Calibration {
+	cal := DefaultCalibration()
+	cal.Overlap = Overlap{}
+	return cal
 }
 
 // localChannels returns ceil(c/t), the per-rank channel shard width.

@@ -11,10 +11,12 @@ import (
 // converted into concrete rank placements via the dist→hw bridge, every
 // collective of the training step is priced on its axis's worst placement
 // (groups of one axis run in lockstep, so the slowest group gates the
-// step), and the per-axis times compose with compute into the simulated
-// step time. This is what makes TP=8 vs TP=16 a cliff rather than a slope:
-// the moment a TP group's ring crosses a node boundary, every per-layer
-// AllReduce repriced from Infinity Fabric to the Slingshot share.
+// step), each axis's overlap discipline (overlap.go) hides what it can
+// behind compute, and the exposed per-axis times compose with compute into
+// the simulated step time. This is what makes TP=8 vs TP=16 a cliff rather
+// than a slope: the moment a TP group's ring crosses a node boundary,
+// every per-layer AllReduce reprices from Infinity Fabric to the Slingshot
+// share — and TP time is on the critical path, so no overlap softens it.
 
 // Mesh returns the strategy's TP×FSDP×DP shape as a dist mesh spec.
 func (s Strategy) Mesh() dist.MeshSpec {
@@ -54,6 +56,10 @@ func AnalyzeOn(shape ModelShape, wl Workload, strat Strategy, machine hw.Machine
 	r.AxisCommSeconds = axisCommSeconds(shape, wl, strat, machine, topo, cal)
 	for _, t := range r.AxisCommSeconds {
 		r.CommSeconds += t
+	}
+	r.AxisExposedSeconds = cal.Overlap.Expose(r.ComputeSeconds, r.AxisCommSeconds)
+	for _, t := range r.AxisExposedSeconds {
+		r.ExposedCommSeconds += t
 	}
 	return r, nil
 }

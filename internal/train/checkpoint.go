@@ -52,6 +52,37 @@ func writeShard(dir string, rank int, params []*nn.Param, opt optim.Stateful) er
 	return ckpt.WriteShard(dir, rank, ckpt.BuildTree(params, opt))
 }
 
+// keep normalizes CheckpointKeep: 0 and 1 are the single-slot layout.
+func (o Options) keep() int {
+	if o.CheckpointKeep < 1 {
+		return 1
+	}
+	return o.CheckpointKeep
+}
+
+// checkpointTarget returns the directory the checkpoint committed after
+// `step` completed optimizer steps writes into: CheckpointDir itself under
+// the single-slot layout, its step-numbered retention subdirectory under
+// keep-last-k.
+func (o Options) checkpointTarget(step int) string {
+	if o.keep() == 1 {
+		return o.CheckpointDir
+	}
+	return ckpt.StepDir(o.CheckpointDir, step)
+}
+
+// pruneCheckpoints applies the keep-last-k retention policy after a
+// successful commit. It is a no-op under the single-slot layout, and only
+// ever deletes committed step directories — never the one a concurrent
+// save is still writing (its manifest lands last), never foreign entries.
+func (o Options) pruneCheckpoints() error {
+	if o.keep() == 1 {
+		return nil
+	}
+	_, err := ckpt.Prune(o.CheckpointDir, o.keep())
+	return err
+}
+
 // writeManifest commits a checkpoint: call only after every rank's shard is
 // written.
 func writeManifest(dir string, world, partitions, step int, stage string) error {
@@ -77,13 +108,15 @@ func checkStage(m ckpt.Manifest, stage string) error {
 // returns nil when no restore was requested. It runs once per training run
 // — before the rank fan-out in distributed runs — so every rank shares one
 // read-only *ckpt.Checkpoint instead of re-reading and re-assembling all
-// shards per goroutine.
+// shards per goroutine. Both paths resolve through the retention layout:
+// a single-slot directory opens as itself, a keep-last-k root opens its
+// newest complete checkpoint (partial saves are skipped).
 func openRestore(opts Options) (*ckpt.Checkpoint, error) {
 	switch {
 	case opts.InitFrom != "":
-		return ckpt.Open(opts.InitFrom)
+		return ckpt.OpenLatest(opts.InitFrom)
 	case opts.Resume:
-		return ckpt.Open(opts.CheckpointDir)
+		return ckpt.OpenLatest(opts.CheckpointDir)
 	default:
 		return nil, nil
 	}

@@ -133,12 +133,16 @@ func Hybrid(arch model.Arch, tp, dp int, tpViT bool, opts Options, batch BatchFn
 				// rank 0 commits the manifest once its group's shards are
 				// durable.
 				tpc.SetPhase("ckpt")
-				if err := writeShard(opts.CheckpointDir, coord.TP, mdl.Params(), opt); err != nil {
+				dir := opts.checkpointTarget(s + 1)
+				if err := writeShard(dir, coord.TP, mdl.Params(), opt); err != nil {
 					return err
 				}
 				tpc.Barrier()
 				if rank == 0 {
-					if err := writeManifest(opts.CheckpointDir, tp, stage.D.Partitions, s+1, stageDCHAG); err != nil {
+					if err := writeManifest(dir, tp, stage.D.Partitions, s+1, stageDCHAG); err != nil {
+						return err
+					}
+					if err := opts.pruneCheckpoints(); err != nil {
 						return err
 					}
 				}

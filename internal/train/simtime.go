@@ -3,6 +3,7 @@ package train
 import (
 	"repro/internal/dist"
 	"repro/internal/hw"
+	"repro/internal/perfmodel"
 )
 
 // SimulatedCommSeconds prices the communication a finished mesh run (e.g.
@@ -22,4 +23,21 @@ func SimulatedCommSeconds(m *dist.Mesh, machine hw.Machine) (perAxis [dist.NumAx
 		total += perAxis[a]
 	}
 	return perAxis, total
+}
+
+// SimulatedStepSeconds composes a measured run's per-axis wire times with a
+// compute-time estimate under the overlap model: each axis's discipline
+// (perfmodel.Overlap — FSDP prefetch, DP gradient buckets, TP on the
+// critical path) hides what it can behind the compute budget, and the step
+// time is compute plus the exposed remainder. With the zero Overlap this
+// degenerates to computeSeconds + SimulatedCommSeconds' total. It returns
+// the per-axis exposed times (indexed by dist.Axis) and the step time.
+func SimulatedStepSeconds(m *dist.Mesh, machine hw.Machine, computeSeconds float64, ov perfmodel.Overlap) (exposed [dist.NumAxes]float64, step float64) {
+	perAxis, _ := SimulatedCommSeconds(m, machine)
+	exposed = ov.Expose(computeSeconds, perAxis)
+	step = computeSeconds
+	for _, t := range exposed {
+		step += t
+	}
+	return exposed, step
 }

@@ -46,6 +46,15 @@ type Options struct {
 	// CheckpointEvery writes a checkpoint every N optimizer steps when
 	// positive (in addition to the final-step checkpoint).
 	CheckpointEvery int
+	// CheckpointKeep retains the newest K complete checkpoints when >= 2:
+	// each save commits into a step-numbered subdirectory of CheckpointDir
+	// (internal/ckpt retention layout) and older committed checkpoints
+	// beyond K are pruned after the commit. 0 and 1 keep the historical
+	// single-slot behavior — CheckpointDir itself is overwritten in place.
+	// Resume finds the newest complete checkpoint under CheckpointDir in
+	// either layout, so a crash mid-save resumes from the previous
+	// committed one.
+	CheckpointKeep int
 	// Resume restores parameters, optimizer state, and the step count from
 	// CheckpointDir before training, then continues with exact-resume
 	// semantics: the mask RNG stream and LR schedule are fast-forwarded to
@@ -71,6 +80,12 @@ func (o Options) validateCheckpoint() error {
 	}
 	if o.CheckpointEvery > 0 && o.CheckpointDir == "" {
 		return fmt.Errorf("train: CheckpointEvery requires CheckpointDir")
+	}
+	if o.CheckpointKeep < 0 {
+		return fmt.Errorf("train: negative CheckpointKeep %d", o.CheckpointKeep)
+	}
+	if o.CheckpointKeep > 1 && o.CheckpointDir == "" {
+		return fmt.Errorf("train: CheckpointKeep requires CheckpointDir")
 	}
 	return nil
 }
@@ -195,10 +210,14 @@ func SerialCheckpointed(m *model.FoundationModel, opts Options, batch BatchFn) (
 		opt.Step()
 		hist.Loss = append(hist.Loss, stepLoss/float64(accum))
 		if opts.checkpointDue(s) {
-			if err := writeShard(opts.CheckpointDir, 0, m.Params(), opt); err != nil {
+			dir := opts.checkpointTarget(s + 1)
+			if err := writeShard(dir, 0, m.Params(), opt); err != nil {
 				return hist, err
 			}
-			if err := writeManifest(opts.CheckpointDir, 1, modelPartitions(m), s+1, stageKind(m)); err != nil {
+			if err := writeManifest(dir, 1, modelPartitions(m), s+1, stageKind(m)); err != nil {
+				return hist, err
+			}
+			if err := opts.pruneCheckpoints(); err != nil {
 				return hist, err
 			}
 		}
@@ -281,12 +300,16 @@ func Distributed(arch model.Arch, p int, tpViT bool, opts Options, batch BatchFn
 			}
 			if opts.checkpointDue(s) {
 				c.SetPhase("ckpt")
-				if err := writeShard(opts.CheckpointDir, c.Rank(), m.Params(), opt); err != nil {
+				dir := opts.checkpointTarget(s + 1)
+				if err := writeShard(dir, c.Rank(), m.Params(), opt); err != nil {
 					return err
 				}
 				c.Barrier() // every shard durable before the manifest commits
 				if c.Rank() == 0 {
-					if err := writeManifest(opts.CheckpointDir, c.Size(), stage.D.Partitions, s+1, stageDCHAG); err != nil {
+					if err := writeManifest(dir, c.Size(), stage.D.Partitions, s+1, stageDCHAG); err != nil {
+						return err
+					}
+					if err := opts.pruneCheckpoints(); err != nil {
 						return err
 					}
 				}

@@ -14,6 +14,7 @@ import (
 	"repro/internal/nn"
 	"repro/internal/optim"
 	"repro/internal/parallel"
+	"repro/internal/perfmodel"
 	"repro/internal/tensor"
 )
 
@@ -366,6 +367,28 @@ func TestHybridSimulatedCommSeconds(t *testing.T) {
 	}
 	if want := float64(worstPerRank(dist.AxisDP, dp)) / machine.InterBWPerGPU; perAxis[dist.AxisDP] != want {
 		t.Fatalf("DP axis priced %v, want inter-node %v", perAxis[dist.AxisDP], want)
+	}
+
+	// The overlap-aware composition of the same measured run: with zero
+	// factors the step is compute + total comm bit-for-bit; with the
+	// calibrated factors the DP gradient traffic is partly hidden behind
+	// the compute estimate while the TP time stays fully exposed, and the
+	// step never beats max(compute, comm).
+	compute := 2 * total // comm-bound-ish compute estimate
+	serialExposed, serialStep := SimulatedStepSeconds(mesh, machine, compute, perfmodel.Overlap{})
+	if serialExposed != perAxis || serialStep != compute+total {
+		t.Fatalf("zero overlap must reproduce the serial composition: %v/%v vs %v/%v",
+			serialExposed, serialStep, perAxis, compute+total)
+	}
+	exposed, step := SimulatedStepSeconds(mesh, machine, compute, perfmodel.DefaultOverlap())
+	if exposed[dist.AxisTP] != perAxis[dist.AxisTP] {
+		t.Fatalf("TP wire time must stay on the critical path: %v vs %v", exposed[dist.AxisTP], perAxis[dist.AxisTP])
+	}
+	if !(exposed[dist.AxisDP] < perAxis[dist.AxisDP]) {
+		t.Fatalf("DP bucket overlap must hide some gradient traffic: %v vs %v", exposed[dist.AxisDP], perAxis[dist.AxisDP])
+	}
+	if !(step < serialStep) || step < compute || step < total {
+		t.Fatalf("overlapped step %v must be in [max(compute %v, comm %v), serial %v)", step, compute, total, serialStep)
 	}
 }
 
