@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: verify fmt-check vet build test fmt bench bench-diff race
+.PHONY: verify fmt-check vet build test fmt bench bench-diff bench-serve serve-smoke race
 
 # verify is the tier-1 gate: formatting, vet, full build, full test run.
 verify: fmt-check vet build test
@@ -23,13 +23,30 @@ bench-diff:
 	rm -f BENCH_sweep.new.json; \
 	exit $$status
 
+# bench-serve regenerates the measured serving-trajectory point
+# (BENCH_serve.json, schema dchag-bench/serve/v1). Unlike the analytic
+# sweep it is wall-clock, so CI validates the committed artifact's schema
+# and qualitative claims (TestServeJSONArtifact) instead of diffing bytes.
+bench-serve:
+	$(GO) run ./cmd/dchag-serve -bench -json BENCH_serve.json
+
+# serve-smoke is the hermetic serving gate CI runs: self-train a tiny
+# checkpoint at 4 ranks, serve it resharded at 2 ranks x 2 replicas over
+# HTTP, drive a few hundred requests through the queue/batcher/mesh path,
+# and fail on any request error or a total-latency p99 above the limit.
+serve-smoke:
+	$(GO) run ./cmd/dchag-serve -loadgen -listen 127.0.0.1:0 \
+		-train-ranks 4 -ranks 2 -replicas 2 -batch 8 -deadline 50ms \
+		-requests 300 -concurrency 12 -p99-limit 5s
+
 # race exercises the rendezvous/abort-heavy packages under the race
 # detector — including the checkpoint/resume paths, whose shard writes and
-# barriers run on every rank goroutine, and the perfmodel/experiments
-# layer, whose sweeps and RunMesh-backed spot-checks fan out across
-# goroutines — identical to the CI race job.
+# barriers run on every rank goroutine, the perfmodel/experiments layer,
+# whose sweeps and RunMesh-backed spot-checks fan out across goroutines,
+# and the serving engine, whose queue/batcher/replica pipeline is all
+# cross-goroutine handoffs — identical to the CI race job.
 race:
-	$(GO) test -race ./internal/comm/... ./internal/dist/... ./internal/train/... ./internal/ckpt/... ./internal/perfmodel/... ./internal/experiments/...
+	$(GO) test -race ./internal/comm/... ./internal/dist/... ./internal/train/... ./internal/ckpt/... ./internal/perfmodel/... ./internal/experiments/... ./internal/serve/...
 
 fmt-check:
 	@unformatted=$$(gofmt -l .); \

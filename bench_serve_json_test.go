@@ -1,0 +1,95 @@
+package repro
+
+import (
+	"encoding/json"
+	"os"
+	"testing"
+
+	"repro/internal/experiments"
+)
+
+// TestServeJSONArtifact validates the committed serving-trajectory point
+// (BENCH_serve.json, schema dchag-bench/serve/v1, written by `dchag-serve
+// -bench`). The artifact is a wall-clock measurement — not byte-stable like
+// the sweep — so this test gates on its schema and its qualitative claims:
+// a healthy run (zero errors everywhere) in which micro-batching beats the
+// batch-size-1 baseline on the same workload at every measured deadline.
+// Set BENCH_SERVE_JSON to validate a different artifact file.
+func TestServeJSONArtifact(t *testing.T) {
+	path := os.Getenv("BENCH_SERVE_JSON")
+	if path == "" {
+		path = "BENCH_serve.json"
+	}
+	raw, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatalf("reading artifact: %v", err)
+	}
+
+	var rep experiments.ServeReport
+	if err := json.Unmarshal(raw, &rep); err != nil {
+		t.Fatalf("artifact is not a serve report: %v", err)
+	}
+	if rep.Schema != experiments.ServeSchema {
+		t.Fatalf("artifact schema %q, want %q", rep.Schema, experiments.ServeSchema)
+	}
+	if len(rep.Points) == 0 {
+		t.Fatal("artifact carries no points")
+	}
+	if rep.Ranks < 1 || rep.Replicas < 1 || rep.Partitions%rep.Ranks != 0 {
+		t.Fatalf("implausible serving topology: ranks=%d replicas=%d partitions=%d", rep.Ranks, rep.Replicas, rep.Partitions)
+	}
+
+	// Schema-contract keys must be visible to generic trajectory tooling.
+	var generic map[string]any
+	if err := json.Unmarshal(raw, &generic); err != nil {
+		t.Fatalf("artifact is not a JSON object: %v", err)
+	}
+	for _, key := range []string{"schema", "ranks", "replicas", "partitions", "channels", "concurrency", "requests_per_point", "points"} {
+		if _, ok := generic[key]; !ok {
+			t.Fatalf("artifact missing top-level key %q", key)
+		}
+	}
+	points := generic["points"].([]any)
+	point := points[0].(map[string]any)
+	for _, key := range []string{"max_batch", "deadline_ms", "requests", "errors", "retries",
+		"wall_seconds", "throughput_rps", "mean_batch", "queued_p50_ms", "queued_p99_ms",
+		"total_p50_ms", "total_p99_ms", "max_queue_depth", "best"} {
+		if _, ok := point[key]; !ok {
+			t.Fatalf("serve point missing key %q", key)
+		}
+	}
+
+	// Health: every point completed its full load without errors.
+	deadlines := map[float64]bool{}
+	for _, p := range rep.Points {
+		if p.Errors != 0 {
+			t.Fatalf("point batch=%d deadline=%v recorded %d errors", p.MaxBatch, p.DeadlineMs, p.Errors)
+		}
+		if p.Requests != rep.Requests || p.ThroughputRPS <= 0 {
+			t.Fatalf("implausible point %+v", p)
+		}
+		deadlines[p.DeadlineMs] = true
+	}
+
+	// The serving claim: at every deadline, the best batched configuration
+	// out-serves the batching-off baseline on the same workload.
+	for dl := range deadlines {
+		base, ok := rep.PointAt(1, dl)
+		if !ok {
+			t.Fatalf("no batch-1 baseline at deadline %v", dl)
+		}
+		bestBatched := 0.0
+		for _, p := range rep.Points {
+			if p.DeadlineMs == dl && p.MaxBatch > 1 && p.ThroughputRPS > bestBatched {
+				bestBatched = p.ThroughputRPS
+			}
+		}
+		if bestBatched <= base.ThroughputRPS {
+			t.Fatalf("deadline %v: best batched throughput %.0f does not beat batch-1 %.0f",
+				dl, bestBatched, base.ThroughputRPS)
+		}
+	}
+	if best, ok := rep.Best(); !ok || best.MaxBatch <= 1 {
+		t.Fatalf("best point %+v should be a batched configuration", func() any { b, _ := rep.Best(); return b }())
+	}
+}

@@ -46,6 +46,7 @@ func BenchmarkFig14LargeModel(b *testing.B)  { benchFig(b, "fig14") }
 func BenchmarkFig15Hybrid(b *testing.B)      { benchFig(b, "fig15") }
 func BenchmarkFig16BatchScale(b *testing.B)  { benchFig(b, "fig16") }
 func BenchmarkSweepStepTime(b *testing.B)    { benchFig(b, "sweep") }
+func BenchmarkServeThroughput(b *testing.B)  { benchFig(b, "serve") }
 
 // Micro-benchmarks of the substrates the figures run on.
 

@@ -1,0 +1,76 @@
+// Command dchag-serve serves forward-only inference from any dchag-ckpt/v1
+// checkpoint over the simulated device mesh: a bounded request queue with
+// admission control, a dynamic micro-batcher (flush on batch-size cap or
+// latency deadline), and worker replicas pinned to the mesh — each replica
+// a TP group of -ranks goroutine ranks running the no-grad D-CHAG forward,
+// resharding the checkpoint to the serving topology on load (save at p
+// ranks, serve at any q dividing the logical partition count).
+//
+// Modes:
+//
+//	dchag-serve -ckpt ckpt/ -listen :8080
+//	    Serve HTTP until interrupted. Endpoints:
+//	      POST /v1/predict  {"id","shape":[c,h,w],"values":[...],"channels":[...]}
+//	                        -> {"id","shape":[C,H,W],"values":[...],
+//	                            "batch_size","queued_ms","total_ms"}
+//	                        Inputs on any spatial grid are bilinearly
+//	                        regridded to the model grid; "channels" names a
+//	                        partial channel set (missing channels are
+//	                        zero-filled, the normalized-data mean).
+//	                        429 + Retry-After signals queue-full backpressure.
+//	      GET  /v1/stats    serve.Snapshot as JSON
+//	      GET  /healthz     200 while live, 503 after shutdown
+//
+//	dchag-serve -loadgen [-requests N] [-concurrency K] [-p99-limit D]
+//	    Hermetic smoke mode: with no -ckpt it first trains a tiny demo model
+//	    at -train-ranks ranks and checkpoints it, then serves the checkpoint
+//	    at -ranks ranks (a different topology — the reshard round trip) and
+//	    drives N requests through the full queue/batcher/mesh path — over
+//	    HTTP when -listen is set, in-process otherwise. Exits 1 on any
+//	    request error or when the server-side total-latency p99 exceeds
+//	    -p99-limit. This is what `make serve-smoke` runs in CI.
+//
+//	dchag-serve -bench [-json BENCH_serve.json] [-quick]
+//	    Measure the batch-size x deadline sweep and write the machine-
+//	    readable report (the first serving point of the perf trajectory,
+//	    committed as BENCH_serve.json).
+//
+// # Schema dchag-bench/serve/v1
+//
+// The report is a single JSON object:
+//
+//	{
+//	  "schema":             "dchag-bench/serve/v1",
+//	  "ranks":              TP ranks per replica,
+//	  "replicas":           replica count,
+//	  "partitions":         logical D-CHAG partition count of the model,
+//	  "channels":           model channel count,
+//	  "concurrency":        loadgen client count,
+//	  "requests_per_point": requests issued per configuration,
+//	  "points": [
+//	    {
+//	      "max_batch":      micro-batch cap (1 = batching off),
+//	      "deadline_ms":    micro-batch flush deadline,
+//	      "requests":       requests issued,
+//	      "errors":         terminal failures (0 in a healthy run),
+//	      "retries":        queue-full backoffs taken (admission control),
+//	      "wall_seconds":   run duration,
+//	      "throughput_rps": measured requests/second,
+//	      "mean_batch":     mean requests per dispatched micro-batch,
+//	      "queued_p50_ms", "queued_p99_ms":
+//	                        batch-formation wait quantiles,
+//	      "total_p50_ms", "total_p99_ms":
+//	                        enqueue-to-response latency quantiles,
+//	      "max_queue_depth": deepest queue observed,
+//	      "best":           true on the highest-throughput point
+//	    }, ...
+//	  ]
+//	}
+//
+// Unlike dchag-bench/sweep/v2 (an analytic simulation, byte-stable across
+// runs), serve/v1 points are wall-clock measurements: trajectory tooling
+// should gate on the qualitative claims — zero errors, batching-on
+// throughput exceeding the max_batch=1 baseline at the same deadline — not
+// on exact magnitudes. TestServeJSONArtifact enforces exactly that on the
+// committed artifact.
+package main

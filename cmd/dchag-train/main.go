@@ -157,7 +157,7 @@ func main() {
 			log.Fatal(err)
 		}
 		partitions = man.Partitions
-		if k, ok := man.Meta["stage"]; ok {
+		if k, ok := man.Meta[ckpt.MetaStage]; ok {
 			stageKind = k
 		}
 		fmt.Printf("checkpoint %s: step %d, saved at %d ranks, %d logical partitions\n",

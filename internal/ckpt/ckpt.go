@@ -16,7 +16,11 @@
 // sharding it was saved under — whole replicas are deduplicated, shard
 // pieces are tiled along their axis and verified to cover the full extent —
 // and re-slices them for the loading topology: save at p ranks, restore at
-// q ranks, including q = 1 (serial) in either direction. The legacy bare-gob
+// q ranks, including q = 1 (serial) in either direction. The load path —
+// Open, OpenLatest, ListSteps, LatestDir, and everything they call — is
+// strictly read-only: it never creates, renames, or touches a file, so
+// checkpoints can be served from read-only mounts (the serving engine's
+// contract, pinned by TestOpenIsReadOnly). The legacy bare-gob
 // nn.SaveParams/LoadParams remain as the thin same-topology compatibility
 // path; this package supersedes them for anything distributed.
 package ckpt

@@ -13,6 +13,20 @@ import (
 // complete.
 const ManifestName = "MANIFEST.json"
 
+// Well-known Manifest.Meta keys. The ckpt format treats Meta as opaque;
+// these names are the convention shared by the writers (internal/train) and
+// the readers (internal/serve, cmd/dchag-train) so a checkpoint is
+// self-describing across binaries.
+const (
+	// MetaStage fingerprints the architecture family the checkpoint was
+	// saved from ("dchag" or "serial").
+	MetaStage = "stage"
+	// MetaArch holds the JSON-encoded model.Arch of the saved model, letting
+	// inference tooling rebuild the architecture without out-of-band
+	// configuration.
+	MetaArch = "arch"
+)
+
 // Manifest is the checkpoint directory's index: the format version, the
 // saving topology, the training progress, and the shard file list. It is
 // JSON so operators can inspect checkpoints without tooling.

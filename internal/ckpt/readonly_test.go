@@ -1,0 +1,107 @@
+package ckpt
+
+import (
+	"fmt"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"repro/internal/nn"
+	"repro/internal/tensor"
+)
+
+// dirFingerprint captures every entry under root (recursively) with its
+// size and modification time, so a test can prove a code path created,
+// rewrote, or touched nothing.
+func dirFingerprint(t *testing.T, root string) map[string]string {
+	t.Helper()
+	fp := make(map[string]string)
+	err := filepath.Walk(root, func(path string, info os.FileInfo, err error) error {
+		if err != nil {
+			return err
+		}
+		fp[path] = fmt.Sprintf("%s/%s/%d", info.ModTime().Format("2006-01-02T15:04:05.999999999"), info.Mode(), info.Size())
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return fp
+}
+
+// TestOpenIsReadOnly is the serving-path regression test: opening and
+// restoring from a checkpoint must never require write access to the
+// checkpoint directory. It chmods the whole tree read-only (belt) and also
+// fingerprints every entry before and after the load (suspenders — the test
+// may run as root, which permission bits do not stop).
+func TestOpenIsReadOnly(t *testing.T) {
+	root := t.TempDir()
+
+	// A keep-last-k layout with a partial (manifest-less) save on top, so
+	// the load path exercises ListSteps/LatestDir as well as Open.
+	stepDir := StepDir(root, 3)
+	saveRanks(t, stepDir, shardedParams(t, 2, 4, 3, fill), nil, Manifest{Partitions: 2, Step: 3})
+	partial := StepDir(root, 4)
+	if err := WriteShard(partial, 0, BuildTree(shardedParams(t, 2, 4, 3, fill)[0], nil)); err != nil {
+		t.Fatal(err)
+	}
+
+	var paths []string
+	if err := filepath.Walk(root, func(path string, info os.FileInfo, err error) error {
+		if err != nil {
+			return err
+		}
+		paths = append(paths, path)
+		return nil
+	}); err != nil {
+		t.Fatal(err)
+	}
+	for _, p := range paths {
+		info, err := os.Stat(p)
+		if err != nil {
+			t.Fatal(err)
+		}
+		mode := os.FileMode(0o444)
+		if info.IsDir() {
+			mode = 0o555
+		}
+		if err := os.Chmod(p, mode); err != nil {
+			t.Fatal(err)
+		}
+	}
+	t.Cleanup(func() {
+		for _, p := range paths {
+			os.Chmod(p, 0o755)
+		}
+	})
+
+	before := dirFingerprint(t, root)
+
+	ck, err := OpenLatest(root)
+	if err != nil {
+		t.Fatalf("OpenLatest from read-only directory: %v", err)
+	}
+	if ck.Manifest.Step != 3 {
+		t.Fatalf("resolved step %d, want 3 (the committed checkpoint)", ck.Manifest.Step)
+	}
+	target := nn.NewParam("w", tensor.New(4, 3))
+	if err := ck.RestoreParams([]*nn.Param{target}); err != nil {
+		t.Fatalf("RestoreParams: %v", err)
+	}
+	if target.W.At(1, 2) != fill(1, 2) {
+		t.Fatalf("restored value %v, want %v", target.W.At(1, 2), fill(1, 2))
+	}
+	if _, err := ListSteps(root); err != nil {
+		t.Fatalf("ListSteps: %v", err)
+	}
+
+	after := dirFingerprint(t, root)
+	if len(before) != len(after) {
+		t.Fatalf("load changed the entry count: %d -> %d", len(before), len(after))
+	}
+	for p, sig := range before {
+		if after[p] != sig {
+			t.Fatalf("load touched %s: %q -> %q", p, sig, after[p])
+		}
+	}
+}

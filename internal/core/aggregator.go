@@ -131,6 +131,16 @@ func (a *CrossAttnAggregator) Backward(d *tensor.Tensor) *tensor.Tensor {
 	return tensor.Add(dq, dkv)
 }
 
+// Infer reduces x [N, g, E] to [N, E] without caching activations for
+// backward.
+func (a *CrossAttnAggregator) Infer(x *tensor.Tensor) *tensor.Tensor {
+	if len(x.Shape) != 3 || x.Shape[1] != a.Group {
+		panic(fmt.Sprintf("core: CrossAttnAggregator.Infer want [N,%d,E], got %v", a.Group, x.Shape))
+	}
+	y := a.Attn.Infer(x, x)      // [N, g, E]
+	return tensor.MeanAxis(y, 1) // [N, E]
+}
+
 // Params returns the attention parameters.
 func (a *CrossAttnAggregator) Params() []*nn.Param { return a.Attn.Params() }
 
@@ -171,6 +181,20 @@ func (a *LinearAggregator) Forward(x *tensor.Tensor) *tensor.Tensor {
 		panic(fmt.Sprintf("core: LinearAggregator.Forward want [N,%d,E], got %v", a.Group, x.Shape))
 	}
 	a.x = x
+	return a.reduce(x)
+}
+
+// Infer reduces x [N, g, E] to [N, E] without caching the input for
+// backward.
+func (a *LinearAggregator) Infer(x *tensor.Tensor) *tensor.Tensor {
+	if len(x.Shape) != 3 || x.Shape[1] != a.Group {
+		panic(fmt.Sprintf("core: LinearAggregator.Infer want [N,%d,E], got %v", a.Group, x.Shape))
+	}
+	return a.reduce(x)
+}
+
+// reduce applies the learned linear combination across the channel axis.
+func (a *LinearAggregator) reduce(x *tensor.Tensor) *tensor.Tensor {
 	n, e := x.Shape[0], x.Shape[2]
 	out := tensor.New(n, e)
 	for ni := 0; ni < n; ni++ {

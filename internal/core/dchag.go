@@ -176,6 +176,29 @@ func (d *DCHAG) Forward(x *tensor.Tensor) *tensor.Tensor {
 	return out.Reshape(d.b, d.Cfg.Tokens(), d.Cfg.Embed)
 }
 
+// Infer runs Forward's computation without caching activations for
+// backward — the serving fast path. The AllGather still runs: inference
+// keeps exactly the forward communication pattern, one token per owned
+// partition across the group.
+func (d *DCHAG) Infer(x *tensor.Tensor) *tensor.Tensor {
+	if len(x.Shape) != 4 || x.Shape[1] != d.LocalChannels() {
+		panic(fmt.Sprintf("core: DCHAG.Infer want [B,%d,%d,%d], got %v", d.LocalChannels(), d.Cfg.ImgH, d.Cfg.ImgW, x.Shape))
+	}
+	b := x.Shape[0]
+	tok := d.Tok.Infer(x)
+	emb := d.ChEmb.Infer(tok)
+	outs := make([]*tensor.Tensor, len(d.Partials))
+	for j, partial := range d.Partials {
+		lo, hi := d.partChannels(j)
+		outs[j] = partial.Infer(tensor.SliceAxis(emb, 1, lo, hi)) // [B, T, E]
+	}
+	local := tensor.Stack(outs...) // [k, B, T, E]
+	parts := d.Comm.AllGather(local)
+	seq := StackedToSeq(parts) // [B*T, P, E]
+	out := d.Final.Infer(seq)
+	return out.Reshape(b, d.Cfg.Tokens(), d.Cfg.Embed)
+}
+
 // Backward consumes the gradient of the aggregated representation [B, T, E]
 // (identical on every rank) and returns the gradient of this rank's image
 // shard [B, Cl, H, W]. It performs no communication.

@@ -181,6 +181,30 @@ func (h *HierarchicalAggregator) Forward(x *tensor.Tensor) *tensor.Tensor {
 	return cur.Reshape(h.b, h.t, h.e)
 }
 
+// Infer reduces x [B, C, T, E] to [B, T, E] without caching the per-level
+// inputs for backward.
+func (h *HierarchicalAggregator) Infer(x *tensor.Tensor) *tensor.Tensor {
+	c := h.Channels()
+	if len(x.Shape) != 4 || x.Shape[1] != c {
+		panic(fmt.Sprintf("core: HierarchicalAggregator.Infer want [B,%d,T,E], got %v", c, x.Shape))
+	}
+	b, t, e := x.Shape[0], x.Shape[2], x.Shape[3]
+	cur := FoldChannels(x) // [N, C, E]
+	for l, level := range h.Levels {
+		groups := tensor.Split(cur, 1, h.Plan[l])
+		outs := make([]*tensor.Tensor, len(level))
+		for gi, agg := range level {
+			// Every GroupAggregator is an nn.Layer; nn.Infer takes the
+			// aggregator's no-grad fast path when it has one.
+			y := nn.Infer(agg, groups[gi]) // [N, E]
+			outs[gi] = y.Reshape(y.Shape[0], 1, e)
+		}
+		cur = tensor.Concat(1, outs...) // [N, nGroups, E]
+	}
+	// cur is [N, 1, E].
+	return cur.Reshape(b, t, e)
+}
+
 // Backward maps d [B, T, E] back to the channel-token gradient [B, C, T, E].
 func (h *HierarchicalAggregator) Backward(d *tensor.Tensor) *tensor.Tensor {
 	if h.inputs == nil {

@@ -82,6 +82,26 @@ func (r *Reference) Forward(x *tensor.Tensor) *tensor.Tensor {
 	return out.Reshape(r.b, r.Cfg.Tokens(), r.Cfg.Embed)
 }
 
+// Infer runs Forward's computation without caching activations for
+// backward; bitwise identical to Forward (and therefore to the distributed
+// DCHAG.Infer over any rank count realizing the same logical model).
+func (r *Reference) Infer(x *tensor.Tensor) *tensor.Tensor {
+	if len(x.Shape) != 4 || x.Shape[1] != r.Cfg.Channels {
+		panic(fmt.Sprintf("core: Reference.Infer want [B,%d,H,W], got %v", r.Cfg.Channels, x.Shape))
+	}
+	b := x.Shape[0]
+	tok := r.Tok.Infer(x)
+	emb := r.ChEmb.Infer(tok)
+	outs := make([]*tensor.Tensor, r.P)
+	for vr := 0; vr < r.P; vr++ {
+		lo, hi := r.Bounds(vr)
+		outs[vr] = r.Partials[vr].Infer(tensor.SliceAxis(emb, 1, lo, hi))
+	}
+	seq := RanksToSeq(outs)
+	out := r.Final.Infer(seq)
+	return out.Reshape(b, r.Cfg.Tokens(), r.Cfg.Embed)
+}
+
 // Backward consumes the output gradient [B, T, E] and returns the full image
 // gradient [B, C, H, W].
 func (r *Reference) Backward(grad *tensor.Tensor) *tensor.Tensor {

@@ -1,0 +1,60 @@
+package experiments
+
+import (
+	"encoding/json"
+	"testing"
+)
+
+// TestServeBenchStructure runs a minimal serving sweep end to end and pins
+// the report's structural invariants. Throughput magnitudes are measured
+// wall-clock, so nothing here asserts relative performance — that claim
+// lives with the committed BENCH_serve.json artifact.
+func TestServeBenchStructure(t *testing.T) {
+	cfg := QuickServeBench()
+	cfg.Requests = 64
+	cfg.Concurrency = 8
+	rep, err := RunServeBench(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Schema != ServeSchema {
+		t.Fatalf("schema %q, want %q", rep.Schema, ServeSchema)
+	}
+	if len(rep.Points) != len(cfg.Batches)*len(cfg.DeadlinesMs) {
+		t.Fatalf("%d points for %d batches x %d deadlines", len(rep.Points), len(cfg.Batches), len(cfg.DeadlinesMs))
+	}
+	for _, p := range rep.Points {
+		if p.Errors != 0 {
+			t.Fatalf("point batch=%d deadline=%v saw %d errors", p.MaxBatch, p.DeadlineMs, p.Errors)
+		}
+		if p.Requests != cfg.Requests || p.ThroughputRPS <= 0 || p.WallSeconds <= 0 {
+			t.Fatalf("implausible point %+v", p)
+		}
+		if p.MaxBatch == 1 && p.MeanBatch != 1 {
+			t.Fatalf("batching-off point served mean batch %v", p.MeanBatch)
+		}
+		if p.MeanBatch > float64(p.MaxBatch) {
+			t.Fatalf("mean batch %v exceeds max %d", p.MeanBatch, p.MaxBatch)
+		}
+	}
+	if _, ok := rep.Best(); !ok {
+		t.Fatal("no point marked best")
+	}
+	if _, ok := rep.PointAt(1, cfg.DeadlinesMs[0]); !ok {
+		t.Fatal("batching-off baseline point missing")
+	}
+
+	// The report must round-trip as JSON with its schema key visible to
+	// generic tooling.
+	blob, err := json.Marshal(rep)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var generic map[string]any
+	if err := json.Unmarshal(blob, &generic); err != nil {
+		t.Fatal(err)
+	}
+	if generic["schema"] != ServeSchema {
+		t.Fatalf("generic schema key %v", generic["schema"])
+	}
+}

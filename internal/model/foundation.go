@@ -70,6 +70,7 @@ type FoundationModel struct {
 
 	b    int
 	mask *tensor.Tensor
+	eval bool
 }
 
 // NewSerial builds the single-process baseline model.
@@ -121,11 +122,65 @@ func build(a Arch, stage ChannelStage, c *comm.Communicator, tpViT bool) *Founda
 	return m
 }
 
+// SetEval switches the model between training mode (the default) and
+// inference mode. In eval mode Forward routes through Infer — the no-grad
+// fast path that skips all activation caching — and Backward panics, so an
+// accidental training step on a serving model fails loudly instead of
+// corrupting state. Outputs are bitwise identical in both modes.
+func (m *FoundationModel) SetEval(on bool) { m.eval = on }
+
+// Infer is the no-grad fast path of Forward: the same computation, bit for
+// bit, with no activations cached for backward (the tokenizer's im2col
+// matrices, the attention weights, and the layer-norm statistics are the
+// dominant savings). For architectures whose layers all implement the fast
+// path — every stage and block this repository builds except the Perceiver
+// partial aggregator, which falls back to its cache-writing Forward — Infer
+// does not disturb a pending Forward/Backward pair, so it can evaluate
+// mid-training (pinned by TestInferLeavesTrainingStateUsable). Serving
+// engines sidestep the question entirely: each worker owns its own
+// eval-mode replica.
+func (m *FoundationModel) Infer(x, mask *tensor.Tensor) *tensor.Tensor {
+	b := x.Shape[0]
+	t, e := m.Arch.Tokens(), m.Arch.Embed
+	// Every ChannelStage is an nn.Layer; nn.Infer takes the stage's no-grad
+	// fast path when it has one.
+	feat := nn.Infer(m.Stage, x)
+	if mask != nil {
+		if len(mask.Shape) != 2 || mask.Shape[0] != b || mask.Shape[1] != t {
+			panic(fmt.Sprintf("model: mask want [%d,%d], got %v", b, t, mask.Shape))
+		}
+		feat = feat.Clone()
+		for bi := 0; bi < b; bi++ {
+			for ti := 0; ti < t; ti++ {
+				if mask.At(bi, ti) != 0 {
+					copy(feat.Data[(bi*t+ti)*e:(bi*t+ti+1)*e], m.MaskTok.W.Data)
+				}
+			}
+		}
+	}
+	feat = m.Pos.Infer(feat)
+	if m.Meta != nil {
+		feat = m.Meta.Infer(feat)
+	}
+	for _, blk := range m.Blocks {
+		feat = nn.Infer(blk, feat)
+	}
+	feat = m.Norm.Infer(feat)
+	if m.Meta != nil {
+		feat = tensor.SliceAxis(feat, 1, m.Arch.MetaTokens, m.Arch.MetaTokens+t)
+	}
+	return m.Head.Infer(feat)
+}
+
 // Forward runs the model on this rank's image shard x [B, Cl, H, W]. If
 // mask [B, T] is non-nil, spatial tokens with mask value 1 are replaced by
 // the learned mask token before the ViT (the MAE objective of Fig. 10);
 // pass nil for the forecast objective. Returns predictions [B, T, C*P*P].
+// In eval mode (SetEval) it delegates to Infer.
 func (m *FoundationModel) Forward(x, mask *tensor.Tensor) *tensor.Tensor {
+	if m.eval {
+		return m.Infer(x, mask)
+	}
 	m.b = x.Shape[0]
 	t, e := m.Arch.Tokens(), m.Arch.Embed
 	feat := m.Stage.Forward(x)
@@ -158,8 +213,12 @@ func (m *FoundationModel) Forward(x, mask *tensor.Tensor) *tensor.Tensor {
 }
 
 // Backward consumes the prediction gradient [B, T, C*P*P] and returns the
-// gradient of this rank's image shard.
+// gradient of this rank's image shard. It panics in eval mode: an
+// inference-mode model has no cached activations to differentiate.
 func (m *FoundationModel) Backward(grad *tensor.Tensor) *tensor.Tensor {
+	if m.eval {
+		panic("model: Backward on a model in eval mode (SetEval(false) to train)")
+	}
 	t, e := m.Arch.Tokens(), m.Arch.Embed
 	d := m.Head.Backward(grad) // [B, T, E]
 	if m.Meta != nil {
@@ -248,8 +307,9 @@ func (m *FoundationModel) PartitionParams() (local, replicated []*nn.Param) {
 }
 
 // PredictImage runs a forecast forward pass and unpatchifies the prediction
-// into image space [B, C, H, W].
+// into image space [B, C, H, W]. It uses the no-grad fast path — prediction
+// never feeds a Backward.
 func (m *FoundationModel) PredictImage(x *tensor.Tensor) *tensor.Tensor {
-	pred := m.Forward(x, nil)
+	pred := m.Infer(x, nil)
 	return Unpatchify(pred, m.Arch.Channels, m.Arch.ImgH, m.Arch.ImgW, m.Arch.Patch)
 }

@@ -1,0 +1,145 @@
+package model
+
+import (
+	"testing"
+
+	"repro/internal/comm"
+	"repro/internal/data"
+	"repro/internal/tensor"
+)
+
+// TestInferBitwiseIdenticalToForward pins the no-grad switch's core
+// contract: Infer computes exactly Forward's output on every stage variant,
+// with and without masking.
+func TestInferBitwiseIdenticalToForward(t *testing.T) {
+	a := smallArch()
+	rng := tensor.NewRNG(11)
+	x := tensor.Randn(rng, 3, a.Channels, a.ImgH, a.ImgW)
+	mask := data.RandomMask(tensor.NewRNG(12), 3, a.Tokens(), 0.5)
+
+	cases := []struct {
+		name  string
+		build func() *FoundationModel
+	}{
+		{"serial", func() *FoundationModel { return NewSerial(a) }},
+		{"reference-p3", func() *FoundationModel { return NewSerialDCHAGEquivalent(a, 3) }},
+		{"swin", func() *FoundationModel {
+			sa := a
+			sa.MetaTokens = 0
+			sa.SwinWindow = 2
+			return NewSerial(sa)
+		}},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			masks := []*tensor.Tensor{nil, mask}
+			if tc.name == "swin" {
+				masks = masks[:1]
+			}
+			for _, mk := range masks {
+				// Fresh replicas so one path's caches cannot leak into the
+				// other's computation.
+				want := tc.build().Forward(x, mk)
+				got := tc.build().Infer(x, mk)
+				if !tensor.SameShape(want, got) {
+					t.Fatalf("shape mismatch: %v vs %v", want.Shape, got.Shape)
+				}
+				if d := tensor.MaxAbsDiff(want, got); d != 0 {
+					t.Fatalf("Infer differs from Forward by %g (mask=%v)", d, mk != nil)
+				}
+			}
+		})
+	}
+}
+
+// TestDistributedInferMatchesForward runs the distributed stage under both
+// paths: every rank's Infer output must equal its Forward output bit for
+// bit, and both must equal the serial reference.
+func TestDistributedInferMatchesForward(t *testing.T) {
+	a := smallArch()
+	a.Partitions = 3
+	rng := tensor.NewRNG(21)
+	x := tensor.Randn(rng, 2, a.Channels, a.ImgH, a.ImgW)
+	ref := NewSerialDCHAGEquivalent(a, a.Partitions).Infer(x, nil)
+
+	if _, err := comm.Run(3, func(c *comm.Communicator) error {
+		fwd := NewDistributed(a, c, false)
+		stage := fwd.Stage.(*DCHAGStage)
+		lo, hi := stage.ChannelBounds()
+		xs := tensor.SliceAxis(x, 1, lo, hi)
+		want := fwd.Forward(xs, nil)
+		got := NewDistributed(a, c, false).Infer(xs, nil)
+		if d := tensor.MaxAbsDiff(want, got); d != 0 {
+			t.Errorf("rank %d: Infer differs from Forward by %g", c.Rank(), d)
+		}
+		if d := tensor.MaxAbsDiff(ref, got); d != 0 {
+			t.Errorf("rank %d: distributed Infer differs from serial reference by %g", c.Rank(), d)
+		}
+		return nil
+	}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestEvalModeSwitch pins SetEval's semantics: Forward in eval mode equals
+// Infer, and Backward refuses to run.
+func TestEvalModeSwitch(t *testing.T) {
+	a := smallArch()
+	rng := tensor.NewRNG(31)
+	x := tensor.Randn(rng, 2, a.Channels, a.ImgH, a.ImgW)
+
+	m := NewSerial(a)
+	want := m.Infer(x, nil)
+	m.SetEval(true)
+	got := m.Forward(x, nil)
+	if d := tensor.MaxAbsDiff(want, got); d != 0 {
+		t.Fatalf("eval-mode Forward differs from Infer by %g", d)
+	}
+
+	defer func() {
+		if recover() == nil {
+			t.Fatal("Backward in eval mode must panic")
+		}
+	}()
+	m.Backward(tensor.New(2, a.Tokens(), a.HeadDim()))
+}
+
+// TestInferLeavesTrainingStateUsable proves Infer on a training model does
+// not disturb a pending Forward/Backward pair: interleaving an Infer — at a
+// *different* batch size, which would corrupt any cached batch extents —
+// leaves the gradients identical to an undisturbed run, input gradient and
+// every parameter gradient alike.
+func TestInferLeavesTrainingStateUsable(t *testing.T) {
+	serial := smallArch()
+	swin := smallArch()
+	swin.MetaTokens = 0
+	swin.SwinWindow = 2
+	for name, a := range map[string]Arch{"serial": serial, "swin": swin} {
+		t.Run(name, func(t *testing.T) {
+			rng := tensor.NewRNG(41)
+			x := tensor.Randn(rng, 2, a.Channels, a.ImgH, a.ImgW)
+			other := tensor.Randn(rng, 5, a.Channels, a.ImgH, a.ImgW)
+			up := tensor.Randn(rng, 2, a.Tokens(), a.HeadDim())
+
+			run := func(interleave bool) (*tensor.Tensor, *FoundationModel) {
+				m := NewSerial(a)
+				m.Forward(x, nil)
+				if interleave {
+					m.Infer(other, nil) // batch 5 against the pending batch-2 Forward
+				}
+				return m.Backward(up), m
+			}
+			gradA, mA := run(false)
+			gradB, mB := run(true)
+			if d := tensor.MaxAbsDiff(gradA, gradB); d != 0 {
+				t.Fatalf("Infer disturbed cached training state: input gradient moved by %g", d)
+			}
+			pa, pb := mA.Params(), mB.Params()
+			for i := range pa {
+				if d := tensor.MaxAbsDiff(pa[i].Grad, pb[i].Grad); d != 0 {
+					t.Fatalf("Infer disturbed cached training state: %s gradient moved by %g", pa[i].Name, d)
+				}
+			}
+		})
+	}
+}

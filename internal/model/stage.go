@@ -62,6 +62,12 @@ func (s *SerialStage) Forward(x *tensor.Tensor) *tensor.Tensor {
 	return s.Agg.Forward(s.ChEmb.Forward(s.Tok.Forward(x)))
 }
 
+// Infer maps [B, C, H, W] to [B, T, E] without caching activations for
+// backward.
+func (s *SerialStage) Infer(x *tensor.Tensor) *tensor.Tensor {
+	return s.Agg.Infer(s.ChEmb.Infer(s.Tok.Infer(x)))
+}
+
 // Backward maps d[B, T, E] to the image gradient [B, C, H, W].
 func (s *SerialStage) Backward(grad *tensor.Tensor) *tensor.Tensor {
 	return s.Tok.Backward(s.ChEmb.Backward(s.Agg.Backward(grad)))
@@ -96,6 +102,9 @@ func NewReferenceStage(cfg core.Config, p int) *ReferenceStage {
 // Forward maps the full image [B, C, H, W] to [B, T, E].
 func (s *ReferenceStage) Forward(x *tensor.Tensor) *tensor.Tensor { return s.R.Forward(x) }
 
+// Infer is the no-grad fast path of Forward.
+func (s *ReferenceStage) Infer(x *tensor.Tensor) *tensor.Tensor { return s.R.Infer(x) }
+
 // Backward maps d[B, T, E] to the full image gradient.
 func (s *ReferenceStage) Backward(grad *tensor.Tensor) *tensor.Tensor { return s.R.Backward(grad) }
 
@@ -128,6 +137,9 @@ func NewDCHAGStage(cfg core.Config, c *comm.Communicator, partitions int) *DCHAG
 
 // Forward maps the rank's shard [B, Cl, H, W] to [B, T, E].
 func (s *DCHAGStage) Forward(x *tensor.Tensor) *tensor.Tensor { return s.D.Forward(x) }
+
+// Infer is the no-grad fast path of Forward; the AllGather still runs.
+func (s *DCHAGStage) Infer(x *tensor.Tensor) *tensor.Tensor { return s.D.Infer(x) }
 
 // Backward maps d[B, T, E] to the shard gradient [B, Cl, H, W].
 func (s *DCHAGStage) Backward(grad *tensor.Tensor) *tensor.Tensor { return s.D.Backward(grad) }

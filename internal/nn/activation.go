@@ -34,6 +34,11 @@ func geluGradScalar(v float64) float64 {
 	return 0.5*(1+t) + 0.5*v*(1-t*t)*du
 }
 
+// Infer applies GELU without caching the input for backward.
+func (g *GELU) Infer(x *tensor.Tensor) *tensor.Tensor {
+	return tensor.Apply(x, geluScalar)
+}
+
 // Backward multiplies the upstream gradient by GELU'(x).
 func (g *GELU) Backward(grad *tensor.Tensor) *tensor.Tensor {
 	if g.x == nil {

@@ -26,6 +26,16 @@ func (c *attnCore) run(q, k, v *tensor.Tensor) *tensor.Tensor {
 	return tensor.BatchedMatMul(c.attn, v) // [B,H,Tq,Dh]
 }
 
+// infer computes run's output without caching the head tensors or attention
+// weights for backward.
+func (c *attnCore) infer(q, k, v *tensor.Tensor) *tensor.Tensor {
+	scale := 1 / math.Sqrt(float64(c.headDim))
+	scores := tensor.BatchedMatMulT(q, k)
+	tensor.ScaleInPlace(scores, scale)
+	attn := tensor.SoftmaxLastDim(scores)
+	return tensor.BatchedMatMul(attn, v) // [B,H,Tq,Dh]
+}
+
 // grad back-propagates through the attention product, returning gradients
 // with respect to the projected q, k and v head tensors.
 func (c *attnCore) grad(dctx *tensor.Tensor) (dq, dk, dv *tensor.Tensor) {
@@ -125,6 +135,19 @@ func (a *SelfAttention) Forward(x *tensor.Tensor) *tensor.Tensor {
 	return a.Wo.Forward(ctx)
 }
 
+// Infer computes Forward's output through the projections' no-grad fast
+// paths, caching nothing.
+func (a *SelfAttention) Infer(x *tensor.Tensor) *tensor.Tensor {
+	if len(x.Shape) != 3 {
+		panic(fmt.Sprintf("nn: SelfAttention.Infer requires [B,T,E], got %v", x.Shape))
+	}
+	q := SplitHeads(a.Wq.Infer(x), a.Heads)
+	k := SplitHeads(a.Wk.Infer(x), a.Heads)
+	v := SplitHeads(a.Wv.Infer(x), a.Heads)
+	ctx := MergeHeads(a.core.infer(q, k, v))
+	return a.Wo.Infer(ctx)
+}
+
 // Backward back-propagates to the forward input, accumulating parameter
 // gradients in the four projections.
 func (a *SelfAttention) Backward(grad *tensor.Tensor) *tensor.Tensor {
@@ -185,6 +208,19 @@ func (a *CrossAttention) Forward(query, context *tensor.Tensor) *tensor.Tensor {
 	v := SplitHeads(a.Wv.Forward(context), a.Heads)
 	ctx := MergeHeads(a.core.run(q, k, v))
 	return a.Wo.Forward(ctx)
+}
+
+// Infer computes Forward's output through the projections' no-grad fast
+// paths, caching nothing.
+func (a *CrossAttention) Infer(query, context *tensor.Tensor) *tensor.Tensor {
+	if len(query.Shape) != 3 || len(context.Shape) != 3 {
+		panic(fmt.Sprintf("nn: CrossAttention.Infer requires rank-3 inputs, got %v and %v", query.Shape, context.Shape))
+	}
+	q := SplitHeads(a.Wq.Infer(query), a.Heads)
+	k := SplitHeads(a.Wk.Infer(context), a.Heads)
+	v := SplitHeads(a.Wv.Infer(context), a.Heads)
+	ctx := MergeHeads(a.core.infer(q, k, v))
+	return a.Wo.Infer(ctx)
 }
 
 // Backward returns gradients with respect to the query and context inputs.

@@ -32,6 +32,12 @@ func (b *TransformerBlock) Forward(x *tensor.Tensor) *tensor.Tensor {
 	return tensor.Add(h, b.FFN.Forward(b.Norm2.Forward(h)))
 }
 
+// Infer applies the block through the sublayers' no-grad fast paths.
+func (b *TransformerBlock) Infer(x *tensor.Tensor) *tensor.Tensor {
+	h := tensor.Add(x, b.Attn.Infer(b.Norm1.Infer(x)))
+	return tensor.Add(h, b.FFN.Infer(b.Norm2.Infer(h)))
+}
+
 // Backward back-propagates through both residual branches.
 func (b *TransformerBlock) Backward(grad *tensor.Tensor) *tensor.Tensor {
 	// Second residual: dh = grad + dLN2->MLP path.

@@ -33,9 +33,22 @@ func (p *PosEmbed) Forward(x *tensor.Tensor) *tensor.Tensor {
 		panic(fmt.Sprintf("nn: PosEmbed.Forward want [B,%d,%d], got %v", p.Tokens, p.Embed, x.Shape))
 	}
 	p.b = x.Shape[0]
+	return p.add(x)
+}
+
+// Infer adds the table without recording the batch extent a pending
+// Backward depends on.
+func (p *PosEmbed) Infer(x *tensor.Tensor) *tensor.Tensor {
+	if len(x.Shape) != 3 || x.Shape[1] != p.Tokens || x.Shape[2] != p.Embed {
+		panic(fmt.Sprintf("nn: PosEmbed.Infer want [B,%d,%d], got %v", p.Tokens, p.Embed, x.Shape))
+	}
+	return p.add(x)
+}
+
+func (p *PosEmbed) add(x *tensor.Tensor) *tensor.Tensor {
 	out := x.Clone()
 	n := p.Tokens * p.Embed
-	for bi := 0; bi < p.b; bi++ {
+	for bi := 0; bi < x.Shape[0]; bi++ {
 		dst := out.Data[bi*n : (bi+1)*n]
 		for i, v := range p.Table.W.Data {
 			dst[i] += v
@@ -107,12 +120,28 @@ func (c *ChannelEmbed) Forward(x *tensor.Tensor) *tensor.Tensor {
 		panic(fmt.Sprintf("nn: ChannelEmbed.Forward want [B,%d,T,%d], got %v", localC, c.Embed, x.Shape))
 	}
 	c.b, c.t = x.Shape[0], x.Shape[2]
+	return c.add(x)
+}
+
+// Infer adds the channel rows without recording the batch/token extents a
+// pending Backward depends on.
+func (c *ChannelEmbed) Infer(x *tensor.Tensor) *tensor.Tensor {
+	localC := c.LocalChannels()
+	if len(x.Shape) != 4 || x.Shape[1] != localC || x.Shape[3] != c.Embed {
+		panic(fmt.Sprintf("nn: ChannelEmbed.Infer want [B,%d,T,%d], got %v", localC, c.Embed, x.Shape))
+	}
+	return c.add(x)
+}
+
+func (c *ChannelEmbed) add(x *tensor.Tensor) *tensor.Tensor {
+	localC := c.LocalChannels()
+	b, t := x.Shape[0], x.Shape[2]
 	out := x.Clone()
-	for bi := 0; bi < c.b; bi++ {
+	for bi := 0; bi < b; bi++ {
 		for ci := 0; ci < localC; ci++ {
 			row := c.Table.W.Data[ci*c.Embed : (ci+1)*c.Embed]
-			for ti := 0; ti < c.t; ti++ {
-				dst := out.Data[((bi*localC+ci)*c.t+ti)*c.Embed : ((bi*localC+ci)*c.t+ti+1)*c.Embed]
+			for ti := 0; ti < t; ti++ {
+				dst := out.Data[((bi*localC+ci)*t+ti)*c.Embed : ((bi*localC+ci)*t+ti+1)*c.Embed]
 				for i, v := range row {
 					dst[i] += v
 				}
@@ -168,10 +197,24 @@ func (m *MetaToken) Forward(x *tensor.Tensor) *tensor.Tensor {
 		panic(fmt.Sprintf("nn: MetaToken.Forward want [B,T,%d], got %v", m.Embed, x.Shape))
 	}
 	m.b, m.t = x.Shape[0], x.Shape[1]
-	out := tensor.New(m.b, m.Count+m.t, m.Embed)
-	for bi := 0; bi < m.b; bi++ {
-		copy(out.Data[bi*(m.Count+m.t)*m.Embed:], m.Table.W.Data)
-		copy(out.Data[(bi*(m.Count+m.t)+m.Count)*m.Embed:], x.Data[bi*m.t*m.Embed:(bi+1)*m.t*m.Embed])
+	return m.prepend(x)
+}
+
+// Infer prepends the tokens without recording the extents a pending
+// Backward depends on.
+func (m *MetaToken) Infer(x *tensor.Tensor) *tensor.Tensor {
+	if len(x.Shape) != 3 || x.Shape[2] != m.Embed {
+		panic(fmt.Sprintf("nn: MetaToken.Infer want [B,T,%d], got %v", m.Embed, x.Shape))
+	}
+	return m.prepend(x)
+}
+
+func (m *MetaToken) prepend(x *tensor.Tensor) *tensor.Tensor {
+	b, t := x.Shape[0], x.Shape[1]
+	out := tensor.New(b, m.Count+t, m.Embed)
+	for bi := 0; bi < b; bi++ {
+		copy(out.Data[bi*(m.Count+t)*m.Embed:], m.Table.W.Data)
+		copy(out.Data[(bi*(m.Count+t)+m.Count)*m.Embed:], x.Data[bi*t*m.Embed:(bi+1)*t*m.Embed])
 	}
 	return out
 }

@@ -66,6 +66,37 @@ func (l *LayerNorm) Forward(x *tensor.Tensor) *tensor.Tensor {
 	return out.Reshape(shape...)
 }
 
+// Infer computes Forward's output without caching the normalized input or
+// inverse standard deviations for backward.
+func (l *LayerNorm) Infer(x *tensor.Tensor) *tensor.Tensor {
+	mustLastDim("LayerNorm.Infer", x, l.Dim)
+	x2, shape := foldLeading(x)
+	rows := x2.Shape[0]
+	n := l.Dim
+	out := tensor.New(rows, n)
+	for r := 0; r < rows; r++ {
+		row := x2.Data[r*n : (r+1)*n]
+		mean := 0.0
+		for _, v := range row {
+			mean += v
+		}
+		mean /= float64(n)
+		variance := 0.0
+		for _, v := range row {
+			d := v - mean
+			variance += d * d
+		}
+		variance /= float64(n)
+		inv := 1 / math.Sqrt(variance+l.Eps)
+		o := out.Data[r*n : (r+1)*n]
+		for i, v := range row {
+			h := (v - mean) * inv
+			o[i] = h*l.Gamma.W.Data[i] + l.Beta.W.Data[i]
+		}
+	}
+	return out.Reshape(shape...)
+}
+
 // Backward implements the standard layer-norm gradient:
 //
 //	dx = (1/n) * invStd * gamma ⊙ (n*dy' - sum(dy') - xhat * sum(dy' ⊙ xhat))

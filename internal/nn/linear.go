@@ -56,6 +56,22 @@ func (l *Linear) Forward(x *tensor.Tensor) *tensor.Tensor {
 	mustLastDim("Linear.Forward", x, l.In)
 	x2, shape := foldLeading(x)
 	l.x = x2
+	y := l.affine(x2)
+	outShape := append(append([]int(nil), shape[:len(shape)-1]...), l.Out)
+	return y.Reshape(outShape...)
+}
+
+// Infer computes Forward's output without caching the input for backward.
+func (l *Linear) Infer(x *tensor.Tensor) *tensor.Tensor {
+	mustLastDim("Linear.Infer", x, l.In)
+	x2, shape := foldLeading(x)
+	y := l.affine(x2)
+	outShape := append(append([]int(nil), shape[:len(shape)-1]...), l.Out)
+	return y.Reshape(outShape...)
+}
+
+// affine computes x2@W + b on the folded input.
+func (l *Linear) affine(x2 *tensor.Tensor) *tensor.Tensor {
 	y := tensor.MatMul(x2, l.Weight.W)
 	if l.Bias != nil {
 		n := y.Shape[0]
@@ -66,8 +82,7 @@ func (l *Linear) Forward(x *tensor.Tensor) *tensor.Tensor {
 			}
 		}
 	}
-	outShape := append(append([]int(nil), shape[:len(shape)-1]...), l.Out)
-	return y.Reshape(outShape...)
+	return y
 }
 
 // Backward accumulates dW = x^T@dy and db = sum(dy), returning dx = dy@W^T

@@ -23,6 +23,11 @@ func (m *MLP) Forward(x *tensor.Tensor) *tensor.Tensor {
 	return m.Fc2.Forward(m.Act.Forward(m.Fc1.Forward(x)))
 }
 
+// Infer applies fc2(gelu(fc1(x))) through the no-grad fast paths.
+func (m *MLP) Infer(x *tensor.Tensor) *tensor.Tensor {
+	return m.Fc2.Infer(m.Act.Infer(m.Fc1.Infer(x)))
+}
+
 // Backward back-propagates through both linears and the activation.
 func (m *MLP) Backward(grad *tensor.Tensor) *tensor.Tensor {
 	return m.Fc1.Backward(m.Act.Backward(m.Fc2.Backward(grad)))

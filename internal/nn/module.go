@@ -122,6 +122,25 @@ type Layer interface {
 	Params() []*Param
 }
 
+// Inferencer is the optional no-grad fast path of a Layer: Infer computes
+// exactly Forward's output — bit for bit — without caching the activations
+// Backward would need. Serving and evaluation call it through nn.Infer so
+// layers without a fast path still work (their Forward caches are simply
+// overwritten and never consumed).
+type Inferencer interface {
+	Infer(x *tensor.Tensor) *tensor.Tensor
+}
+
+// Infer runs l's inference fast path when it has one, falling back to
+// Forward. The output is bitwise identical either way; only the activation
+// caching differs.
+func Infer(l Layer, x *tensor.Tensor) *tensor.Tensor {
+	if in, ok := l.(Inferencer); ok {
+		return in.Infer(x)
+	}
+	return l.Forward(x)
+}
+
 // ZeroGrads clears the gradients of every parameter in ps.
 func ZeroGrads(ps []*Param) {
 	for _, p := range ps {

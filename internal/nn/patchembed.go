@@ -74,31 +74,54 @@ func (p *PatchEmbed) Forward(x *tensor.Tensor) *tensor.Tensor {
 		panic(fmt.Sprintf("nn: PatchEmbed.Forward want [B,%d,%d,%d], got %v", localC, p.ImgH, p.ImgW, x.Shape))
 	}
 	b := x.Shape[0]
-	t := p.Tokens()
-	pp := p.Patch * p.Patch
 	p.b = b
 	p.cols = make([]*tensor.Tensor, localC)
-	out := tensor.New(b, localC, t, p.Embed)
+	out := tensor.New(b, localC, p.Tokens(), p.Embed)
 	for c := 0; c < localC; c++ {
-		col := p.im2col(x, c) // [B*T, P*P]
-		p.cols[c] = col
-		wc := tensor.FromSlice(p.Weight.W.Data[c*pp*p.Embed:(c+1)*pp*p.Embed], pp, p.Embed)
-		y := tensor.MatMul(col, wc) // [B*T, E]
-		bias := p.Bias.W.Data[c*p.Embed : (c+1)*p.Embed]
-		for r := 0; r < b*t; r++ {
-			row := y.Data[r*p.Embed : (r+1)*p.Embed]
-			for j, bv := range bias {
-				row[j] += bv
-			}
-		}
-		// Scatter rows into [B, c, T, E].
-		for bi := 0; bi < b; bi++ {
-			src := y.Data[bi*t*p.Embed : (bi+1)*t*p.Embed]
-			dst := out.Data[((bi*localC+c)*t)*p.Embed : ((bi*localC+c)*t+t)*p.Embed]
-			copy(dst, src)
-		}
+		p.cols[c] = p.project(x, c, out)
 	}
 	return out
+}
+
+// Infer tokenizes without caching the im2col matrices for backward — the
+// dominant activation cost of the tokenizer.
+func (p *PatchEmbed) Infer(x *tensor.Tensor) *tensor.Tensor {
+	localC := p.LocalChannels()
+	if len(x.Shape) != 4 || x.Shape[1] != localC || x.Shape[2] != p.ImgH || x.Shape[3] != p.ImgW {
+		panic(fmt.Sprintf("nn: PatchEmbed.Infer want [B,%d,%d,%d], got %v", localC, p.ImgH, p.ImgW, x.Shape))
+	}
+	out := tensor.New(x.Shape[0], localC, p.Tokens(), p.Embed)
+	for c := 0; c < localC; c++ {
+		p.project(x, c, out)
+	}
+	return out
+}
+
+// project tokenizes local channel c of x into out [B, localC, T, E],
+// returning the channel's im2col matrix for Forward to cache (Infer drops
+// it).
+func (p *PatchEmbed) project(x *tensor.Tensor, c int, out *tensor.Tensor) *tensor.Tensor {
+	localC := p.LocalChannels()
+	b := x.Shape[0]
+	t := p.Tokens()
+	pp := p.Patch * p.Patch
+	col := p.im2col(x, c) // [B*T, P*P]
+	wc := tensor.FromSlice(p.Weight.W.Data[c*pp*p.Embed:(c+1)*pp*p.Embed], pp, p.Embed)
+	y := tensor.MatMul(col, wc) // [B*T, E]
+	bias := p.Bias.W.Data[c*p.Embed : (c+1)*p.Embed]
+	for r := 0; r < b*t; r++ {
+		row := y.Data[r*p.Embed : (r+1)*p.Embed]
+		for j, bv := range bias {
+			row[j] += bv
+		}
+	}
+	// Scatter rows into [B, c, T, E].
+	for bi := 0; bi < b; bi++ {
+		src := y.Data[bi*t*p.Embed : (bi+1)*t*p.Embed]
+		dst := out.Data[((bi*localC+c)*t)*p.Embed : ((bi*localC+c)*t+t)*p.Embed]
+		copy(dst, src)
+	}
+	return col
 }
 
 // Backward consumes dOut of shape [B, localC, T, E], accumulates weight and

@@ -132,6 +132,21 @@ func (s *SwinBlock) windowAttention(x *tensor.Tensor) *tensor.Tensor {
 	return y
 }
 
+// windowAttentionInfer is windowAttention through the attention layer's
+// no-grad fast path.
+func (s *SwinBlock) windowAttentionInfer(x *tensor.Tensor) *tensor.Tensor {
+	b := x.Shape[0]
+	half := s.Window / 2
+	if s.Shift {
+		x = s.shiftGrid(x, half, half)
+	}
+	y := s.unpartition(s.Attn.Infer(s.partition(x)), b)
+	if s.Shift {
+		y = s.shiftGrid(y, -half, -half)
+	}
+	return y
+}
+
 // windowAttentionBackward inverts windowAttention's data movement.
 func (s *SwinBlock) windowAttentionBackward(grad *tensor.Tensor) *tensor.Tensor {
 	b := grad.Shape[0]
@@ -154,6 +169,15 @@ func (s *SwinBlock) Forward(x *tensor.Tensor) *tensor.Tensor {
 	s.b = x.Shape[0]
 	h := tensor.Add(x, s.windowAttention(s.Norm1.Forward(x)))
 	return tensor.Add(h, s.FFN.Forward(s.Norm2.Forward(h)))
+}
+
+// Infer applies the block through the sublayers' no-grad fast paths.
+func (s *SwinBlock) Infer(x *tensor.Tensor) *tensor.Tensor {
+	if len(x.Shape) != 3 || x.Shape[1] != s.Tokens() || x.Shape[2] != s.Embed {
+		panic(fmt.Sprintf("nn: SwinBlock.Infer want [B,%d,%d], got %v", s.Tokens(), s.Embed, x.Shape))
+	}
+	h := tensor.Add(x, s.windowAttentionInfer(s.Norm1.Infer(x)))
+	return tensor.Add(h, s.FFN.Infer(s.Norm2.Infer(h)))
 }
 
 // Backward back-propagates through both residual branches.

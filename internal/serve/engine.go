@@ -1,0 +1,499 @@
+package serve
+
+import (
+	"context"
+	"fmt"
+	"sync"
+	"time"
+
+	"repro/internal/comm"
+	"repro/internal/data"
+	"repro/internal/dist"
+	"repro/internal/model"
+	"repro/internal/tensor"
+)
+
+// job is one queued request together with its response slot.
+type job struct {
+	req  *Request
+	enq  time.Time
+	done chan Response // buffered 1: the responder never blocks
+}
+
+// batchJob is one assembled micro-batch headed for a replica.
+type batchJob struct {
+	jobs   []*job
+	x      *tensor.Tensor // [B, C, H, W] on the model grid
+	formed time.Time
+}
+
+// Engine is a running serving instance: the bounded queue, the
+// micro-batcher, and Ranks*Replicas mesh rank goroutines. Create one with
+// Start and stop it with Close.
+type Engine struct {
+	cfg  Config
+	src  Source
+	arch model.Arch
+
+	metrics     *Metrics
+	queue       chan *job
+	work        chan *batchJob
+	quit        chan struct{} // closed by Close: stop admission, wind down
+	failed      chan struct{} // closed on the first worker failure
+	batcherDone chan struct{} // closed when batchLoop has exited
+	dead        chan struct{} // closed when the engine has fully stopped
+
+	closeOnce sync.Once
+	failOnce  sync.Once
+	runErr    error // written before dead closes
+}
+
+// Start builds the mesh (TP=cfg.Ranks per replica, DP=cfg.Replicas), has
+// every rank construct — and, for checkpoint sources, restore — its model
+// slice, and begins serving. It returns only after every rank is ready, so
+// a checkpoint/topology mismatch surfaces here rather than on the first
+// request.
+func Start(cfg Config, src Source) (*Engine, error) {
+	cfg = cfg.withDefaults()
+	if err := cfg.validate(); err != nil {
+		return nil, err
+	}
+	e := &Engine{
+		cfg:         cfg,
+		src:         src,
+		arch:        src.Arch(),
+		metrics:     NewMetrics(),
+		queue:       make(chan *job, cfg.QueueDepth),
+		work:        make(chan *batchJob, cfg.Replicas),
+		quit:        make(chan struct{}),
+		failed:      make(chan struct{}),
+		batcherDone: make(chan struct{}),
+		dead:        make(chan struct{}),
+	}
+	spec := dist.MeshSpec{TP: cfg.Ranks, FSDP: 1, DP: cfg.Replicas}
+	topo := dist.Topology{Nodes: 1, GPUsPerNode: spec.World()}
+	if spec.World() > 8 && spec.World()%8 == 0 {
+		topo = dist.Frontier(spec.World() / 8)
+	}
+	ready := make(chan error, spec.World())
+	go func() {
+		_, err := dist.RunMesh(spec, topo, func(rank int, m *dist.Mesh) error {
+			return e.worker(rank, m, ready)
+		})
+		// Every worker has exited. Unblock the batcher if it is still
+		// running (a worker failure means nobody will read work again),
+		// wait for it, then fail any micro-batches stranded in the work
+		// buffer — with both sides gone this drain has no concurrent
+		// sender or receiver. On a clean Close the batcher exited first
+		// and the workers drained the channel, so this finds nothing.
+		e.fail()
+		<-e.batcherDone
+		for {
+			bj, ok := e.takeWork()
+			if !ok {
+				break
+			}
+			e.failJobs(bj.jobs)
+		}
+		e.runErr = err
+		close(e.dead)
+	}()
+	go e.batchLoop()
+	for i := 0; i < spec.World(); i++ {
+		select {
+		case err := <-ready:
+			if err != nil {
+				e.Close()
+				return nil, err
+			}
+		case <-e.dead:
+			e.Close()
+			if e.runErr != nil {
+				return nil, e.runErr
+			}
+			return nil, ErrClosed
+		}
+	}
+	return e, nil
+}
+
+// Arch returns the served architecture (request geometry: Channels x ImgH x
+// ImgW).
+func (e *Engine) Arch() model.Arch { return e.arch }
+
+// Metrics returns the engine's metrics aggregator.
+func (e *Engine) Metrics() *Metrics { return e.metrics }
+
+// Done is closed when the engine has fully stopped (Close finished or a
+// worker failed); Err then reports why.
+func (e *Engine) Done() <-chan struct{} { return e.dead }
+
+// Err returns the terminal error once Done is closed (nil for a clean
+// Close), nil while the engine is running.
+func (e *Engine) Err() error {
+	select {
+	case <-e.dead:
+		return e.runErr
+	default:
+		return nil
+	}
+}
+
+// Close stops admission, fails requests still waiting in the queue, lets
+// in-flight batches finish, and tears down the mesh. It is idempotent and
+// returns the engine's terminal error.
+func (e *Engine) Close() error {
+	e.closeOnce.Do(func() { close(e.quit) })
+	<-e.dead
+	return e.runErr
+}
+
+// fail marks the engine failed (first worker error wins).
+func (e *Engine) fail() {
+	e.failOnce.Do(func() { close(e.failed) })
+}
+
+// Submit validates and enqueues a request, returning the channel its
+// Response will arrive on. It never blocks: a full queue is an ErrQueueFull
+// rejection (admission control), a closed engine an ErrClosed. Callers
+// waiting on the returned channel should also select on Done in case the
+// engine stops first; Do wraps exactly that.
+func (e *Engine) Submit(req *Request) (<-chan Response, error) {
+	if err := e.validateRequest(req); err != nil {
+		return nil, err
+	}
+	select {
+	case <-e.quit:
+		return nil, ErrClosed
+	case <-e.dead:
+		return nil, ErrClosed
+	default:
+	}
+	j := &job{req: req, enq: time.Now(), done: make(chan Response, 1)}
+	select {
+	case e.queue <- j:
+		// Close may have raced in between the admission check and the
+		// enqueue — after the batcher's final drain, nothing would ever
+		// serve or fail this job. Re-check and rescue: draining here fails
+		// every stranded job (ours included) with ErrClosed.
+		select {
+		case <-e.quit:
+			e.drainQueue()
+		case <-e.dead:
+			e.drainQueue()
+		default:
+		}
+		e.metrics.noteDepth(len(e.queue))
+		return j.done, nil
+	default:
+		e.metrics.noteRejected()
+		return nil, ErrQueueFull
+	}
+}
+
+// Do submits a request and waits for its response, the context, or engine
+// shutdown — whichever comes first.
+func (e *Engine) Do(ctx context.Context, req *Request) (Response, error) {
+	ch, err := e.Submit(req)
+	if err != nil {
+		return Response{}, err
+	}
+	result := func(r Response) (Response, error) { return r, r.Err }
+	select {
+	case r := <-ch:
+		return result(r)
+	case <-ctx.Done():
+		return Response{}, ctx.Err()
+	case <-e.dead:
+		// The response may have raced the shutdown in.
+		select {
+		case r := <-ch:
+			return result(r)
+		default:
+		}
+		if e.runErr != nil {
+			return Response{}, e.runErr
+		}
+		return Response{}, ErrClosed
+	}
+}
+
+// validateRequest checks a request against the served architecture before
+// it is admitted, so batch assembly can never fail.
+func (e *Engine) validateRequest(req *Request) error {
+	a := e.arch
+	if req == nil || req.Input == nil {
+		return fmt.Errorf("serve: request has no input")
+	}
+	if len(req.Input.Shape) != 3 || req.Input.Shape[1] < 1 || req.Input.Shape[2] < 1 {
+		return fmt.Errorf("serve: input must be [c,h,w], got %v", req.Input.Shape)
+	}
+	c := req.Input.Shape[0]
+	if req.Channels == nil {
+		if c != a.Channels {
+			return fmt.Errorf("serve: input has %d channels, model wants %d (name a subset via Channels)", c, a.Channels)
+		}
+		return nil
+	}
+	if len(req.Channels) != c {
+		return fmt.Errorf("serve: Channels lists %d entries for %d input rows", len(req.Channels), c)
+	}
+	prev := -1
+	for _, ch := range req.Channels {
+		if ch <= prev || ch >= a.Channels {
+			return fmt.Errorf("serve: channel indices must be strictly increasing in [0,%d), got %v", a.Channels, req.Channels)
+		}
+		prev = ch
+	}
+	return nil
+}
+
+// batchLoop is the dynamic micro-batcher: it blocks for the first request,
+// then accumulates until the batch is full or the oldest request has waited
+// MaxWait, then hands the assembled batch to the replicas.
+func (e *Engine) batchLoop() {
+	defer close(e.batcherDone)
+	defer close(e.work)
+	for {
+		var first *job
+		select {
+		case first = <-e.queue:
+		case <-e.quit:
+			e.drainQueue()
+			return
+		case <-e.failed:
+			e.drainQueue()
+			return
+		}
+		batch := e.collect(first)
+		select {
+		case <-e.quit:
+			e.failJobs(batch)
+			e.drainQueue()
+			return
+		case <-e.failed:
+			e.failJobs(batch)
+			e.drainQueue()
+			return
+		default:
+		}
+		bj := e.assemble(batch)
+		select {
+		case e.work <- bj:
+		case <-e.failed:
+			e.failJobs(batch)
+			e.drainQueue()
+			return
+		}
+	}
+}
+
+// collect accumulates up to MaxBatch jobs behind first. A full batch
+// flushes immediately; a partial batch flushes early the moment the queue
+// is empty while dispatch capacity is free (waiting for stragglers would
+// idle a replica — the batcher must never trade capacity for batch size),
+// and otherwise at the MaxWait deadline, which bounds the extra wait a
+// request can absorb when every replica is busy anyway.
+func (e *Engine) collect(first *job) []*job {
+	batch := []*job{first}
+	if e.cfg.MaxBatch == 1 {
+		return batch
+	}
+	// The deadline is counted from the oldest request's enqueue, not from
+	// dequeue: time the request already spent queued behind busy replicas
+	// counts against its batching wait.
+	timer := time.NewTimer(time.Until(first.enq.Add(e.cfg.MaxWait)))
+	defer timer.Stop()
+	for len(batch) < e.cfg.MaxBatch {
+		select {
+		case j := <-e.queue:
+			batch = append(batch, j)
+			continue
+		default:
+		}
+		// Queue momentarily empty: flush now if a dispatch slot is free.
+		if len(e.work) < cap(e.work) {
+			return batch
+		}
+		select {
+		case j := <-e.queue:
+			batch = append(batch, j)
+		case <-timer.C:
+			return batch
+		case <-e.quit:
+			return batch
+		case <-e.failed:
+			return batch
+		}
+	}
+	return batch
+}
+
+// assemble builds the [B, C, H, W] batch tensor: every input regridded to
+// the model grid and scattered onto its channel rows (partial channel sets
+// leave the others zero — the normalized-data mean).
+func (e *Engine) assemble(jobs []*job) *batchJob {
+	a := e.arch
+	hw := a.ImgH * a.ImgW
+	x := tensor.New(len(jobs), a.Channels, a.ImgH, a.ImgW)
+	for i, j := range jobs {
+		in := j.req.Input
+		if in.Shape[1] != a.ImgH || in.Shape[2] != a.ImgW {
+			in = data.RegridBatch(in, a.ImgH, a.ImgW)
+		}
+		for r := 0; r < in.Shape[0]; r++ {
+			ch := r
+			if j.req.Channels != nil {
+				ch = j.req.Channels[r]
+			}
+			copy(x.Data[(i*a.Channels+ch)*hw:(i*a.Channels+ch+1)*hw], in.Data[r*hw:(r+1)*hw])
+		}
+	}
+	return &batchJob{jobs: jobs, x: x, formed: time.Now()}
+}
+
+// takeWork non-blockingly receives one stranded micro-batch from the work
+// channel (shutdown path; the channel may or may not be closed yet).
+func (e *Engine) takeWork() (*batchJob, bool) {
+	select {
+	case bj, ok := <-e.work:
+		return bj, ok && bj != nil
+	default:
+		return nil, false
+	}
+}
+
+// drainQueue fails every job still waiting in the queue (shutdown path).
+func (e *Engine) drainQueue() {
+	for {
+		select {
+		case j := <-e.queue:
+			e.failJob(j)
+		default:
+			return
+		}
+	}
+}
+
+func (e *Engine) failJobs(jobs []*job) {
+	for _, j := range jobs {
+		e.failJob(j)
+	}
+}
+
+func (e *Engine) failJob(j *job) {
+	e.metrics.noteFailed()
+	j.done <- Response{ID: j.req.ID, Err: ErrClosed}
+}
+
+// worker is one mesh rank's serving loop. Rank tp=0 of each TP group is the
+// replica leader: it pulls assembled batches from the shared work channel,
+// broadcasts them over its group, and answers once the group's forward
+// completes. Every rank runs the no-grad forward on its channel shard; for
+// D-CHAG stages the in-forward AllGather is the only communication, exactly
+// as in training.
+func (e *Engine) worker(rank int, m *dist.Mesh, ready chan<- error) (err error) {
+	// inflight is the micro-batch this leader has pulled but not yet
+	// answered; if the worker dies holding one (its own panic, or an abort
+	// cascade from another rank), the exit path fails it so its clients
+	// get ErrClosed instead of silence.
+	var inflight *batchJob
+	defer func() {
+		if rec := recover(); rec != nil {
+			err = comm.RankPanicError("serve", rank, rec)
+		}
+		if err != nil {
+			e.fail()
+		}
+		if inflight != nil {
+			e.failJobs(inflight.jobs)
+		}
+	}()
+	tpc := m.TPComm(rank)
+	mdl, err := e.src.Build(tpc)
+	ready <- err
+	if err != nil {
+		return err
+	}
+
+	if tpc.Size() == 1 {
+		// Single-rank replica: no group coordination needed.
+		for {
+			select {
+			case bj, ok := <-e.work:
+				if !ok {
+					return nil
+				}
+				inflight = bj
+				e.complete(bj, mdl.Infer(bj.x, nil))
+				inflight = nil
+			case <-e.failed:
+				return nil
+			}
+		}
+	}
+
+	lo, hi := 0, e.arch.Channels
+	if ds, ok := mdl.Stage.(*model.DCHAGStage); ok {
+		lo, hi = ds.ChannelBounds()
+	}
+	lead := m.Spec.CoordOf(rank).TP == 0
+	stop := tensor.FromSlice([]float64{0}, 1)
+	cont := tensor.FromSlice([]float64{1}, 1)
+	for {
+		var bj *batchJob
+		var ctrl *tensor.Tensor
+		if lead {
+			select {
+			case b, ok := <-e.work:
+				if !ok {
+					tpc.Broadcast(stop, 0)
+					return nil
+				}
+				bj = b
+				inflight = bj
+				ctrl = cont
+			case <-e.failed:
+				// The failing rank's return aborts every mesh group, which
+				// releases this replica's peers from their pending
+				// Broadcast; no farewell needed (or possible).
+				return nil
+			}
+		}
+		if tpc.Broadcast(ctrl, 0).Data[0] == 0 {
+			return nil
+		}
+		var x *tensor.Tensor
+		if lead {
+			x = bj.x
+		}
+		x = tpc.Broadcast(x, 0)
+		pred := mdl.Infer(tensor.SliceAxis(x, 1, lo, hi), nil)
+		if lead {
+			e.complete(bj, pred)
+			inflight = nil
+		}
+	}
+}
+
+// complete unpatchifies a replica's prediction and fans the per-request
+// responses back out.
+func (e *Engine) complete(bj *batchJob, pred *tensor.Tensor) {
+	a := e.arch
+	imgs := model.Unpatchify(pred, a.Channels, a.ImgH, a.ImgW, a.Patch)
+	now := time.Now()
+	b := len(bj.jobs)
+	e.metrics.noteBatch(b)
+	for i, j := range bj.jobs {
+		out := tensor.SliceAxis(imgs, 0, i, i+1).Reshape(a.Channels, a.ImgH, a.ImgW)
+		resp := Response{
+			ID:        j.req.ID,
+			Output:    out,
+			BatchSize: b,
+			Queued:    bj.formed.Sub(j.enq),
+			Total:     now.Sub(j.enq),
+		}
+		e.metrics.observe(resp)
+		j.done <- resp
+	}
+}

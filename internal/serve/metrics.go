@@ -1,0 +1,146 @@
+package serve
+
+import (
+	"sort"
+	"sync"
+	"time"
+)
+
+// maxLatencySamples caps the per-engine latency sample buffers; beyond it
+// the counters keep counting but no further samples are recorded. 1<<17
+// samples (~2 MiB) comfortably covers every benchmark and smoke load this
+// repository runs.
+const maxLatencySamples = 1 << 17
+
+// Metrics aggregates the engine's per-request latency, throughput, batch
+// and queue-depth statistics. All methods are safe for concurrent use; the
+// replica leaders and the submission path share one instance.
+type Metrics struct {
+	mu        sync.Mutex
+	start     time.Time
+	completed uint64
+	rejected  uint64
+	failed    uint64
+	batches   uint64
+	sumBatch  uint64
+	maxDepth  int
+	queuedMs  []float64
+	totalMs   []float64
+}
+
+// NewMetrics returns a Metrics with the throughput clock started.
+func NewMetrics() *Metrics {
+	return &Metrics{start: time.Now()}
+}
+
+// noteDepth records an observed queue depth.
+func (m *Metrics) noteDepth(depth int) {
+	m.mu.Lock()
+	if depth > m.maxDepth {
+		m.maxDepth = depth
+	}
+	m.mu.Unlock()
+}
+
+// noteRejected counts an admission-control rejection.
+func (m *Metrics) noteRejected() {
+	m.mu.Lock()
+	m.rejected++
+	m.mu.Unlock()
+}
+
+// noteFailed counts a request failed by engine shutdown.
+func (m *Metrics) noteFailed() {
+	m.mu.Lock()
+	m.failed++
+	m.mu.Unlock()
+}
+
+// observe records one served request.
+func (m *Metrics) observe(r Response) {
+	m.mu.Lock()
+	m.completed++
+	if len(m.totalMs) < maxLatencySamples {
+		m.queuedMs = append(m.queuedMs, float64(r.Queued)/float64(time.Millisecond))
+		m.totalMs = append(m.totalMs, float64(r.Total)/float64(time.Millisecond))
+	}
+	m.mu.Unlock()
+}
+
+// noteBatch records one dispatched micro-batch.
+func (m *Metrics) noteBatch(size int) {
+	m.mu.Lock()
+	m.batches++
+	m.sumBatch += uint64(size)
+	m.mu.Unlock()
+}
+
+// Snapshot is a point-in-time view of the engine's metrics.
+type Snapshot struct {
+	// Completed, Rejected, Failed count requests served, refused at
+	// admission, and failed by shutdown.
+	Completed, Rejected, Failed uint64
+	// Batches is the number of micro-batches dispatched; MeanBatch the mean
+	// requests per batch.
+	Batches   uint64
+	MeanBatch float64
+	// MaxQueueDepth is the deepest queue observed at submission.
+	MaxQueueDepth int
+	// ElapsedSeconds is the time since the engine started; ThroughputRPS is
+	// Completed over that window.
+	ElapsedSeconds float64
+	ThroughputRPS  float64
+	// Latency quantiles in milliseconds. Queued is time waiting for the
+	// micro-batch to form; Total is enqueue-to-response.
+	QueuedP50Ms, QueuedP99Ms           float64
+	TotalP50Ms, TotalP95Ms, TotalP99Ms float64
+}
+
+// Snapshot computes the current statistics. Only the counter reads and
+// sample copies happen under the lock; the quantile sorts run outside it,
+// so a metrics poll never stalls request completions.
+func (m *Metrics) Snapshot() Snapshot {
+	m.mu.Lock()
+	s := Snapshot{
+		Completed:     m.completed,
+		Rejected:      m.rejected,
+		Failed:        m.failed,
+		Batches:       m.batches,
+		MaxQueueDepth: m.maxDepth,
+	}
+	if m.batches > 0 {
+		s.MeanBatch = float64(m.sumBatch) / float64(m.batches)
+	}
+	s.ElapsedSeconds = time.Since(m.start).Seconds()
+	if s.ElapsedSeconds > 0 {
+		s.ThroughputRPS = float64(m.completed) / s.ElapsedSeconds
+	}
+	queued := append([]float64(nil), m.queuedMs...)
+	total := append([]float64(nil), m.totalMs...)
+	m.mu.Unlock()
+	sort.Float64s(queued)
+	sort.Float64s(total)
+	s.QueuedP50Ms = Quantile(queued, 0.50)
+	s.QueuedP99Ms = Quantile(queued, 0.99)
+	s.TotalP50Ms = Quantile(total, 0.50)
+	s.TotalP95Ms = Quantile(total, 0.95)
+	s.TotalP99Ms = Quantile(total, 0.99)
+	return s
+}
+
+// Quantile returns the q-quantile (0 <= q <= 1) of an ascending-sorted
+// sample by nearest-rank; 0 for an empty sample. Exported for load
+// generators that aggregate their own client-side samples.
+func Quantile(sorted []float64, q float64) float64 {
+	if len(sorted) == 0 {
+		return 0
+	}
+	idx := int(q*float64(len(sorted)-1) + 0.5)
+	if idx < 0 {
+		idx = 0
+	}
+	if idx >= len(sorted) {
+		idx = len(sorted) - 1
+	}
+	return sorted[idx]
+}

@@ -1,0 +1,129 @@
+// Package serve is the asynchronous, batched inference engine over the
+// device mesh — the request-facing tier the ROADMAP's north star calls for,
+// decoupled from the sharded compute tier by a queue and a dynamic
+// micro-batcher (the shape cross-cloud/hierarchical FL serving systems
+// share: admission control in front, batching in the middle, sharded
+// replicas behind).
+//
+// The pipeline, front to back:
+//
+//	Submit/Do ──▶ bounded queue ──▶ micro-batcher ──▶ work channel ──▶ mesh replicas
+//	 (admission     (backpressure)    (flush on max       (one reader      (TP groups of
+//	  control:                         batch or max        per replica      q ranks; rank 0
+//	  ErrQueueFull)                    wait deadline)      leader)          answers)
+//
+// Requests carry a single [c, h, w] snapshot on any spatial grid and any
+// subset of the model's channels: the batcher regrids each input to the
+// model grid (data.RegridBatch, the same bilinear path the training
+// loaders use) and scatters partial channel sets onto a zero canvas —
+// zero is the per-channel mean under the training normalization, and
+// filling the gap across channels is exactly what the D-CHAG aggregation
+// stage learns to do.
+//
+// Each replica is one TP group of Config.Ranks rank goroutines pinned to a
+// dist.Mesh (spec TP=Ranks, DP=Replicas): the group leader pulls an
+// assembled batch, broadcasts it over the group, every rank runs the
+// no-grad forward (model.FoundationModel.Infer — D-CHAG's AllGather is the
+// only communication, exactly as in training), and the leader unpatchifies
+// and fans responses back out. Models come from a Source: FromCheckpoint
+// opens any dchag-ckpt/v1 directory read-only and reshards it to the
+// serving topology (save at p ranks, serve at any q dividing the logical
+// partition count, including q=1), FromArch builds fresh seeded weights
+// for benchmarks.
+package serve
+
+import (
+	"errors"
+	"fmt"
+	"time"
+
+	"repro/internal/tensor"
+)
+
+// Errors returned by the admission path.
+var (
+	// ErrQueueFull is the admission-control rejection: the bounded request
+	// queue is at capacity. Clients should back off and retry.
+	ErrQueueFull = errors.New("serve: request queue full")
+	// ErrClosed reports a Submit against a closed (or failed) engine.
+	ErrClosed = errors.New("serve: engine closed")
+)
+
+// Request is one inference request: a single snapshot to run the forecast
+// forward pass on.
+type Request struct {
+	// ID is echoed in the Response; the engine does not interpret it.
+	ID string
+	// Input is the snapshot [c, h, w]. Any spatial grid is accepted — the
+	// batcher regrids to the model's ImgH x ImgW — and c is either the
+	// model's full channel count (Channels nil) or len(Channels).
+	Input *tensor.Tensor
+	// Channels optionally names the global channel index of each Input row,
+	// letting a client submit a partial channel set; unlisted channels are
+	// zero-filled (the normalized-data mean). Indices must be in range and
+	// strictly increasing.
+	Channels []int
+}
+
+// Response is the answer to one Request.
+type Response struct {
+	// ID echoes the request.
+	ID string
+	// Output is the model's predicted image [C, H, W] on the model grid.
+	Output *tensor.Tensor
+	// BatchSize is the size of the micro-batch the request was served in.
+	BatchSize int
+	// Queued is the time spent waiting for the micro-batch to form; Total
+	// is enqueue-to-response latency (queueing + batching + forward).
+	Queued, Total time.Duration
+	// Err is set when the engine shut down before the request was served.
+	Err error
+}
+
+// Config sizes the serving engine.
+type Config struct {
+	// Ranks is the TP (D-CHAG channel-sharding) width of each replica; it
+	// must divide the model's logical partition count. 1 serves the serial
+	// equivalent model.
+	Ranks int
+	// Replicas is the number of independent model replicas consuming
+	// batches; the mesh world is Ranks*Replicas.
+	Replicas int
+	// MaxBatch caps the micro-batch size; a full batch flushes immediately.
+	// 1 disables batching.
+	MaxBatch int
+	// MaxWait is the batching deadline: a partial batch flushes once its
+	// oldest request has waited this long.
+	MaxWait time.Duration
+	// QueueDepth bounds the request queue (admission control); Submit
+	// returns ErrQueueFull beyond it. 0 defaults to 4*MaxBatch*Replicas.
+	QueueDepth int
+}
+
+// withDefaults normalizes zero fields.
+func (c Config) withDefaults() Config {
+	if c.Ranks < 1 {
+		c.Ranks = 1
+	}
+	if c.Replicas < 1 {
+		c.Replicas = 1
+	}
+	if c.MaxBatch < 1 {
+		c.MaxBatch = 8
+	}
+	if c.MaxWait <= 0 {
+		c.MaxWait = 10 * time.Millisecond
+	}
+	if c.QueueDepth < 1 {
+		c.QueueDepth = 4 * c.MaxBatch * c.Replicas
+	}
+	return c
+}
+
+// validate rejects nonsensical configurations before any goroutine starts.
+func (c Config) validate() error {
+	if c.Ranks < 1 || c.Replicas < 1 || c.MaxBatch < 1 || c.QueueDepth < 1 {
+		return fmt.Errorf("serve: invalid config %+v", c)
+	}
+	return nil
+}

@@ -1,6 +1,7 @@
 package train
 
 import (
+	"encoding/json"
 	"fmt"
 	"math/rand"
 
@@ -19,9 +20,6 @@ const (
 	stageDCHAG  = "dchag"
 	stageSerial = "serial"
 )
-
-// metaStageKey is the manifest Meta key holding the stage fingerprint.
-const metaStageKey = "stage"
 
 // stageKind fingerprints a model's channel stage for the manifest.
 func stageKind(m *model.FoundationModel) string {
@@ -84,21 +82,27 @@ func (o Options) pruneCheckpoints() error {
 }
 
 // writeManifest commits a checkpoint: call only after every rank's shard is
-// written.
-func writeManifest(dir string, world, partitions, step int, stage string) error {
+// written. The manifest records the stage fingerprint and the full
+// architecture (JSON under ckpt.MetaArch), so inference tooling can rebuild
+// the model from the checkpoint alone.
+func writeManifest(dir string, world, partitions, step int, stage string, arch model.Arch) error {
+	meta := map[string]string{ckpt.MetaStage: stage}
+	if blob, err := json.Marshal(arch); err == nil {
+		meta[ckpt.MetaArch] = string(blob)
+	}
 	return ckpt.WriteManifest(dir, ckpt.Manifest{
 		World:      world,
 		Partitions: partitions,
 		Step:       step,
 		OptAlgo:    "adamw",
-		Meta:       map[string]string{metaStageKey: stage},
+		Meta:       meta,
 	})
 }
 
 // checkStage rejects checkpoints saved from a different architecture
 // family.
 func checkStage(m ckpt.Manifest, stage string) error {
-	if saved, ok := m.Meta[metaStageKey]; ok && saved != stage {
+	if saved, ok := m.Meta[ckpt.MetaStage]; ok && saved != stage {
 		return fmt.Errorf("train: checkpoint was saved from a %q stage, this model is %q", saved, stage)
 	}
 	return nil

@@ -139,7 +139,7 @@ func Hybrid(arch model.Arch, tp, dp int, tpViT bool, opts Options, batch BatchFn
 				}
 				tpc.Barrier()
 				if rank == 0 {
-					if err := writeManifest(dir, tp, stage.D.Partitions, s+1, stageDCHAG); err != nil {
+					if err := writeManifest(dir, tp, stage.D.Partitions, s+1, stageDCHAG, mdl.Arch); err != nil {
 						return err
 					}
 					if err := opts.pruneCheckpoints(); err != nil {

@@ -214,7 +214,7 @@ func SerialCheckpointed(m *model.FoundationModel, opts Options, batch BatchFn) (
 			if err := writeShard(dir, 0, m.Params(), opt); err != nil {
 				return hist, err
 			}
-			if err := writeManifest(dir, 1, modelPartitions(m), s+1, stageKind(m)); err != nil {
+			if err := writeManifest(dir, 1, modelPartitions(m), s+1, stageKind(m), m.Arch); err != nil {
 				return hist, err
 			}
 			if err := opts.pruneCheckpoints(); err != nil {
@@ -306,7 +306,7 @@ func Distributed(arch model.Arch, p int, tpViT bool, opts Options, batch BatchFn
 				}
 				c.Barrier() // every shard durable before the manifest commits
 				if c.Rank() == 0 {
-					if err := writeManifest(dir, c.Size(), stage.D.Partitions, s+1, stageDCHAG); err != nil {
+					if err := writeManifest(dir, c.Size(), stage.D.Partitions, s+1, stageDCHAG, m.Arch); err != nil {
 						return err
 					}
 					if err := opts.pruneCheckpoints(); err != nil {
