@@ -1,9 +1,10 @@
 GO ?= go
 
-.PHONY: verify fmt-check vet build test fmt bench bench-diff bench-serve serve-smoke race
+.PHONY: verify fmt-check vet vet-custom build test fmt bench bench-diff bench-serve serve-smoke race
 
-# verify is the tier-1 gate: formatting, vet, full build, full test run.
-verify: fmt-check vet build test
+# verify is the tier-1 gate: formatting, vet (standard and project
+# analyzers), full build, full test run.
+verify: fmt-check vet vet-custom build test
 
 # bench runs every benchmark once, writes the topology-aware sweep as the
 # BENCH_sweep.json artifact, and re-parses the artifact through the tier-1
@@ -39,14 +40,14 @@ serve-smoke:
 		-train-ranks 4 -ranks 2 -replicas 2 -batch 8 -deadline 50ms \
 		-requests 300 -concurrency 12 -p99-limit 5s
 
-# race exercises the rendezvous/abort-heavy packages under the race
-# detector — including the checkpoint/resume paths, whose shard writes and
-# barriers run on every rank goroutine, the perfmodel/experiments layer,
-# whose sweeps and RunMesh-backed spot-checks fan out across goroutines,
-# and the serving engine, whose queue/batcher/replica pipeline is all
-# cross-goroutine handoffs — identical to the CI race job.
+# race runs the whole module under the race detector — the
+# rendezvous/abort paths in comm, the mesh teardown in dist, the
+# rank-per-goroutine training and checkpoint loops, and the serving
+# engine's queue/batcher/replica handoffs are exactly what -race exists
+# for, and the leakcheck-instrumented tests catch stranded goroutines the
+# detector alone would miss. Identical to the CI race job.
 race:
-	$(GO) test -race ./internal/comm/... ./internal/dist/... ./internal/train/... ./internal/ckpt/... ./internal/perfmodel/... ./internal/experiments/... ./internal/serve/...
+	$(GO) test -race ./...
 
 fmt-check:
 	@unformatted=$$(gofmt -l .); \
@@ -59,6 +60,13 @@ fmt:
 
 vet:
 	$(GO) vet ./...
+
+# vet-custom runs the project's own analyzers (cmd/dchag-vet: collective
+# symmetry, dropped comm errors, guarded-field locking, hot-path
+# allocations) over the whole module. Zero findings is the gate; see
+# cmd/dchag-vet/doc.go for the suppression contract.
+vet-custom:
+	$(GO) run ./cmd/dchag-vet ./...
 
 build:
 	$(GO) build ./...

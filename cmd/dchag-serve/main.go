@@ -79,7 +79,11 @@ func main() {
 	if err != nil {
 		log.Fatal(err)
 	}
-	defer engine.Close()
+	defer func() {
+		if err := engine.Close(); err != nil {
+			log.Printf("engine close: %v", err)
+		}
+	}()
 
 	var baseURL string
 	if *listen != "" {
@@ -94,7 +98,10 @@ func main() {
 
 	if *loadgen {
 		if code := runLoadgen(engine, baseURL, *requests, *clients, *p99Limit); code != 0 {
-			engine.Close()
+			// os.Exit skips the deferred close; tear down explicitly.
+			if err := engine.Close(); err != nil {
+				log.Printf("engine close: %v", err)
+			}
 			os.Exit(code)
 		}
 		return

@@ -75,7 +75,11 @@ func main() {
 	if err != nil {
 		log.Fatal(err)
 	}
-	defer engine.Close()
+	defer func() {
+		if err := engine.Close(); err != nil {
+			log.Printf("engine close: %v", err)
+		}
+	}()
 	fmt.Printf("serving resharded 4 -> 2 ranks x 2 replicas\n\n")
 
 	// A serial (1-rank) engine over the same checkpoint is the correctness
@@ -88,7 +92,11 @@ func main() {
 	if err != nil {
 		log.Fatal(err)
 	}
-	defer serialEngine.Close()
+	defer func() {
+		if err := serialEngine.Close(); err != nil {
+			log.Printf("serial engine close: %v", err)
+		}
+	}()
 
 	rng := tensor.NewRNG(99)
 	check := func(name string, req *serve.Request) {

@@ -1,0 +1,174 @@
+// Package analysis is the repository's static-analysis framework: a
+// self-contained analogue of golang.org/x/tools/go/analysis (which the
+// build environment does not vendor) sized to this project's needs.
+//
+// An Analyzer inspects one type-checked package at a time and reports
+// Diagnostics. The Loader type-checks the whole module from source using
+// only the standard library (go/parser + go/types, with `go list -deps`
+// supplying the file sets and dependency order), so the suite runs
+// anywhere the Go toolchain runs, offline. cmd/dchag-vet is the
+// multichecker driver; the analyzers themselves live in subpackages
+// (collectivesym, commerr, lockedfield, hotalloc).
+//
+// Findings are suppressed with staticcheck-style markers:
+//
+//	//lint:ignore collectivesym matched by the followers' next-iteration Broadcast
+//
+// placed on the flagged line or the line above it. The marker names one
+// or more analyzers (comma-separated, or "all") and MUST carry a reason;
+// a reasonless marker is itself reported. See DESIGN.md "Static
+// analysis" for the annotation contracts the analyzers define
+// ("guarded by <mu>", "dchag:hotpath").
+package analysis
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"go/types"
+	"sort"
+	"strings"
+)
+
+// Analyzer is one static check: a name (used in //lint:ignore markers and
+// diagnostics), documentation, and a Run function applied to each package.
+type Analyzer struct {
+	// Name identifies the analyzer in diagnostics and suppression markers.
+	// It must be a single word.
+	Name string
+	// Doc is the analyzer's user-facing documentation: first line a
+	// summary, the rest the full contract.
+	Doc string
+	// Run inspects one package via the Pass and reports findings through
+	// pass.Reportf. A returned error is an analyzer failure (not a
+	// finding) and aborts the run.
+	Run func(*Pass) error
+}
+
+// Pass carries one type-checked package through one analyzer.
+type Pass struct {
+	Analyzer *Analyzer
+	Fset     *token.FileSet
+	// Files are the package's parsed files, comments included.
+	Files []*ast.File
+	// Pkg is the type-checked package; Info its use/def/selection maps.
+	Pkg  *types.Package
+	Info *types.Info
+
+	diags *[]Diagnostic
+}
+
+// Reportf records a finding at pos.
+func (p *Pass) Reportf(pos token.Pos, format string, args ...any) {
+	*p.diags = append(*p.diags, Diagnostic{
+		Analyzer: p.Analyzer.Name,
+		Pos:      p.Fset.Position(pos),
+		Message:  fmt.Sprintf(format, args...),
+	})
+}
+
+// Diagnostic is one finding: which analyzer, where, and what.
+type Diagnostic struct {
+	Analyzer string
+	Pos      token.Position
+	Message  string
+}
+
+func (d Diagnostic) String() string {
+	return fmt.Sprintf("%s: %s: %s", d.Pos, d.Analyzer, d.Message)
+}
+
+// Run applies every analyzer to the package unit and returns the
+// surviving findings: suppression markers in the unit's files are
+// honored, and malformed markers (no reason) are reported as findings of
+// the pseudo-analyzer "lintignore". The result is sorted by position.
+func Run(unit *Package, analyzers []*Analyzer) ([]Diagnostic, error) {
+	var diags []Diagnostic
+	for _, a := range analyzers {
+		pass := &Pass{
+			Analyzer: a,
+			Fset:     unit.Fset,
+			Files:    unit.Files,
+			Pkg:      unit.Types,
+			Info:     unit.Info,
+			diags:    &diags,
+		}
+		if err := a.Run(pass); err != nil {
+			return nil, fmt.Errorf("analysis: %s on %s: %w", a.Name, unit.Path, err)
+		}
+	}
+	sup := collectSuppressions(unit.Fset, unit.Files)
+	kept := diags[:0]
+	for _, d := range diags {
+		if !sup.suppresses(d.Analyzer, d.Pos) {
+			kept = append(kept, d)
+		}
+	}
+	kept = append(kept, sup.malformed...)
+	sort.Slice(kept, func(i, j int) bool {
+		a, b := kept[i].Pos, kept[j].Pos
+		if a.Filename != b.Filename {
+			return a.Filename < b.Filename
+		}
+		if a.Line != b.Line {
+			return a.Line < b.Line
+		}
+		return a.Column < b.Column
+	})
+	return kept, nil
+}
+
+// suppressions maps file -> line -> analyzer names ignored there.
+type suppressions struct {
+	byLine    map[string]map[int][]string
+	malformed []Diagnostic
+}
+
+// ignoreMarker is the suppression prefix the analyzers respect.
+const ignoreMarker = "//lint:ignore"
+
+// collectSuppressions scans the files' comments for //lint:ignore
+// markers. A marker suppresses findings on its own line and on the line
+// below it (so it works both as a trailing comment and on the preceding
+// line, the staticcheck convention).
+func collectSuppressions(fset *token.FileSet, files []*ast.File) *suppressions {
+	s := &suppressions{byLine: make(map[string]map[int][]string)}
+	for _, f := range files {
+		for _, cg := range f.Comments {
+			for _, c := range cg.List {
+				text := strings.TrimSpace(c.Text)
+				if !strings.HasPrefix(text, ignoreMarker) {
+					continue
+				}
+				pos := fset.Position(c.Pos())
+				fields := strings.Fields(strings.TrimPrefix(text, ignoreMarker))
+				if len(fields) < 2 {
+					s.malformed = append(s.malformed, Diagnostic{
+						Analyzer: "lintignore",
+						Pos:      pos,
+						Message:  "malformed //lint:ignore: want \"//lint:ignore <analyzers> <reason>\"",
+					})
+					continue
+				}
+				names := strings.Split(fields[0], ",")
+				lines := s.byLine[pos.Filename]
+				if lines == nil {
+					lines = make(map[int][]string)
+					s.byLine[pos.Filename] = lines
+				}
+				lines[pos.Line] = append(lines[pos.Line], names...)
+				lines[pos.Line+1] = append(lines[pos.Line+1], names...)
+			}
+		}
+	}
+	return s
+}
+
+func (s *suppressions) suppresses(analyzer string, pos token.Position) bool {
+	for _, name := range s.byLine[pos.Filename][pos.Line] {
+		if name == analyzer || name == "all" {
+			return true
+		}
+	}
+	return false
+}

@@ -1,0 +1,146 @@
+package analysis_test
+
+import (
+	"go/ast"
+	"go/parser"
+	"go/token"
+	"strings"
+	"testing"
+
+	"repro/internal/analysis"
+)
+
+// badFuncs is a toy analyzer: it flags every function whose name starts
+// with "bad". It needs no type information, which keeps the suppression
+// tests focused on the framework.
+var badFuncs = &analysis.Analyzer{
+	Name: "testcheck",
+	Doc:  "flag functions named bad*",
+	Run: func(pass *analysis.Pass) error {
+		for _, f := range pass.Files {
+			for _, decl := range f.Decls {
+				if fd, ok := decl.(*ast.FuncDecl); ok && strings.HasPrefix(fd.Name.Name, "bad") {
+					pass.Reportf(fd.Pos(), "function %s is bad", fd.Name.Name)
+				}
+			}
+		}
+		return nil
+	},
+}
+
+// parseUnit builds an analysis unit from source without type-checking;
+// sufficient for analyzers that only read syntax.
+func parseUnit(t *testing.T, src string) *analysis.Package {
+	t.Helper()
+	fset := token.NewFileSet()
+	f, err := parser.ParseFile(fset, "p.go", src, parser.ParseComments|parser.SkipObjectResolution)
+	if err != nil {
+		t.Fatalf("parsing test source: %v", err)
+	}
+	return &analysis.Package{Path: "p", ListPath: "p", Name: "p", Fset: fset, Files: []*ast.File{f}}
+}
+
+func TestSuppressions(t *testing.T) {
+	const src = `package p
+
+func bad1() {}
+
+//lint:ignore testcheck deliberate for the test
+func bad2() {}
+
+//lint:ignore all every analyzer is quiet here
+func bad3() {}
+
+//lint:ignore other,testcheck comma lists name several analyzers
+func bad4() {}
+
+func bad5() {} //lint:ignore testcheck trailing markers suppress their own line
+
+//lint:ignore other a marker for a different analyzer does not help
+func bad6() {}
+
+func good() {}
+`
+	diags, err := analysis.Run(parseUnit(t, src), []*analysis.Analyzer{badFuncs})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var got []string
+	for _, d := range diags {
+		got = append(got, d.Analyzer+":"+d.Message)
+	}
+	want := []string{
+		"testcheck:function bad1 is bad",
+		"testcheck:function bad6 is bad",
+	}
+	if len(got) != len(want) {
+		t.Fatalf("got %d diagnostics %v, want %d %v", len(got), got, len(want), want)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Errorf("diagnostic %d = %q, want %q", i, got[i], want[i])
+		}
+	}
+}
+
+func TestMalformedMarkerIsReported(t *testing.T) {
+	const src = `package p
+
+//lint:ignore testcheck
+func bad1() {}
+`
+	diags, err := analysis.Run(parseUnit(t, src), []*analysis.Analyzer{badFuncs})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The reasonless marker suppresses nothing and is itself a finding:
+	// the bad1 report survives and a lintignore diagnostic points at the
+	// marker.
+	if len(diags) != 2 {
+		t.Fatalf("got %d diagnostics %v, want 2", len(diags), diags)
+	}
+	if diags[0].Analyzer != "lintignore" || !strings.Contains(diags[0].Message, "malformed") {
+		t.Errorf("first diagnostic = %v, want a malformed-marker report", diags[0])
+	}
+	if diags[1].Analyzer != "testcheck" {
+		t.Errorf("second diagnostic = %v, want the unsuppressed testcheck finding", diags[1])
+	}
+}
+
+func TestDiagnosticsSortedByPosition(t *testing.T) {
+	const src = `package p
+
+func good() {}
+
+func bad2() {}
+
+func bad1() {}
+`
+	diags, err := analysis.Run(parseUnit(t, src), []*analysis.Analyzer{badFuncs})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(diags) != 2 || diags[0].Pos.Line >= diags[1].Pos.Line {
+		t.Fatalf("diagnostics not sorted by position: %v", diags)
+	}
+}
+
+// TestLoaderStdlib is the loader smoke test: a single stdlib package
+// (plus its dependency closure) type-checks from source with full
+// use/def information.
+func TestLoaderStdlib(t *testing.T) {
+	l := analysis.NewLoader(".")
+	unit, err := l.LoadOne("sort")
+	if err != nil {
+		t.Fatalf("LoadOne(sort): %v", err)
+	}
+	if unit.Name != "sort" || unit.Types == nil || unit.Types.Path() != "sort" {
+		t.Fatalf("unexpected unit: name=%q types=%v", unit.Name, unit.Types)
+	}
+	if len(unit.Info.Defs) == 0 || len(unit.Info.Uses) == 0 {
+		t.Fatal("loader produced no def/use information")
+	}
+	if obj := unit.Types.Scope().Lookup("Sort"); obj == nil {
+		t.Fatal("sort.Sort not found in the loaded package scope")
+	}
+}

@@ -1,0 +1,12 @@
+package collectivesym_test
+
+import (
+	"testing"
+
+	"repro/internal/analysis"
+	"repro/internal/analysis/collectivesym"
+)
+
+func TestAnalyzer(t *testing.T) {
+	analysis.RunFixture(t, "testdata", "a", collectivesym.Analyzer)
+}

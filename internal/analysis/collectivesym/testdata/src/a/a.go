@@ -1,0 +1,88 @@
+// Package a exercises collectivesym: collectives guarded by
+// rank-conditional branches fire, symmetric ones do not.
+package a
+
+import "repro/internal/comm"
+
+// symmetric collectives are fine at any nesting that is not
+// rank-conditional.
+func symmetric(c *comm.Communicator, steps int) {
+	c.Barrier()
+	for s := 0; s < steps; s++ {
+		if s%2 == 0 {
+			c.AllReduceSum(nil)
+		}
+	}
+	if c.Size() > 1 {
+		c.Barrier()
+	}
+}
+
+func direct(c *comm.Communicator) {
+	if c.Rank() == 0 {
+		c.Barrier() // want `rank-conditional if`
+	}
+}
+
+// tainted: the condition uses a local two assignments removed from the
+// rank expression; the fixpoint taint pass must carry it through.
+func tainted(c *comm.Communicator) {
+	primary := c.Rank() == 0
+	ok := primary
+	if ok {
+		c.AllReduceSum(nil) // want `rank-conditional if`
+	}
+}
+
+func elseBranch(c *comm.Communicator) {
+	if c.Rank() == 0 {
+		_ = 1
+	} else {
+		c.Gather(nil, 0) // want `rank-conditional if`
+	}
+}
+
+func switchCases(c *comm.Communicator, x int) {
+	switch c.Rank() {
+	case 0:
+		c.Barrier() // want `rank-conditional switch`
+	}
+	switch x {
+	case 1:
+		c.Barrier() // tag is not rank-derived: fine
+	}
+}
+
+// conditions themselves are evaluated by every rank, so a collective
+// inside the condition expression is symmetric.
+func inCondition(c *comm.Communicator) {
+	if c.AllReduceScalarSum(1) > 0 {
+		_ = 1
+	}
+}
+
+// point-to-point transfers are rank-addressed by design.
+func p2p(c *comm.Communicator) {
+	if c.Rank() == 0 {
+		c.Send(1, nil)
+	} else {
+		_ = c.Recv(0)
+	}
+}
+
+// funcLit: collectives inside a rank-guarded closure body still fire.
+func funcLit(c *comm.Communicator) {
+	if c.Rank() == 0 {
+		f := func() {
+			c.Barrier() // want `rank-conditional if`
+		}
+		f()
+	}
+}
+
+func suppressed(c *comm.Communicator) {
+	if c.Rank() == 0 {
+		//lint:ignore collectivesym deliberate leader-only sentinel for this fixture
+		c.Broadcast(nil, 0)
+	}
+}

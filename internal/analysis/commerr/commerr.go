@@ -1,0 +1,118 @@
+// Package commerr flags dropped errors from the distributed-correctness
+// APIs: internal/comm, internal/dist, internal/ckpt and internal/serve.
+//
+// These packages work hard to surface a root cause — comm.Run and
+// dist.RunMesh classify a rank's real failure ahead of the ErrAborted
+// cascades it triggers, ckpt commits are only signalled through the
+// returned error, and serve.Engine.Close returns the engine's terminal
+// error. Discarding one of these errors (calling the function as a bare
+// statement, assigning the error to _, or throwing it away in a go/defer
+// statement) silently converts a diagnosable failure into a hang or a
+// half-written checkpoint. Deliberate drops (e.g. a best-effort Close on
+// an already-failed engine) must say why with
+// //lint:ignore commerr <reason>.
+package commerr
+
+import (
+	"go/ast"
+	"go/types"
+
+	"repro/internal/analysis"
+)
+
+// guardedPkgs are the package paths whose error results must not be
+// dropped.
+var guardedPkgs = map[string]bool{
+	"repro/internal/comm":  true,
+	"repro/internal/dist":  true,
+	"repro/internal/ckpt":  true,
+	"repro/internal/serve": true,
+}
+
+// Analyzer reports discarded errors from the guarded packages.
+var Analyzer = &analysis.Analyzer{
+	Name: "commerr",
+	Doc: "report dropped or _-assigned errors from internal/comm, internal/dist, internal/ckpt " +
+		"and internal/serve APIs; a swallowed error there masks the root cause of a distributed failure",
+	Run: run,
+}
+
+var errorType = types.Universe.Lookup("error").Type()
+
+func run(pass *analysis.Pass) error {
+	for _, f := range pass.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			switch s := n.(type) {
+			case *ast.ExprStmt:
+				if call, ok := s.X.(*ast.CallExpr); ok {
+					checkDropped(pass, call, "")
+				}
+			case *ast.GoStmt:
+				checkDropped(pass, s.Call, "go statement ")
+			case *ast.DeferStmt:
+				checkDropped(pass, s.Call, "deferred call ")
+			case *ast.AssignStmt:
+				checkBlank(pass, s)
+			}
+			return true
+		})
+	}
+	return nil
+}
+
+// checkDropped reports a statement-position call to a guarded function
+// that returns an error: every result is discarded.
+func checkDropped(pass *analysis.Pass, call *ast.CallExpr, how string) {
+	fn, sig := callee(pass, call)
+	if fn == nil {
+		return
+	}
+	for i := 0; i < sig.Results().Len(); i++ {
+		if types.Identical(sig.Results().At(i).Type(), errorType) {
+			pass.Reportf(call.Pos(), "%serror result of %s.%s is dropped", how, fn.Pkg().Name(), fn.Name())
+			return
+		}
+	}
+}
+
+// checkBlank reports guarded calls whose error result position is
+// assigned to the blank identifier.
+func checkBlank(pass *analysis.Pass, s *ast.AssignStmt) {
+	if len(s.Rhs) != 1 {
+		return
+	}
+	call, ok := s.Rhs[0].(*ast.CallExpr)
+	if !ok {
+		return
+	}
+	fn, sig := callee(pass, call)
+	if fn == nil || sig.Results().Len() != len(s.Lhs) {
+		return
+	}
+	for i, lhs := range s.Lhs {
+		id, ok := lhs.(*ast.Ident)
+		if ok && id.Name == "_" && types.Identical(sig.Results().At(i).Type(), errorType) {
+			pass.Reportf(id.Pos(), "error result of %s.%s is assigned to _", fn.Pkg().Name(), fn.Name())
+			return
+		}
+	}
+}
+
+// callee resolves a call to a guarded-package function or method (and
+// its signature); nil when the callee is anything else.
+func callee(pass *analysis.Pass, call *ast.CallExpr) (*types.Func, *types.Signature) {
+	var id *ast.Ident
+	switch fun := ast.Unparen(call.Fun).(type) {
+	case *ast.Ident:
+		id = fun
+	case *ast.SelectorExpr:
+		id = fun.Sel
+	default:
+		return nil, nil
+	}
+	fn, ok := pass.Info.Uses[id].(*types.Func)
+	if !ok || fn.Pkg() == nil || !guardedPkgs[fn.Pkg().Path()] {
+		return nil, nil
+	}
+	return fn, fn.Type().(*types.Signature)
+}

@@ -1,0 +1,12 @@
+package commerr_test
+
+import (
+	"testing"
+
+	"repro/internal/analysis"
+	"repro/internal/analysis/commerr"
+)
+
+func TestAnalyzer(t *testing.T) {
+	analysis.RunFixture(t, "testdata", "a", commerr.Analyzer)
+}

@@ -1,0 +1,38 @@
+// Package a exercises commerr: dropped and _-assigned errors from the
+// guarded packages fire; handled errors and unguarded calls do not.
+package a
+
+import (
+	"fmt"
+
+	"repro/internal/ckpt"
+	"repro/internal/comm"
+)
+
+func drops() {
+	comm.Run(2, nil)            // want `error result of comm.Run is dropped`
+	ckpt.WriteManifest("d")     // want `error result of ckpt.WriteManifest is dropped`
+	w, _ := ckpt.Open("d")      // want `error result of ckpt.Open is assigned to _`
+	defer w.Close()             // want `deferred call error result of ckpt.Close is dropped`
+	go ckpt.WriteManifest("d")  // want `go statement error result of ckpt.WriteManifest is dropped`
+	_ = ckpt.WriteManifest("d") // want `error result of ckpt.WriteManifest is assigned to _`
+	_, _ = comm.Run(2, nil)     // want `error result of comm.Run is assigned to _`
+}
+
+func handled() error {
+	g, err := comm.Run(2, nil)
+	if err != nil {
+		return err
+	}
+	g.Abort() // no error result: fine
+	if err := ckpt.WriteManifest("d"); err != nil {
+		return err
+	}
+	fmt.Println("unguarded package calls are fine")
+	return nil
+}
+
+func suppressed(w *ckpt.Writer) {
+	//lint:ignore commerr best-effort close on an already-failed writer
+	w.Close()
+}

@@ -1,0 +1,15 @@
+// Package ckpt is a fixture stub; commerr matches by package path and
+// result signature only.
+package ckpt
+
+// Writer stands in for a checkpoint writer.
+type Writer struct{}
+
+// Open mirrors a constructor with an error result.
+func Open(dir string) (*Writer, error) { return nil, nil }
+
+// Close signals commit success only through its error.
+func (w *Writer) Close() error { return nil }
+
+// WriteManifest has a lone error result.
+func WriteManifest(dir string) error { return nil }

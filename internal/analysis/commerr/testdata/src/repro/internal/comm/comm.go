@@ -1,0 +1,12 @@
+// Package comm is a fixture stub; commerr matches by package path and
+// result signature only.
+package comm
+
+// Group stands in for the rendezvous group.
+type Group struct{}
+
+// Run mirrors the real signature: the error is the root cause.
+func Run(size int, fn func(rank int) error) (*Group, error) { return nil, nil }
+
+// Abort returns nothing; bare calls to it are fine.
+func (g *Group) Abort() {}

@@ -1,0 +1,12 @@
+package hotalloc_test
+
+import (
+	"testing"
+
+	"repro/internal/analysis"
+	"repro/internal/analysis/hotalloc"
+)
+
+func TestAnalyzer(t *testing.T) {
+	analysis.RunFixture(t, "testdata", "a", hotalloc.Analyzer)
+}

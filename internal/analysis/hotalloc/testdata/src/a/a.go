@@ -1,0 +1,28 @@
+// Package a exercises hotalloc: allocations inside dchag:hotpath
+// functions fire; unannotated functions and in-place calls do not.
+package a
+
+import "repro/internal/tensor"
+
+// hot is the fixture's inner loop.
+//
+// dchag:hotpath
+func hot(dst, src *tensor.Tensor, n int) {
+	buf := make([]float64, n) // want `make call in dchag:hotpath function hot`
+	_ = buf
+	p := new(int) // want `new call in dchag:hotpath function hot`
+	_ = p
+	t := tensor.New(n)                    // want `tensor allocation New in dchag:hotpath function hot`
+	_ = t.Clone()                         // want `tensor allocation Clone in dchag:hotpath function hot`
+	_ = tensor.FromSlice([]float64{1}, 1) // want `tensor allocation FromSlice in dchag:hotpath function hot`
+	tensor.AddInPlace(dst, src)
+	//lint:ignore hotalloc the result buffer is the API; reuse is follow-up work
+	out := tensor.New(n)
+	_ = out
+}
+
+// cold has no annotation, so it may allocate freely.
+func cold(n int) *tensor.Tensor {
+	_ = make([]float64, n)
+	return tensor.New(n)
+}

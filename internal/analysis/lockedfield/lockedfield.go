@@ -1,0 +1,253 @@
+// Package lockedfield enforces `// guarded by <mu>` field annotations.
+//
+// A struct field whose doc or line comment says "guarded by mu" (where
+// mu names a sync.Mutex or sync.RWMutex field of the same struct) may
+// only be accessed in functions that visibly hold that mutex. The check
+// is lexical, not path-sensitive — by design, so its verdicts are easy
+// to predict:
+//
+//   - an access is "held" when the same function contains an earlier
+//     <base>.<mu>.Lock() — or, for reads, RLock() — call on the same
+//     base expression as the access;
+//   - functions whose name ends in "Locked" are assumed to be called
+//     with the lock held (the caller-holds contract);
+//   - composite literals do not count as accesses: constructors may
+//     initialize guarded fields before the value is shared.
+//
+// This catches the bug class that sank many a metrics counter: a new
+// method reading or bumping shared state with no lock at all. Accesses
+// that are safe for a subtler reason (publication via channel
+// happens-before, single-goroutine phases) must either stay
+// unannotated or carry //lint:ignore lockedfield <reason>.
+package lockedfield
+
+import (
+	"go/ast"
+	"go/types"
+	"regexp"
+	"strings"
+
+	"repro/internal/analysis"
+)
+
+// Analyzer enforces the "guarded by" annotation contract.
+var Analyzer = &analysis.Analyzer{
+	Name: "lockedfield",
+	Doc: "report accesses to struct fields annotated `// guarded by <mu>` outside functions " +
+		"that lexically hold <mu>; methods named *Locked are assumed caller-locked",
+	Run: run,
+}
+
+var guardedRE = regexp.MustCompile(`guarded by (\w+)`)
+
+// guard ties a guarded field to its mutex field.
+type guard struct {
+	mutex *types.Var
+}
+
+func run(pass *analysis.Pass) error {
+	guards := collectGuards(pass)
+	if len(guards) == 0 {
+		return nil
+	}
+	for _, f := range pass.Files {
+		for _, decl := range f.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok || fd.Body == nil {
+				continue
+			}
+			checkFunc(pass, fd, guards)
+		}
+	}
+	return nil
+}
+
+// collectGuards scans struct declarations for annotated fields and
+// resolves each annotation's mutex, reporting annotations that name a
+// non-existent or non-mutex sibling (a broken contract is worse than
+// none).
+func collectGuards(pass *analysis.Pass) map[*types.Var]guard {
+	guards := make(map[*types.Var]guard)
+	for _, f := range pass.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			st, ok := n.(*ast.StructType)
+			if !ok {
+				return true
+			}
+			for _, field := range st.Fields.List {
+				muName, ok := guardAnnotation(field)
+				if !ok {
+					continue
+				}
+				mu := findField(pass, st, muName)
+				if mu == nil || !isMutex(mu.Type()) {
+					pass.Reportf(field.Pos(),
+						"guarded-by annotation names %q, which is not a sync.Mutex/RWMutex field of this struct", muName)
+					continue
+				}
+				for _, name := range field.Names {
+					if fv, ok := pass.Info.Defs[name].(*types.Var); ok {
+						guards[fv] = guard{mutex: mu}
+					}
+				}
+			}
+			return true
+		})
+	}
+	return guards
+}
+
+// guardAnnotation extracts the mutex name from a field's doc or trailing
+// comment.
+func guardAnnotation(field *ast.Field) (string, bool) {
+	for _, cg := range []*ast.CommentGroup{field.Doc, field.Comment} {
+		if cg == nil {
+			continue
+		}
+		if m := guardedRE.FindStringSubmatch(cg.Text()); m != nil {
+			return m[1], true
+		}
+	}
+	return "", false
+}
+
+// findField resolves a field name within the struct declaration.
+func findField(pass *analysis.Pass, st *ast.StructType, name string) *types.Var {
+	for _, field := range st.Fields.List {
+		for _, n := range field.Names {
+			if n.Name == name {
+				v, _ := pass.Info.Defs[n].(*types.Var)
+				return v
+			}
+		}
+	}
+	return nil
+}
+
+// isMutex reports whether t is sync.Mutex, sync.RWMutex, or a pointer
+// to one.
+func isMutex(t types.Type) bool {
+	if p, ok := t.Underlying().(*types.Pointer); ok {
+		t = p.Elem()
+	}
+	named, ok := t.(*types.Named)
+	if !ok || named.Obj().Pkg() == nil {
+		return false
+	}
+	return named.Obj().Pkg().Path() == "sync" &&
+		(named.Obj().Name() == "Mutex" || named.Obj().Name() == "RWMutex")
+}
+
+// access is one read or write of a guarded field.
+type access struct {
+	sel   *ast.SelectorExpr
+	field *types.Var
+	write bool
+}
+
+// lockCall is one <base>.<mu>.Lock/RLock() call site.
+type lockCall struct {
+	base  string
+	mutex *types.Var
+	pos   int // file offset; "earlier" is lexical
+	read  bool
+}
+
+// checkFunc verifies every guarded-field access in one function.
+func checkFunc(pass *analysis.Pass, fd *ast.FuncDecl, guards map[*types.Var]guard) {
+	if strings.HasSuffix(fd.Name.Name, "Locked") {
+		return // caller-holds contract
+	}
+	var locks []lockCall
+	var accesses []access
+	writes := writeTargets(fd.Body)
+	ast.Inspect(fd.Body, func(n ast.Node) bool {
+		switch x := n.(type) {
+		case *ast.CallExpr:
+			// Record `base.mu.Lock()` / `base.mu.RLock()` calls.
+			msel, ok := x.Fun.(*ast.SelectorExpr)
+			if !ok || (msel.Sel.Name != "Lock" && msel.Sel.Name != "RLock") {
+				return true
+			}
+			inner, ok := ast.Unparen(msel.X).(*ast.SelectorExpr)
+			if !ok {
+				return true
+			}
+			fsel := pass.Info.Selections[inner]
+			if fsel == nil || fsel.Kind() != types.FieldVal {
+				return true
+			}
+			if fv, ok := fsel.Obj().(*types.Var); ok && isMutex(fv.Type()) {
+				locks = append(locks, lockCall{
+					base:  types.ExprString(inner.X),
+					mutex: fv,
+					pos:   int(x.Pos()),
+					read:  msel.Sel.Name == "RLock",
+				})
+			}
+		case *ast.SelectorExpr:
+			selection := pass.Info.Selections[x]
+			if selection == nil || selection.Kind() != types.FieldVal {
+				return true
+			}
+			fv, ok := selection.Obj().(*types.Var)
+			if !ok {
+				return true
+			}
+			if _, guarded := guards[fv]; guarded {
+				accesses = append(accesses, access{sel: x, field: fv, write: writes[x]})
+			}
+		}
+		return true
+	})
+	for _, a := range accesses {
+		g := guards[a.field]
+		if !held(locks, g.mutex, types.ExprString(a.sel.X), int(a.sel.Pos()), a.write) {
+			verb := "read"
+			if a.write {
+				verb = "written"
+			}
+			pass.Reportf(a.sel.Pos(),
+				"%s.%s is %s without holding %s (field is annotated `guarded by %s`; lock it, or rename the function *Locked if the caller holds it)",
+				types.ExprString(a.sel.X), a.field.Name(), verb, g.mutex.Name(), g.mutex.Name())
+		}
+	}
+}
+
+// held reports whether some earlier lock call on the same base covers
+// the access; writes require a write lock.
+func held(locks []lockCall, mutex *types.Var, base string, pos int, write bool) bool {
+	for _, l := range locks {
+		if l.mutex == mutex && l.base == base && l.pos < pos && !(write && l.read) {
+			return true
+		}
+	}
+	return false
+}
+
+// writeTargets marks the selector expressions that are written: LHS of
+// assignments and IncDec targets.
+func writeTargets(body *ast.BlockStmt) map[*ast.SelectorExpr]bool {
+	writes := make(map[*ast.SelectorExpr]bool)
+	mark := func(e ast.Expr) {
+		if sel, ok := ast.Unparen(e).(*ast.SelectorExpr); ok {
+			writes[sel] = true
+		}
+	}
+	ast.Inspect(body, func(n ast.Node) bool {
+		switch s := n.(type) {
+		case *ast.AssignStmt:
+			for _, lhs := range s.Lhs {
+				mark(lhs)
+			}
+		case *ast.IncDecStmt:
+			mark(s.X)
+		case *ast.UnaryExpr:
+			if s.Op.String() == "&" {
+				mark(s.X) // taking the address escapes the guard; treat as write
+			}
+		}
+		return true
+	})
+	return writes
+}

@@ -1,0 +1,12 @@
+package lockedfield_test
+
+import (
+	"testing"
+
+	"repro/internal/analysis"
+	"repro/internal/analysis/lockedfield"
+)
+
+func TestAnalyzer(t *testing.T) {
+	analysis.RunFixture(t, "testdata", "a", lockedfield.Analyzer)
+}

@@ -1,0 +1,76 @@
+// Package a exercises lockedfield: guarded-field accesses outside a
+// lexically held lock fire; locked paths, *Locked functions and
+// constructors do not.
+package a
+
+import "sync"
+
+type counter struct {
+	mu sync.Mutex
+	n  int // guarded by mu
+}
+
+type broken struct {
+	// guarded by nope
+	x int // want `annotation names "nope", which is not a sync.Mutex/RWMutex field`
+}
+
+// newCounter may initialize guarded fields in a composite literal.
+func newCounter() *counter {
+	return &counter{n: 1}
+}
+
+func (c *counter) locked() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.n++
+	return c.n
+}
+
+func (c *counter) unlockedRead() int {
+	return c.n // want `c.n is read without holding mu`
+}
+
+func (c *counter) unlockedWrite() {
+	c.n = 7 // want `c.n is written without holding mu`
+}
+
+func (c *counter) unlockedIncr() {
+	c.n++ // want `c.n is written without holding mu`
+}
+
+// snapshotLocked follows the caller-holds contract: no finding.
+func (c *counter) snapshotLocked() int {
+	return c.n
+}
+
+// otherBase locks a, so touching b is still unguarded.
+func otherBase(a, b *counter) {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	a.n = 1
+	b.n = 1 // want `b.n is written without holding mu`
+}
+
+type rw struct {
+	mu sync.RWMutex
+	v  int // guarded by mu
+}
+
+func (r *rw) read() int {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	return r.v
+}
+
+// writeUnderRLock holds only the read lock; the write still fires.
+func (r *rw) writeUnderRLock() {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	r.v = 1 // want `r.v is written without holding mu`
+}
+
+func (c *counter) suppressed() int {
+	//lint:ignore lockedfield single-goroutine init phase in this fixture
+	return c.n
+}

@@ -29,15 +29,15 @@ type Group struct {
 
 	mu       sync.Mutex
 	cond     *sync.Cond
-	phase    uint64
-	arrived  int
-	slots    []any
-	gathered []any
-	aborted  bool
+	phase    uint64        // guarded by mu
+	arrived  int           // guarded by mu
+	slots    []any         // guarded by mu
+	gathered []any         // guarded by mu
+	aborted  bool          // guarded by mu
 	done     chan struct{} // closed on Abort; releases p2p Send/Recv
 
 	p2pMu sync.Mutex
-	p2p   map[pairKey]chan *tensor.Tensor
+	p2p   map[pairKey]chan *tensor.Tensor // guarded by p2pMu
 
 	traffic *Traffic
 }

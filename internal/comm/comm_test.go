@@ -8,6 +8,7 @@ import (
 	"testing/quick"
 	"time"
 
+	"repro/internal/leakcheck"
 	"repro/internal/tensor"
 )
 
@@ -293,6 +294,7 @@ func TestRunPrefersRootCauseOverAbortCascade(t *testing.T) {
 }
 
 func TestAbortReleasesBlockedRecv(t *testing.T) {
+	leakcheck.Check(t)
 	// A rank stranded in a p2p Recv (not a rendezvous collective) must also
 	// be released by the abort, within the timeout.
 	done := make(chan error, 1)
@@ -317,6 +319,7 @@ func TestAbortReleasesBlockedRecv(t *testing.T) {
 }
 
 func TestAbortReleasesBlockedSend(t *testing.T) {
+	leakcheck.Check(t)
 	// Send blocks once the pair buffer (capacity 4) is full; abort must
 	// release it too.
 	done := make(chan error, 1)
@@ -458,17 +461,19 @@ func TestSendRecvPointToPoint(t *testing.T) {
 
 func TestSendIsCopy(t *testing.T) {
 	_, err := Run(2, func(c *Communicator) error {
+		// Send/Recv are rank-addressed, but the Barrier is kept outside the
+		// rank conditional so both ranks run the same collective sequence.
+		var got *tensor.Tensor
 		if c.Rank() == 0 {
 			x := tensor.Full(1, 2)
 			c.Send(1, x)
 			x.Fill(99) // must not affect what rank 1 receives
-			c.Barrier()
 		} else {
-			got := c.Recv(0)
-			c.Barrier()
-			if got.Data[0] != 1 {
-				return fmt.Errorf("receiver saw sender's mutation: %v", got.Data)
-			}
+			got = c.Recv(0)
+		}
+		c.Barrier()
+		if c.Rank() == 1 && got.Data[0] != 1 {
+			return fmt.Errorf("receiver saw sender's mutation: %v", got.Data)
 		}
 		return nil
 	})

@@ -8,6 +8,7 @@ import (
 	"time"
 
 	"repro/internal/comm"
+	"repro/internal/leakcheck"
 	"repro/internal/tensor"
 )
 
@@ -16,6 +17,7 @@ import (
 // off-axis coordinates must agree across the group (they are what members
 // share).
 func TestRunMeshCommunicatorsWired(t *testing.T) {
+	leakcheck.Check(t)
 	spec := MeshSpec{TP: 2, FSDP: 3, DP: 2}
 	m, err := RunMesh(spec, Topology{Nodes: 1, GPUsPerNode: spec.World()}, func(rank int, m *Mesh) error {
 		c := m.Spec.CoordOf(rank)
@@ -97,6 +99,7 @@ func TestRunMeshTrafficClaims(t *testing.T) {
 // with them — and RunMesh must surface the root-cause error within the
 // timeout instead of hanging the survivors at the rendezvous.
 func TestRunMeshRankErrorAbortsCollectives(t *testing.T) {
+	leakcheck.Check(t)
 	spec := MeshSpec{TP: 2, FSDP: 1, DP: 2}
 	boom := errors.New("boom: simulated rank failure")
 	type result struct {
@@ -141,6 +144,7 @@ func TestRunMeshRankErrorAbortsCollectives(t *testing.T) {
 // TestRunMeshRankPanicRecovered: a panicking rank must abort the mesh and
 // be reported, not crash the process or hang the others.
 func TestRunMeshRankPanicRecovered(t *testing.T) {
+	leakcheck.Check(t)
 	spec := MeshSpec{TP: 3, FSDP: 1, DP: 1}
 	_, err := RunMesh(spec, Topology{Nodes: 1, GPUsPerNode: spec.World()}, func(rank int, m *Mesh) error {
 		if rank == 1 {
@@ -159,6 +163,7 @@ func TestRunMeshRankPanicRecovered(t *testing.T) {
 // abort (none swallows the panic), the cascade error is still reported
 // rather than a nil error — but the root cause wins when present.
 func TestRunMeshAllAborted(t *testing.T) {
+	leakcheck.Check(t)
 	spec := MeshSpec{TP: 2, FSDP: 1, DP: 1}
 	boom := errors.New("root cause")
 	_, err := RunMesh(spec, Topology{Nodes: 1, GPUsPerNode: spec.World()}, func(rank int, m *Mesh) error {

@@ -103,10 +103,12 @@ func Start(cfg Config, src Source) (*Engine, error) {
 		select {
 		case err := <-ready:
 			if err != nil {
+				//lint:ignore commerr the rank's own startup error is the root cause; Close here only tears down
 				e.Close()
 				return nil, err
 			}
 		case <-e.dead:
+			//lint:ignore commerr runErr is read explicitly below; Close here only synchronizes the teardown
 			e.Close()
 			if e.runErr != nil {
 				return nil, e.runErr
@@ -332,9 +334,12 @@ func (e *Engine) collect(first *job) []*job {
 // assemble builds the [B, C, H, W] batch tensor: every input regridded to
 // the model grid and scattered onto its channel rows (partial channel sets
 // leave the others zero — the normalized-data mean).
+//
+// dchag:hotpath — the serve dispatch loop runs this once per micro-batch.
 func (e *Engine) assemble(jobs []*job) *batchJob {
 	a := e.arch
 	hw := a.ImgH * a.ImgW
+	//lint:ignore hotalloc per-batch buffer; pooling it is part of ROADMAP item 1's reuse pass
 	x := tensor.New(len(jobs), a.Channels, a.ImgH, a.ImgW)
 	for i, j := range jobs {
 		in := j.req.Input
@@ -447,6 +452,10 @@ func (e *Engine) worker(rank int, m *dist.Mesh, ready chan<- error) (err error) 
 			select {
 			case b, ok := <-e.work:
 				if !ok {
+					// Deliberately leader-only: the followers' matching
+					// collective is the control Broadcast they are already
+					// blocked in below; the stop sentinel pairs with it.
+					//lint:ignore collectivesym pairs with the followers' control Broadcast in their loop head
 					tpc.Broadcast(stop, 0)
 					return nil
 				}

@@ -83,7 +83,9 @@ func TestHTTPStatsAndHealth(t *testing.T) {
 		t.Fatalf("healthz status %d while live", resp.StatusCode)
 	}
 
-	e.Close()
+	if err := e.Close(); err != nil {
+		t.Fatalf("clean Close returned %v", err)
+	}
 	if resp, err = http.Get(srv.URL + "/healthz"); err != nil {
 		t.Fatal(err)
 	}

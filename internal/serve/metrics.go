@@ -17,15 +17,15 @@ const maxLatencySamples = 1 << 17
 // replica leaders and the submission path share one instance.
 type Metrics struct {
 	mu        sync.Mutex
-	start     time.Time
-	completed uint64
-	rejected  uint64
-	failed    uint64
-	batches   uint64
-	sumBatch  uint64
-	maxDepth  int
-	queuedMs  []float64
-	totalMs   []float64
+	start     time.Time // guarded by mu
+	completed uint64    // guarded by mu
+	rejected  uint64    // guarded by mu
+	failed    uint64    // guarded by mu
+	batches   uint64    // guarded by mu
+	sumBatch  uint64    // guarded by mu
+	maxDepth  int       // guarded by mu
+	queuedMs  []float64 // guarded by mu
+	totalMs   []float64 // guarded by mu
 }
 
 // NewMetrics returns a Metrics with the throughput clock started.

@@ -11,6 +11,7 @@ import (
 	"repro/internal/comm"
 	"repro/internal/core"
 	"repro/internal/data"
+	"repro/internal/leakcheck"
 	"repro/internal/model"
 	"repro/internal/tensor"
 	"repro/internal/train"
@@ -44,11 +45,18 @@ func reference(t *testing.T, a model.Arch, x *tensor.Tensor) *tensor.Tensor {
 
 func startTest(t *testing.T, cfg Config, src Source) *Engine {
 	t.Helper()
+	// Registered before the Close cleanup, so it runs after it: a Close
+	// that strands a leader or worker goroutine fails the test.
+	leakcheck.Check(t)
 	e, err := Start(cfg, src)
 	if err != nil {
 		t.Fatal(err)
 	}
-	t.Cleanup(func() { e.Close() })
+	t.Cleanup(func() {
+		if err := e.Close(); err != nil {
+			t.Errorf("engine did not close cleanly: %v", err)
+		}
+	})
 	return e
 }
 
@@ -291,6 +299,7 @@ func TestRequestValidation(t *testing.T) {
 // TestCloseSemantics pins shutdown: Close is idempotent, later Submits see
 // ErrClosed, and Done closes with a nil Err.
 func TestCloseSemantics(t *testing.T) {
+	leakcheck.Check(t)
 	a := testArch()
 	e, err := Start(Config{Ranks: 2, Replicas: 2, MaxBatch: 2}, FromArch(a))
 	if err != nil {
@@ -333,6 +342,7 @@ func (s brokenSource) Build(tpc *comm.Communicator) (*model.FoundationModel, err
 // work buffer, and queue alike — and the engine reports the root cause
 // instead of hanging anything.
 func TestWorkerFailureFailsClients(t *testing.T) {
+	leakcheck.Check(t)
 	good := testArch()
 	bad := good
 	bad.Channels = good.Channels * 2 // engine assembles at twice the model's channels
@@ -342,7 +352,13 @@ func TestWorkerFailureFailsClients(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	defer e.Close()
+	defer func() {
+		// The worker died on the channel mismatch; Close must surface that
+		// root cause, not nil.
+		if err := e.Close(); err == nil {
+			t.Error("Close after worker failure returned nil, want the root cause")
+		}
+	}()
 
 	var wg sync.WaitGroup
 	errs := make([]error, 6)

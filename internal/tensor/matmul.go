@@ -13,6 +13,9 @@ const parallelThreshold = 1 << 16
 // MatMul returns the matrix product a@b for rank-2 tensors, parallelized
 // across row blocks with goroutines. a is [M,K], b is [K,N], the result is
 // [M,N].
+//
+// dchag:hotpath — the busiest op in the repository. The result allocation
+// below is the published buffer-reuse worklist for ROADMAP item 1.
 func MatMul(a, b *Tensor) *Tensor {
 	if len(a.Shape) != 2 || len(b.Shape) != 2 {
 		panic(fmt.Sprintf("tensor: MatMul requires rank-2 operands, got %v x %v", a.Shape, b.Shape))
@@ -22,6 +25,7 @@ func MatMul(a, b *Tensor) *Tensor {
 	if k != k2 {
 		panic(fmt.Sprintf("tensor: MatMul inner dimension mismatch %v x %v", a.Shape, b.Shape))
 	}
+	//lint:ignore hotalloc the API returns a fresh tensor; arena/buffer reuse is ROADMAP item 1
 	out := New(m, n)
 	matmulInto(out.Data, a.Data, b.Data, m, k, n)
 	return out
@@ -29,6 +33,9 @@ func MatMul(a, b *Tensor) *Tensor {
 
 // matmulInto computes dst += 0 then dst = A@B with dst of size m*n. The ikj
 // loop order keeps the inner loop contiguous over both B and dst rows.
+//
+// dchag:hotpath — every Forward/Backward in training and serving funnels
+// through here; it must not allocate.
 func matmulInto(dst, a, b []float64, m, k, n int) {
 	work := m * k * n
 	if work < parallelThreshold || m == 1 {
@@ -60,6 +67,8 @@ func matmulInto(dst, a, b []float64, m, k, n int) {
 }
 
 // matmulRows computes rows [lo,hi) of dst = A@B.
+//
+// dchag:hotpath — the innermost kernel; it must not allocate.
 func matmulRows(dst, a, b []float64, lo, hi, k, n int) {
 	for i := lo; i < hi; i++ {
 		drow := dst[i*n : (i+1)*n]
@@ -146,6 +155,8 @@ func TMatMul(a, b *Tensor) *Tensor {
 
 // parallelOverRows splits [0,m) into GOMAXPROCS contiguous blocks and runs
 // fn on each concurrently when the work estimate is large enough.
+//
+// dchag:hotpath — dispatch overhead only; allocation belongs to callers.
 func parallelOverRows(m, work int, fn func(lo, hi int)) {
 	if work < parallelThreshold || m == 1 {
 		fn(0, m)

@@ -64,6 +64,9 @@ func AddScalar(a *Tensor, s float64) *Tensor {
 }
 
 // AddInPlace accumulates b into a (a += b). Shapes must match.
+//
+// dchag:hotpath — gradient accumulation runs this every step; it must not
+// allocate.
 func AddInPlace(a, b *Tensor) {
 	mustSameShape("AddInPlace", a, b)
 	for i := range a.Data {
@@ -72,6 +75,8 @@ func AddInPlace(a, b *Tensor) {
 }
 
 // ScaleInPlace multiplies a by scalar s in place.
+//
+// dchag:hotpath — it must not allocate.
 func ScaleInPlace(a *Tensor, s float64) {
 	for i := range a.Data {
 		a.Data[i] *= s
@@ -79,6 +84,9 @@ func ScaleInPlace(a *Tensor, s float64) {
 }
 
 // AXPY performs a += alpha*b in place. Shapes must match.
+//
+// dchag:hotpath — the optimizer update runs this per parameter per step; it
+// must not allocate.
 func AXPY(alpha float64, b, a *Tensor) {
 	mustSameShape("AXPY", a, b)
 	for i := range a.Data {

@@ -119,24 +119,27 @@ func Hybrid(arch model.Arch, tp, dp int, tpViT bool, opts Options, batch BatchFn
 				DistributedClipGradNorm(tpc, local, repl, opts.ClipNorm)
 			}
 			opt.Step()
+			// Every rank reduces; only world rank 0 records. Keeping the
+			// collective outside the rank conditional keeps the DP groups'
+			// collective sequences identical (dchag-vet: collectivesym).
+			dpc.SetPhase("metrics")
+			meanLoss := dpc.AllReduceScalarSum(stepLoss/float64(accum)) / float64(dp)
 			if rank == 0 {
-				dpc.SetPhase("metrics")
-				meanLoss := dpc.AllReduceScalarSum(stepLoss/float64(accum)) / float64(dp)
 				hist.Loss = append(hist.Loss, meanLoss)
-			} else {
-				dpc.SetPhase("metrics")
-				dpc.AllReduceScalarSum(stepLoss / float64(accum))
 			}
 			if opts.checkpointDue(s) && coord.DP == 0 {
 				// DP replicas hold identical state after SyncGradients, so
 				// replica 0's TP group alone writes the checkpoint; world
 				// rank 0 commits the manifest once its group's shards are
-				// durable.
+				// durable. The coord.DP == 0 condition selects whole TP
+				// groups — it is uniform across every member of tpc's group,
+				// so the barriers below stay symmetric within the group.
 				tpc.SetPhase("ckpt")
 				dir := opts.checkpointTarget(s + 1)
 				if err := writeShard(dir, coord.TP, mdl.Params(), opt); err != nil {
 					return err
 				}
+				//lint:ignore collectivesym coord.DP==0 admits whole TP groups; uniform within tpc's group
 				tpc.Barrier()
 				if rank == 0 {
 					if err := writeManifest(dir, tp, stage.D.Partitions, s+1, stageDCHAG, mdl.Arch); err != nil {
@@ -146,6 +149,7 @@ func Hybrid(arch model.Arch, tp, dp int, tpViT bool, opts Options, batch BatchFn
 						return err
 					}
 				}
+				//lint:ignore collectivesym coord.DP==0 admits whole TP groups; uniform within tpc's group
 				tpc.Barrier()
 			}
 		}
