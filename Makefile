@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: verify fmt-check vet vet-custom build test fmt bench bench-diff bench-serve serve-smoke race
+.PHONY: verify fmt-check vet vet-custom build test fmt bench bench-diff bench-serve bench-compute serve-smoke race
 
 # verify is the tier-1 gate: formatting, vet (standard and project
 # analyzers), full build, full test run.
@@ -30,6 +30,15 @@ bench-diff:
 # and qualitative claims (TestServeJSONArtifact) instead of diffing bytes.
 bench-serve:
 	$(GO) run ./cmd/dchag-serve -bench -json BENCH_serve.json
+
+# bench-compute regenerates the measured compute-substrate point
+# (BENCH_compute.json, schema dchag-bench/compute/v1: naive vs blocked f64
+# vs prepacked f32 GEMM, GFLOP/s and steady-state allocs/op) and re-parses
+# it through the tier-1 artifact gate. Wall-clock like the serving point,
+# so the gate is schema + qualitative claims, not exact rates.
+bench-compute:
+	$(GO) run ./cmd/dchag-bench -compute BENCH_compute.json
+	BENCH_COMPUTE_JSON=BENCH_compute.json $(GO) test -run TestComputeJSONArtifact .
 
 # serve-smoke is the hermetic serving gate CI runs: self-train a tiny
 # checkpoint at 4 ranks, serve it resharded at 2 ranks x 2 replicas over

@@ -44,10 +44,15 @@ func TestServeJSONArtifact(t *testing.T) {
 	if err := json.Unmarshal(raw, &generic); err != nil {
 		t.Fatalf("artifact is not a JSON object: %v", err)
 	}
-	for _, key := range []string{"schema", "ranks", "replicas", "partitions", "channels", "concurrency", "requests_per_point", "points"} {
+	for _, key := range []string{"schema", "dtype", "ranks", "replicas", "partitions", "channels", "concurrency", "requests_per_point", "points"} {
 		if _, ok := generic[key]; !ok {
 			t.Fatalf("artifact missing top-level key %q", key)
 		}
+	}
+	// dtype is additive within serve/v1 (absent meant f64); the committed
+	// artifact is measured on the f32 no-grad path and must say so.
+	if rep.DType != "f32" && rep.DType != "f64" {
+		t.Fatalf("artifact dtype %q, want f32 or f64", rep.DType)
 	}
 	points := generic["points"].([]any)
 	point := points[0].(map[string]any)

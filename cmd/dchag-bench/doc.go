@@ -9,6 +9,7 @@
 //	dchag-bench -list           # list available experiments
 //	dchag-bench -json out.json  # write the sweep report as JSON (no tables)
 //	dchag-bench -json out.json -no-overlap  # serial (pre-overlap) pricing
+//	dchag-bench -compute out.json           # measured GEMM substrate report
 //	dchag-bench -diff old.json new.json     # perf-trajectory gate (below)
 //
 // Figures 6-9 and 13-16 and the sweep are analytic (internal/perfmodel on
@@ -74,6 +75,46 @@
 //
 // Additive fields may appear within v2; readers must ignore unknown keys.
 // Field removals or meaning changes bump the schema string.
+//
+// # JSON schema (dchag-bench/compute/v1)
+//
+// The -compute flag writes one experiments.ComputeReport object — the
+// single-node compute-substrate point of the perf trajectory (CI commits it
+// as BENCH_compute.json). Each point is one square GEMM size measured three
+// ways: the pre-blocking naive kernel (tensor.MatMulNaiveInto), the packed
+// register-tiled float64 driver (tensor.MatMulInto), and the float32 kernel
+// against prepacked weight panels (tensor.MatMulPackedF32Into — the serving
+// configuration, so packing stays off the measured path):
+//
+//	{
+//	  "schema": "dchag-bench/compute/v1", // bump on breaking change
+//	  "simd": true,                       // AVX2+FMA micro-kernels active
+//	  "maxprocs": 1,                      // GOMAXPROCS during measurement
+//	  "sizes": [64, 128, 256, 512],
+//	  "points": [
+//	    {
+//	      "size": 512,                    // 2*512^3 FLOPs per product
+//	      "naive_gflops": 3.2,
+//	      "blocked_gflops": 28.8,
+//	      "f32_gflops": 50.1,
+//	      "blocked_speedup": 9.1,         // blocked / naive
+//	      "f32_speedup": 1.74,            // f32 / blocked f64
+//	      "blocked_allocs_per_op": 0,     // steady state, reused dst
+//	      "f32_allocs_per_op": 0
+//	    }, ...
+//	  ],
+//	  "claims": {                         // evaluated at the largest size
+//	    "blocked_speedup_at_max": 9.1,    // gate: >= 2x under simd
+//	    "f32_speedup_at_max": 1.74,       // gate: >= 1.5x under simd
+//	    "steady_state_alloc_free": true   // gate: always
+//	  }
+//	}
+//
+// The report is wall-clock measured, so TestComputeJSONArtifact gates the
+// committed artifact on its schema and qualitative claims — blocked at
+// least matches naive everywhere, the speedup gates hold where "simd" is
+// true, and every point ran allocation-free — not on exact rates.
+// Additive fields may appear within v1; readers must ignore unknown keys.
 //
 // # Report diffing (-diff)
 //

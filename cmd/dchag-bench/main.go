@@ -14,6 +14,7 @@ func main() {
 	list := flag.Bool("list", false, "list available experiments")
 	format := flag.String("format", "text", "output format: text | markdown")
 	jsonPath := flag.String("json", "", "write the sweep report as JSON to this path and exit (see doc.go for the schema)")
+	computePath := flag.String("compute", "", "measure the GEMM compute substrate and write the report as JSON to this path (see doc.go for the schema)")
 	noOverlap := flag.Bool("no-overlap", false, "price the sweep with the serial compute+comm composition instead of the overlap model (affects -json)")
 	diff := flag.Bool("diff", false, "compare two sweep reports: dchag-bench -diff old.json new.json; exits 1 on regressions")
 	diffTol := flag.Float64("diff-tol", 0.05, "fractional step-time regression tolerance for -diff (0.05 = 5%)")
@@ -53,6 +54,25 @@ func main() {
 			return r.Markdown()
 		}
 		return r.String()
+	}
+
+	if *computePath != "" {
+		rep := experiments.RunComputeBench(experiments.DefaultComputeBench())
+		data, err := json.MarshalIndent(rep, "", "  ")
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "dchag-bench: encoding compute report: %v\n", err)
+			os.Exit(1)
+		}
+		data = append(data, '\n')
+		if err := os.WriteFile(*computePath, data, 0o644); err != nil {
+			fmt.Fprintf(os.Stderr, "dchag-bench: %v\n", err)
+			os.Exit(1)
+		}
+		last := rep.Points[len(rep.Points)-1]
+		fmt.Printf("wrote %s (%s, simd=%v, %d sizes; %d^3: naive %.1f, blocked %.1f, f32 %.1f GFLOP/s)\n",
+			*computePath, rep.Schema, rep.SIMD, len(rep.Points),
+			last.Size, last.NaiveGFLOPS, last.BlockedGFLOPS, last.F32GFLOPS)
+		return
 	}
 
 	if *jsonPath != "" {

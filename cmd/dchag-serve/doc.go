@@ -41,6 +41,10 @@
 //
 //	{
 //	  "schema":             "dchag-bench/serve/v1",
+//	  "dtype":              inference arithmetic, "f64" or "f32" (additive
+//	                        within v1; absent meant f64 — the committed
+//	                        artifact measures the f32 no-grad path),
+//	  "note":               free-text version annotation (optional),
 //	  "ranks":              TP ranks per replica,
 //	  "replicas":           replica count,
 //	  "partitions":         logical D-CHAG partition count of the model,

@@ -10,11 +10,16 @@
 //
 //   - make(...) and new(...),
 //   - tensor constructors (tensor.New, Zeros, Ones, Full, FromSlice)
-//     and Tensor.Clone.
+//     and Tensor.Clone,
+//   - destination-passing calls (tensor.*Into) whose dst argument is a
+//     literal nil: a nil dst makes the kernel allocate the result, so the
+//     call is the allocating wrapper in disguise.
 //
-// Allocations that are inherent today (e.g. the result tensor an API
-// must return) stay visible with //lint:ignore hotalloc <reason> so the
-// buffer-reuse pass has a worklist instead of an archaeology project.
+// The sanctioned alternatives are allocation-free in steady state and
+// pass the check: tensor.EnsureShape (grow-once layer-owned scratch),
+// tensor.Pool Get/Put (recycled transients), and *Into calls with a
+// non-nil destination. The hot path carries zero //lint:ignore hotalloc
+// markers; if a new one seems necessary, pool the buffer instead.
 package hotalloc
 
 import (
@@ -78,10 +83,34 @@ func checkBody(pass *analysis.Pass, fd *ast.FuncDecl) {
 		case *ast.SelectorExpr:
 			if fn := tensorAlloc(pass, fun.Sel); fn != nil {
 				report(pass, call, fd, fn)
+			} else if fn := nilDstInto(pass, call, fun.Sel); fn != nil {
+				pass.Reportf(call.Pos(), "nil dst in %s call in dchag:hotpath function %s allocates the result; pass a reused buffer", fn.Name(), fd.Name.Name)
 			}
 		}
 		return true
 	})
+}
+
+// nilDstInto resolves call to a tensor-package destination-passing function
+// (name ending in "Into") invoked with a literal nil destination, or nil.
+// Into calls with a real destination are the sanctioned allocation-free
+// path and are not reported.
+func nilDstInto(pass *analysis.Pass, call *ast.CallExpr, id *ast.Ident) *types.Func {
+	fn, ok := pass.Info.Uses[id].(*types.Func)
+	if !ok || fn.Pkg() == nil || fn.Pkg().Path() != tensorPath || !strings.HasSuffix(fn.Name(), "Into") {
+		return nil
+	}
+	if len(call.Args) == 0 {
+		return nil
+	}
+	dst, ok := ast.Unparen(call.Args[0]).(*ast.Ident)
+	if !ok || dst.Name != "nil" {
+		return nil
+	}
+	if _, isNil := pass.Info.Uses[dst].(*types.Nil); !isNil {
+		return nil
+	}
+	return fn
 }
 
 func report(pass *analysis.Pass, call *ast.CallExpr, fd *ast.FuncDecl, fn *types.Func) {

@@ -16,13 +16,28 @@ func hot(dst, src *tensor.Tensor, n int) {
 	_ = t.Clone()                         // want `tensor allocation Clone in dchag:hotpath function hot`
 	_ = tensor.FromSlice([]float64{1}, 1) // want `tensor allocation FromSlice in dchag:hotpath function hot`
 	tensor.AddInPlace(dst, src)
+	_ = tensor.AddInto(nil, dst, src)      // want `nil dst in AddInto call in dchag:hotpath function hot`
+	_ = tensor.MatMulInto((nil), dst, src) // want `nil dst in MatMulInto call in dchag:hotpath function hot`
 	//lint:ignore hotalloc the result buffer is the API; reuse is follow-up work
 	out := tensor.New(n)
 	_ = out
 }
 
-// cold has no annotation, so it may allocate freely.
+// hotOK uses only the sanctioned allocation-free API and stays silent.
+//
+// dchag:hotpath
+func hotOK(dst, src, scratch *tensor.Tensor, n int) {
+	scratch = tensor.EnsureShape(scratch, n)
+	_ = tensor.AddInto(scratch, dst, src)
+	_ = tensor.MatMulInto(dst, scratch, src)
+	t := tensor.DefaultPool.GetTensor(n)
+	tensor.DefaultPool.PutTensor(t)
+}
+
+// cold has no annotation, so it may allocate freely — including nil-dst
+// Into calls (that is what the allocating wrappers are).
 func cold(n int) *tensor.Tensor {
 	_ = make([]float64, n)
+	_ = tensor.AddInto(nil, nil, nil)
 	return tensor.New(n)
 }

@@ -16,3 +16,24 @@ func (t *Tensor) Clone() *Tensor { return &Tensor{} }
 
 // AddInPlace does not allocate.
 func AddInPlace(dst, src *Tensor) {}
+
+// AddInto writes a+b into dst, allocating only when dst is nil.
+func AddInto(dst, a, b *Tensor) *Tensor { return dst }
+
+// MatMulInto writes a@b into dst, allocating only when dst is nil.
+func MatMulInto(dst, a, b *Tensor) *Tensor { return dst }
+
+// EnsureShape reuses t when it already has the shape, else allocates.
+func EnsureShape(t *Tensor, shape ...int) *Tensor { return t }
+
+// Pool recycles tensors.
+type Pool struct{}
+
+// GetTensor returns a pooled tensor (contents dirty).
+func (p *Pool) GetTensor(shape ...int) *Tensor { return &Tensor{} }
+
+// PutTensor recycles t.
+func (p *Pool) PutTensor(t *Tensor) {}
+
+// DefaultPool is the process-wide pool.
+var DefaultPool = &Pool{}

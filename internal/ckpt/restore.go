@@ -181,13 +181,26 @@ func assemble(key string, whole *Leaf, pieces []piece, axis int, fullShape []int
 
 // slice extracts a parameter's view of a logical buffer: the whole buffer
 // for unsharded parameters, the [Lo, Hi) slice along the shard axis
-// otherwise.
+// otherwise. The result escapes to the caller (optimizer state), so it is a
+// fresh copy; the parameter restore path uses sliceInto instead.
 func slice(lt *logicalTensor, buf []float64, p *nn.Param) []float64 {
 	if p.Shard == nil {
 		return buf
 	}
 	t := tensor.FromSlice(buf, lt.shape...)
 	return tensor.SliceAxis(t, p.Shard.Axis, p.Shard.Lo, p.Shard.Hi).Data
+}
+
+// sliceInto writes a parameter's slice of a logical buffer directly into
+// dst (the parameter's own storage), avoiding the transient copy slice
+// would make. dst must have the parameter's shape.
+func sliceInto(dst *tensor.Tensor, lt *logicalTensor, buf []float64, p *nn.Param) {
+	if p.Shard == nil {
+		copy(dst.Data, buf)
+		return
+	}
+	src := tensor.FromSlice(buf, lt.shape...)
+	tensor.SliceAxisInto(dst, src, p.Shard.Axis, p.Shard.Lo, p.Shard.Hi)
 }
 
 // lookup resolves a parameter's logical tensor and validates the logical
@@ -223,7 +236,7 @@ func (c *Checkpoint) RestoreParams(params []*nn.Param) error {
 		return err
 	}
 	for i, p := range params {
-		copy(p.W.Data, slice(resolved[i], resolved[i].values, p))
+		sliceInto(p.W, resolved[i], resolved[i].values, p)
 	}
 	return nil
 }

@@ -89,6 +89,9 @@ type CrossAttnAggregator struct {
 	Attn  *nn.CrossAttention
 
 	n int // folded rows cached for backward
+
+	out, iout *tensor.Tensor // Forward / Infer output scratch
+	dy, dx    *tensor.Tensor // Backward scratch
 }
 
 // NewCrossAttnAggregator builds a cross-attention aggregator over a group of
@@ -109,26 +112,31 @@ func (a *CrossAttnAggregator) Forward(x *tensor.Tensor) *tensor.Tensor {
 		panic(fmt.Sprintf("core: CrossAttnAggregator.Forward want [N,%d,E], got %v", a.Group, x.Shape))
 	}
 	a.n = x.Shape[0]
-	y := a.Attn.Forward(x, x)    // [N, g, E]
-	return tensor.MeanAxis(y, 1) // [N, E]
+	y := a.Attn.Forward(x, x) // [N, g, E]
+	a.out = tensor.EnsureShape(a.out, a.n, x.Shape[2])
+	return tensor.MeanAxisInto(a.out, y, 1) // [N, E]
 }
 
 // Backward maps d [N, E] to the group input gradient [N, g, E].
+//
+// dchag:hotpath — per-step mean broadcast and residual add into layer-owned
+// scratch.
 func (a *CrossAttnAggregator) Backward(d *tensor.Tensor) *tensor.Tensor {
 	e := d.Shape[len(d.Shape)-1]
-	dy := tensor.New(a.n, a.Group, e)
+	a.dy = tensor.EnsureShape(a.dy, a.n, a.Group, e)
 	inv := 1 / float64(a.Group)
 	for n := 0; n < a.n; n++ {
 		src := d.Data[n*e : (n+1)*e]
 		for g := 0; g < a.Group; g++ {
-			dst := dy.Data[(n*a.Group+g)*e : (n*a.Group+g+1)*e]
+			dst := a.dy.Data[(n*a.Group+g)*e : (n*a.Group+g+1)*e]
 			for i, v := range src {
 				dst[i] = v * inv
 			}
 		}
 	}
-	dq, dkv := a.Attn.Backward(dy)
-	return tensor.Add(dq, dkv)
+	dq, dkv := a.Attn.Backward(a.dy)
+	a.dx = tensor.EnsureShape(a.dx, a.n, a.Group, e)
+	return tensor.AddInto(a.dx, dq, dkv)
 }
 
 // Infer reduces x [N, g, E] to [N, E] without caching activations for
@@ -137,9 +145,14 @@ func (a *CrossAttnAggregator) Infer(x *tensor.Tensor) *tensor.Tensor {
 	if len(x.Shape) != 3 || x.Shape[1] != a.Group {
 		panic(fmt.Sprintf("core: CrossAttnAggregator.Infer want [N,%d,E], got %v", a.Group, x.Shape))
 	}
-	y := a.Attn.Infer(x, x)      // [N, g, E]
-	return tensor.MeanAxis(y, 1) // [N, E]
+	y := a.Attn.Infer(x, x) // [N, g, E]
+	a.iout = tensor.EnsureShape(a.iout, x.Shape[0], x.Shape[2])
+	return tensor.MeanAxisInto(a.iout, y, 1) // [N, E]
 }
+
+// SetInferDType selects the arithmetic of the no-grad Infer path for the
+// cross-attention layer.
+func (a *CrossAttnAggregator) SetInferDType(dt tensor.DType) { a.Attn.SetInferDType(dt) }
 
 // Params returns the attention parameters.
 func (a *CrossAttnAggregator) Params() []*nn.Param { return a.Attn.Params() }
@@ -155,6 +168,9 @@ type LinearAggregator struct {
 	Bias   *nn.Param // [E]
 
 	x *tensor.Tensor
+
+	out, iout *tensor.Tensor // Forward / Infer output scratch
+	dx        *tensor.Tensor // Backward scratch
 }
 
 // NewLinearAggregator builds a linear aggregator initialized near the mean
@@ -181,7 +197,8 @@ func (a *LinearAggregator) Forward(x *tensor.Tensor) *tensor.Tensor {
 		panic(fmt.Sprintf("core: LinearAggregator.Forward want [N,%d,E], got %v", a.Group, x.Shape))
 	}
 	a.x = x
-	return a.reduce(x)
+	a.out = tensor.EnsureShape(a.out, x.Shape[0], x.Shape[2])
+	return a.reduce(a.out, x)
 }
 
 // Infer reduces x [N, g, E] to [N, E] without caching the input for
@@ -190,13 +207,16 @@ func (a *LinearAggregator) Infer(x *tensor.Tensor) *tensor.Tensor {
 	if len(x.Shape) != 3 || x.Shape[1] != a.Group {
 		panic(fmt.Sprintf("core: LinearAggregator.Infer want [N,%d,E], got %v", a.Group, x.Shape))
 	}
-	return a.reduce(x)
+	a.iout = tensor.EnsureShape(a.iout, x.Shape[0], x.Shape[2])
+	return a.reduce(a.iout, x)
 }
 
-// reduce applies the learned linear combination across the channel axis.
-func (a *LinearAggregator) reduce(x *tensor.Tensor) *tensor.Tensor {
+// reduce applies the learned linear combination across the channel axis,
+// writing into out.
+//
+// dchag:hotpath — per-step channel mixing; out is layer-owned scratch.
+func (a *LinearAggregator) reduce(out, x *tensor.Tensor) *tensor.Tensor {
 	n, e := x.Shape[0], x.Shape[2]
-	out := tensor.New(n, e)
 	for ni := 0; ni < n; ni++ {
 		dst := out.Data[ni*e : (ni+1)*e]
 		copy(dst, a.Bias.W.Data)
@@ -212,12 +232,16 @@ func (a *LinearAggregator) reduce(x *tensor.Tensor) *tensor.Tensor {
 }
 
 // Backward maps d [N, E] to [N, g, E] and accumulates dWeight and dBias.
+//
+// dchag:hotpath — per-step channel-mixing backward; dx is layer-owned
+// scratch.
 func (a *LinearAggregator) Backward(d *tensor.Tensor) *tensor.Tensor {
 	if a.x == nil {
 		panic("core: LinearAggregator.Backward before Forward")
 	}
 	n, e := a.x.Shape[0], a.x.Shape[2]
-	dx := tensor.New(n, a.Group, e)
+	a.dx = tensor.EnsureShape(a.dx, n, a.Group, e)
+	dx := a.dx
 	for ni := 0; ni < n; ni++ {
 		src := d.Data[ni*e : (ni+1)*e]
 		for i, v := range src {

@@ -91,6 +91,38 @@ type DCHAG struct {
 	Final    *CrossAttnAggregator
 
 	b int
+
+	// Scratch, grown once and reused every step; Forward and Infer own
+	// separate sets (the partials cache views of their inputs for backward).
+	partIn, ipartIn []*tensor.Tensor // per-partition channel-slice inputs
+	outs, iouts     []*tensor.Tensor // per-partition aggregated tokens
+	local, ilocal   *tensor.Tensor   // stacked owned-partition tokens
+	seq, iseq       *tensor.Tensor   // final layer input [B*T, P, E]
+	dLocal          *tensor.Tensor   // per-partition token gradient
+	dEmb            *tensor.Tensor   // concatenated channel-token gradient
+}
+
+// ensureScratch sizes the per-partition scratch slices.
+func (d *DCHAG) ensureScratch() {
+	if d.partIn != nil {
+		return
+	}
+	k := len(d.Partials)
+	d.partIn = make([]*tensor.Tensor, k)
+	d.ipartIn = make([]*tensor.Tensor, k)
+	d.outs = make([]*tensor.Tensor, k)
+	d.iouts = make([]*tensor.Tensor, k)
+}
+
+// SetInferDType selects the arithmetic of the stage's no-grad Infer path:
+// the tokenizer projection, every partial module, and the final shared
+// layer. Channel embeddings and softmaxes stay float64.
+func (d *DCHAG) SetInferDType(dt tensor.DType) {
+	d.Tok.SetInferDType(dt)
+	for _, partial := range d.Partials {
+		partial.SetInferDType(dt)
+	}
+	d.Final.SetInferDType(dt)
 }
 
 // NewDCHAG constructs rank c.Rank()'s module with one partition per rank.
@@ -162,18 +194,24 @@ func (d *DCHAG) Forward(x *tensor.Tensor) *tensor.Tensor {
 		panic(fmt.Sprintf("core: DCHAG.Forward want [B,%d,%d,%d], got %v", d.LocalChannels(), d.Cfg.ImgH, d.Cfg.ImgW, x.Shape))
 	}
 	d.b = x.Shape[0]
+	d.ensureScratch()
+	t, e := d.Cfg.Tokens(), d.Cfg.Embed
 	tok := d.Tok.Forward(x)
 	emb := d.ChEmb.Forward(tok)
-	outs := make([]*tensor.Tensor, len(d.Partials))
 	for j, partial := range d.Partials {
 		lo, hi := d.partChannels(j)
-		outs[j] = partial.Forward(tensor.SliceAxis(emb, 1, lo, hi)) // [B, T, E]
+		d.partIn[j] = tensor.EnsureShape(d.partIn[j], d.b, hi-lo, t, e)
+		tensor.SliceAxisInto(d.partIn[j], emb, 1, lo, hi)
+		d.outs[j] = partial.Forward(d.partIn[j]) // [B, T, E]
 	}
-	local := tensor.Stack(outs...) // [k, B, T, E]: one token per owned partition
-	parts := d.Comm.AllGather(local)
-	seq := StackedToSeq(parts) // [B*T, P, E]
-	out := d.Final.Forward(seq)
-	return out.Reshape(d.b, d.Cfg.Tokens(), d.Cfg.Embed)
+	// [k, B, T, E]: one token per owned partition.
+	d.local = tensor.EnsureShape(d.local, len(d.Partials), d.b, t, e)
+	tensor.StackInto(d.local, d.outs...)
+	parts := d.Comm.AllGather(d.local)
+	d.seq = tensor.EnsureShape(d.seq, d.b*t, d.Partitions, e)
+	StackedToSeqInto(d.seq, parts) // [B*T, P, E]
+	out := d.Final.Forward(d.seq)
+	return out.Reshape(d.b, t, e)
 }
 
 // Infer runs Forward's computation without caching activations for
@@ -185,18 +223,23 @@ func (d *DCHAG) Infer(x *tensor.Tensor) *tensor.Tensor {
 		panic(fmt.Sprintf("core: DCHAG.Infer want [B,%d,%d,%d], got %v", d.LocalChannels(), d.Cfg.ImgH, d.Cfg.ImgW, x.Shape))
 	}
 	b := x.Shape[0]
+	d.ensureScratch()
+	t, e := d.Cfg.Tokens(), d.Cfg.Embed
 	tok := d.Tok.Infer(x)
 	emb := d.ChEmb.Infer(tok)
-	outs := make([]*tensor.Tensor, len(d.Partials))
 	for j, partial := range d.Partials {
 		lo, hi := d.partChannels(j)
-		outs[j] = partial.Infer(tensor.SliceAxis(emb, 1, lo, hi)) // [B, T, E]
+		d.ipartIn[j] = tensor.EnsureShape(d.ipartIn[j], b, hi-lo, t, e)
+		tensor.SliceAxisInto(d.ipartIn[j], emb, 1, lo, hi)
+		d.iouts[j] = partial.Infer(d.ipartIn[j]) // [B, T, E]
 	}
-	local := tensor.Stack(outs...) // [k, B, T, E]
-	parts := d.Comm.AllGather(local)
-	seq := StackedToSeq(parts) // [B*T, P, E]
-	out := d.Final.Infer(seq)
-	return out.Reshape(b, d.Cfg.Tokens(), d.Cfg.Embed)
+	d.ilocal = tensor.EnsureShape(d.ilocal, len(d.Partials), b, t, e)
+	tensor.StackInto(d.ilocal, d.iouts...)
+	parts := d.Comm.AllGather(d.ilocal)
+	d.iseq = tensor.EnsureShape(d.iseq, b*t, d.Partitions, e)
+	StackedToSeqInto(d.iseq, parts) // [B*T, P, E]
+	out := d.Final.Infer(d.iseq)
+	return out.Reshape(b, t, e)
 }
 
 // Backward consumes the gradient of the aggregated representation [B, T, E]
@@ -208,13 +251,18 @@ func (d *DCHAG) Backward(grad *tensor.Tensor) *tensor.Tensor {
 		panic(fmt.Sprintf("core: DCHAG.Backward want [%d,%d,%d], got %v", d.b, t, e, grad.Shape))
 	}
 	dSeq := d.Final.Backward(grad.Reshape(d.b*t, e)) // [N, P, E]
-	dEmbParts := make([]*tensor.Tensor, len(d.Partials))
+	d.dLocal = tensor.EnsureShape(d.dLocal, d.b, t, e)
+	d.dEmb = tensor.EnsureShape(d.dEmb, d.b, d.LocalChannels(), t, e)
+	off := 0
 	for j, partial := range d.Partials {
-		dLocal := SeqSlice(dSeq, d.PartLo+j, d.b, t) // [B, T, E]
-		dEmbParts[j] = partial.Backward(dLocal)      // [B, ck, T, E]
+		// Each partial consumes dLocal fully during Backward, so one shared
+		// buffer serves every partition in turn.
+		SeqSliceInto(d.dLocal, dSeq, d.PartLo+j, d.b, t)
+		part := partial.Backward(d.dLocal) // [B, ck, T, E]
+		tensor.SetSliceAxis(d.dEmb, 1, off, part)
+		off += part.Shape[1]
 	}
-	dEmb := tensor.Concat(1, dEmbParts...) // [B, Cl, T, E]
-	dTok := d.ChEmb.Backward(dEmb)
+	dTok := d.ChEmb.Backward(d.dEmb)
 	return d.Tok.Backward(dTok)
 }
 
@@ -250,9 +298,16 @@ func (d *DCHAG) ReplicatedParams() []*nn.Param { return d.Final.Params() }
 // RanksToSeq assembles per-rank tokens (P tensors of [B, T, E]) into the
 // final layer's input layout [B*T, P, E].
 func RanksToSeq(parts []*tensor.Tensor) *tensor.Tensor {
+	b, t, e := parts[0].Shape[0], parts[0].Shape[1], parts[0].Shape[2]
+	return RanksToSeqInto(tensor.New(b*t, len(parts), e), parts)
+}
+
+// RanksToSeqInto is RanksToSeq writing into out [B*T, P, E].
+//
+// dchag:hotpath — per-step token assembly after the AllGather.
+func RanksToSeqInto(out *tensor.Tensor, parts []*tensor.Tensor) *tensor.Tensor {
 	p := len(parts)
 	b, t, e := parts[0].Shape[0], parts[0].Shape[1], parts[0].Shape[2]
-	out := tensor.New(b*t, p, e)
 	for pi, part := range parts {
 		if len(part.Shape) != 3 || part.Shape[0] != b || part.Shape[1] != t || part.Shape[2] != e {
 			panic(fmt.Sprintf("core: RanksToSeq inconsistent part shape %v", part.Shape))
@@ -277,27 +332,49 @@ func StackedToSeq(parts []*tensor.Tensor) *tensor.Tensor {
 		panic("core: StackedToSeq of zero parts")
 	}
 	k := parts[0].Shape[0]
-	flat := make([]*tensor.Tensor, 0, len(parts)*k)
-	for _, part := range parts {
-		if len(part.Shape) != 4 || part.Shape[0] != k {
+	b, t, e := parts[0].Shape[1], parts[0].Shape[2], parts[0].Shape[3]
+	return StackedToSeqInto(tensor.New(b*t, len(parts)*k, e), parts)
+}
+
+// StackedToSeqInto is StackedToSeq writing into out [B*T, P, E].
+//
+// dchag:hotpath — per-step token assembly after the AllGather.
+func StackedToSeqInto(out *tensor.Tensor, parts []*tensor.Tensor) *tensor.Tensor {
+	k := parts[0].Shape[0]
+	p := len(parts) * k
+	b, t, e := parts[0].Shape[1], parts[0].Shape[2], parts[0].Shape[3]
+	for ri, part := range parts {
+		if len(part.Shape) != 4 || part.Shape[0] != k || part.Shape[1] != b || part.Shape[2] != t || part.Shape[3] != e {
 			panic(fmt.Sprintf("core: StackedToSeq inconsistent part shape %v", part.Shape))
 		}
-		b, t, e := part.Shape[1], part.Shape[2], part.Shape[3]
-		for _, one := range tensor.SplitEqual(part, 0, k) {
-			flat = append(flat, one.Reshape(b, t, e))
+		for ki := 0; ki < k; ki++ {
+			pi := ri*k + ki
+			for bi := 0; bi < b; bi++ {
+				for ti := 0; ti < t; ti++ {
+					src := part.Data[((ki*b+bi)*t+ti)*e : ((ki*b+bi)*t+ti+1)*e]
+					dst := out.Data[((bi*t+ti)*p+pi)*e : ((bi*t+ti)*p+pi+1)*e]
+					copy(dst, src)
+				}
+			}
 		}
 	}
-	return RanksToSeq(flat)
+	return out
 }
 
 // SeqSlice extracts rank p's token gradient [B, T, E] from the final-layer
 // input gradient [B*T, P, E]; the inverse of one rank's RanksToSeq slot.
 func SeqSlice(seq *tensor.Tensor, p, b, t int) *tensor.Tensor {
+	return SeqSliceInto(tensor.New(b, t, seq.Shape[2]), seq, p, b, t)
+}
+
+// SeqSliceInto is SeqSlice writing into out [B, T, E].
+//
+// dchag:hotpath — per-step token-gradient extraction.
+func SeqSliceInto(out, seq *tensor.Tensor, p, b, t int) *tensor.Tensor {
 	np, e := seq.Shape[1], seq.Shape[2]
 	if seq.Shape[0] != b*t || p < 0 || p >= np {
 		panic(fmt.Sprintf("core: SeqSlice(%d) invalid for shape %v", p, seq.Shape))
 	}
-	out := tensor.New(b, t, e)
 	for bi := 0; bi < b; bi++ {
 		for ti := 0; ti < t; ti++ {
 			src := seq.Data[((bi*t+ti)*np+p)*e : ((bi*t+ti)*np+p+1)*e]

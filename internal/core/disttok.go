@@ -23,7 +23,13 @@ type DistTokenizer struct {
 	Channels   int
 	ChLo, ChHi int
 	Tok        *nn.PatchEmbed
+
+	dTok *tensor.Tensor // Backward channel-slice scratch
 }
+
+// SetInferDType selects the arithmetic of the tokenizer's no-grad Infer
+// path.
+func (d *DistTokenizer) SetInferDType(dt tensor.DType) { d.Tok.SetInferDType(dt) }
 
 // NewDistTokenizer builds rank c.Rank()'s tokenizer shard with the same
 // per-channel seeding as the serial tokenizer and the DCHAG module.
@@ -61,8 +67,9 @@ func (d *DistTokenizer) Backward(grad *tensor.Tensor) *tensor.Tensor {
 	if len(grad.Shape) != 4 || grad.Shape[1] != d.Channels {
 		panic(fmt.Sprintf("core: DistTokenizer.Backward want [B,%d,T,E], got %v", d.Channels, grad.Shape))
 	}
-	localGrad := tensor.SliceAxis(grad, 1, d.ChLo, d.ChHi)
-	return d.Tok.Backward(localGrad)
+	d.dTok = tensor.EnsureShape(d.dTok, grad.Shape[0], d.ChHi-d.ChLo, grad.Shape[2], grad.Shape[3])
+	tensor.SliceAxisInto(d.dTok, grad, 1, d.ChLo, d.ChHi)
+	return d.Tok.Backward(d.dTok)
 }
 
 // Params returns the local tokenizer shard's parameters.

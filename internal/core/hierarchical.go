@@ -128,7 +128,34 @@ type HierarchicalAggregator struct {
 	Levels [][]GroupAggregator
 
 	b, t, e int
-	inputs  [][]*tensor.Tensor // cached per-level inputs, per group
+	ran     bool // Forward has run (Backward precondition)
+
+	// Scratch, grown once and reused every step (see tensor.EnsureShape).
+	// Forward and Infer own separate sets so eval passes never clobber the
+	// group inputs an aggregator cached for a pending Backward.
+	folded, ifolded   *tensor.Tensor     // FoldChannels output
+	inputs, iinputs   [][]*tensor.Tensor // per-level per-group input slices
+	levelOut, ilevOut []*tensor.Tensor   // per-level gathered group tokens
+	dg                *tensor.Tensor     // backward per-group token gradient
+	dCat              []*tensor.Tensor   // per-level concatenated input grads
+	dx                *tensor.Tensor     // unfolded channel-token gradient
+}
+
+// ensureScratch sizes the per-level scratch slices (the tensors themselves
+// are grown lazily by EnsureShape).
+func (h *HierarchicalAggregator) ensureScratch() {
+	if h.inputs != nil {
+		return
+	}
+	h.inputs = make([][]*tensor.Tensor, len(h.Levels))
+	h.iinputs = make([][]*tensor.Tensor, len(h.Levels))
+	for l, level := range h.Levels {
+		h.inputs[l] = make([]*tensor.Tensor, len(level))
+		h.iinputs[l] = make([]*tensor.Tensor, len(level))
+	}
+	h.levelOut = make([]*tensor.Tensor, len(h.Levels))
+	h.ilevOut = make([]*tensor.Tensor, len(h.Levels))
+	h.dCat = make([]*tensor.Tensor, len(h.Levels))
 }
 
 // NewHierarchicalAggregator builds the module for the given plan. Layer
@@ -164,21 +191,42 @@ func (h *HierarchicalAggregator) Forward(x *tensor.Tensor) *tensor.Tensor {
 		panic(fmt.Sprintf("core: HierarchicalAggregator.Forward want [B,%d,T,E], got %v", c, x.Shape))
 	}
 	h.b, h.t, h.e = x.Shape[0], x.Shape[2], x.Shape[3]
-	cur := FoldChannels(x) // [N, C, E]
-	h.inputs = make([][]*tensor.Tensor, len(h.Levels))
+	h.ensureScratch()
+	h.ran = true
+	h.folded = tensor.EnsureShape(h.folded, h.b*h.t, c, h.e)
+	cur := FoldChannelsInto(h.folded, x) // [N, C, E]
+	return h.run(cur, h.inputs, h.levelOut, false).Reshape(h.b, h.t, h.e)
+}
+
+// run walks the tree over cur [N, C, E] using the given scratch set,
+// returning the final [N, 1, E] token. With infer set, aggregators take
+// their no-grad fast path.
+//
+// dchag:hotpath — the per-step aggregation tree; all group slices and level
+// outputs live in pass-owned scratch.
+func (h *HierarchicalAggregator) run(cur *tensor.Tensor, inputs [][]*tensor.Tensor, levelOut []*tensor.Tensor, infer bool) *tensor.Tensor {
+	n, e := cur.Shape[0], cur.Shape[2]
 	for l, level := range h.Levels {
-		sizes := h.Plan[l]
-		groups := tensor.Split(cur, 1, sizes)
-		h.inputs[l] = groups
-		outs := make([]*tensor.Tensor, len(level))
-		for gi, agg := range level {
-			y := agg.Forward(groups[gi]) // [N, E]
-			outs[gi] = y.Reshape(y.Shape[0], 1, h.e)
+		off := 0
+		for gi, g := range h.Plan[l] {
+			inputs[l][gi] = tensor.EnsureShape(inputs[l][gi], n, g, e)
+			tensor.SliceAxisInto(inputs[l][gi], cur, 1, off, off+g)
+			off += g
 		}
-		cur = tensor.Concat(1, outs...) // [N, nGroups, E]
+		levelOut[l] = tensor.EnsureShape(levelOut[l], n, len(level), e)
+		for gi, agg := range level {
+			var y *tensor.Tensor // [N, E]
+			if infer {
+				y = nn.Infer(agg, inputs[l][gi])
+			} else {
+				y = agg.Forward(inputs[l][gi])
+			}
+			writeGroupToken(levelOut[l], y, gi)
+		}
+		cur = levelOut[l]
 	}
 	// cur is [N, 1, E].
-	return cur.Reshape(h.b, h.t, h.e)
+	return cur
 }
 
 // Infer reduces x [B, C, T, E] to [B, T, E] without caching the per-level
@@ -189,40 +237,75 @@ func (h *HierarchicalAggregator) Infer(x *tensor.Tensor) *tensor.Tensor {
 		panic(fmt.Sprintf("core: HierarchicalAggregator.Infer want [B,%d,T,E], got %v", c, x.Shape))
 	}
 	b, t, e := x.Shape[0], x.Shape[2], x.Shape[3]
-	cur := FoldChannels(x) // [N, C, E]
-	for l, level := range h.Levels {
-		groups := tensor.Split(cur, 1, h.Plan[l])
-		outs := make([]*tensor.Tensor, len(level))
-		for gi, agg := range level {
-			// Every GroupAggregator is an nn.Layer; nn.Infer takes the
-			// aggregator's no-grad fast path when it has one.
-			y := nn.Infer(agg, groups[gi]) // [N, E]
-			outs[gi] = y.Reshape(y.Shape[0], 1, e)
+	h.ensureScratch()
+	h.ifolded = tensor.EnsureShape(h.ifolded, b*t, c, e)
+	cur := FoldChannelsInto(h.ifolded, x) // [N, C, E]
+	return h.run(cur, h.iinputs, h.ilevOut, true).Reshape(b, t, e)
+}
+
+// SetInferDType selects the arithmetic of every aggregator's no-grad Infer
+// path.
+func (h *HierarchicalAggregator) SetInferDType(dt tensor.DType) {
+	for _, level := range h.Levels {
+		for _, agg := range level {
+			if d, ok := agg.(interface{ SetInferDType(tensor.DType) }); ok {
+				d.SetInferDType(dt)
+			}
 		}
-		cur = tensor.Concat(1, outs...) // [N, nGroups, E]
 	}
-	// cur is [N, 1, E].
-	return cur.Reshape(b, t, e)
 }
 
 // Backward maps d [B, T, E] back to the channel-token gradient [B, C, T, E].
+//
+// dchag:hotpath — the per-step aggregation-tree backward; the group token
+// gradient and per-level concatenations live in layer-owned scratch.
 func (h *HierarchicalAggregator) Backward(d *tensor.Tensor) *tensor.Tensor {
-	if h.inputs == nil {
+	if !h.ran {
 		panic("core: HierarchicalAggregator.Backward before Forward")
 	}
 	n := h.b * h.t
+	h.dg = tensor.EnsureShape(h.dg, n, h.e)
 	cur := d.Reshape(n, 1, h.e)
 	for l := len(h.Levels) - 1; l >= 0; l-- {
 		level := h.Levels[l]
-		dOuts := tensor.SplitEqual(cur, 1, len(level))
-		parts := make([]*tensor.Tensor, len(level))
-		for gi, agg := range level {
-			dg := dOuts[gi].Reshape(n, h.e)
-			parts[gi] = agg.Backward(dg) // [N, g, E]
+		width := 0
+		for _, g := range h.Plan[l] {
+			width += g
 		}
-		cur = tensor.Concat(1, parts...)
+		h.dCat[l] = tensor.EnsureShape(h.dCat[l], n, width, h.e)
+		off := 0
+		for gi, agg := range level {
+			// Each aggregator consumes dg fully during Backward, so one
+			// shared buffer serves every group in turn.
+			readGroupToken(h.dg, cur, gi)
+			part := agg.Backward(h.dg) // [N, g, E]
+			tensor.SetSliceAxis(h.dCat[l], 1, off, part)
+			off += part.Shape[1]
+		}
+		cur = h.dCat[l]
 	}
-	return UnfoldChannels(cur, h.b, h.t)
+	h.dx = tensor.EnsureShape(h.dx, h.b, h.Channels(), h.t, h.e)
+	return UnfoldChannelsInto(h.dx, cur, h.b, h.t)
+}
+
+// writeGroupToken writes y [N, E] into column gi of out [N, G, E].
+//
+// dchag:hotpath — per-group token scatter.
+func writeGroupToken(out, y *tensor.Tensor, gi int) {
+	nG, e := out.Shape[1], out.Shape[2]
+	for n := 0; n < y.Shape[0]; n++ {
+		copy(out.Data[(n*nG+gi)*e:(n*nG+gi+1)*e], y.Data[n*e:(n+1)*e])
+	}
+}
+
+// readGroupToken gathers column gi of x [N, G, E] into dst [N, E].
+//
+// dchag:hotpath — per-group token gather.
+func readGroupToken(dst, x *tensor.Tensor, gi int) {
+	nG, e := x.Shape[1], x.Shape[2]
+	for n := 0; n < dst.Shape[0]; n++ {
+		copy(dst.Data[n*e:(n+1)*e], x.Data[(n*nG+gi)*e:(n*nG+gi+1)*e])
+	}
 }
 
 // Params returns all layers' parameters, level by level.
@@ -243,7 +326,15 @@ func FoldChannels(x *tensor.Tensor) *tensor.Tensor {
 		panic(fmt.Sprintf("core: FoldChannels wants rank 4, got %v", x.Shape))
 	}
 	b, c, t, e := x.Shape[0], x.Shape[1], x.Shape[2], x.Shape[3]
-	out := tensor.New(b*t, c, e)
+	return FoldChannelsInto(tensor.New(b*t, c, e), x)
+}
+
+// FoldChannelsInto is FoldChannels writing into out, which must have shape
+// [B*T, C, E].
+//
+// dchag:hotpath — per-step channel-token permutation.
+func FoldChannelsInto(out, x *tensor.Tensor) *tensor.Tensor {
+	b, c, t, e := x.Shape[0], x.Shape[1], x.Shape[2], x.Shape[3]
 	for bi := 0; bi < b; bi++ {
 		for ci := 0; ci < c; ci++ {
 			for ti := 0; ti < t; ti++ {
@@ -262,7 +353,15 @@ func UnfoldChannels(x *tensor.Tensor, b, t int) *tensor.Tensor {
 		panic(fmt.Sprintf("core: UnfoldChannels wants [%d,C,E], got %v", b*t, x.Shape))
 	}
 	c, e := x.Shape[1], x.Shape[2]
-	out := tensor.New(b, c, t, e)
+	return UnfoldChannelsInto(tensor.New(b, c, t, e), x, b, t)
+}
+
+// UnfoldChannelsInto is UnfoldChannels writing into out, which must have
+// shape [B, C, T, E].
+//
+// dchag:hotpath — per-step channel-token permutation.
+func UnfoldChannelsInto(out, x *tensor.Tensor, b, t int) *tensor.Tensor {
+	c, e := x.Shape[1], x.Shape[2]
 	for bi := 0; bi < b; bi++ {
 		for ci := 0; ci < c; ci++ {
 			for ti := 0; ti < t; ti++ {

@@ -23,6 +23,10 @@ type PerceiverAggregator struct {
 	Attn    *nn.CrossAttention
 
 	n, m int
+
+	q, iq     *tensor.Tensor // broadcast latent queries (forward / infer)
+	out, iout *tensor.Tensor // Forward / Infer output scratch
+	dy        *tensor.Tensor // Backward scratch
 }
 
 // NewPerceiverAggregator builds a Perceiver fusion layer with m latent
@@ -51,33 +55,62 @@ func (a *PerceiverAggregator) Forward(x *tensor.Tensor) *tensor.Tensor {
 	a.n = x.Shape[0]
 	a.m = a.Latents.W.Shape[0]
 	e := x.Shape[2]
-	q := tensor.New(a.n, a.m, e)
-	for n := 0; n < a.n; n++ {
-		copy(q.Data[n*a.m*e:(n+1)*a.m*e], a.Latents.W.Data)
+	a.q = tensor.EnsureShape(a.q, a.n, a.m, e)
+	broadcastRows(a.q, a.Latents.W.Data, a.n)
+	y := a.Attn.Forward(a.q, x) // [N, M, E]
+	a.out = tensor.EnsureShape(a.out, a.n, e)
+	return tensor.MeanAxisInto(a.out, y, 1) // [N, E]
+}
+
+// Infer reduces x [N, g, E] to [N, E] without caching activations for
+// backward.
+func (a *PerceiverAggregator) Infer(x *tensor.Tensor) *tensor.Tensor {
+	if len(x.Shape) != 3 || x.Shape[1] != a.Group {
+		panic(fmt.Sprintf("core: PerceiverAggregator.Infer want [N,%d,E], got %v", a.Group, x.Shape))
 	}
-	y := a.Attn.Forward(q, x)    // [N, M, E]
-	return tensor.MeanAxis(y, 1) // [N, E]
+	n, e := x.Shape[0], x.Shape[2]
+	m := a.Latents.W.Shape[0]
+	a.iq = tensor.EnsureShape(a.iq, n, m, e)
+	broadcastRows(a.iq, a.Latents.W.Data, n)
+	y := a.Attn.Infer(a.iq, x) // [N, M, E]
+	a.iout = tensor.EnsureShape(a.iout, n, e)
+	return tensor.MeanAxisInto(a.iout, y, 1) // [N, E]
+}
+
+// SetInferDType selects the arithmetic of the no-grad Infer path for the
+// cross-attention layer.
+func (a *PerceiverAggregator) SetInferDType(dt tensor.DType) { a.Attn.SetInferDType(dt) }
+
+// broadcastRows tiles row (one latent block) n times into dst.
+//
+// dchag:hotpath — per-step latent broadcast.
+func broadcastRows(dst *tensor.Tensor, row []float64, n int) {
+	for i := 0; i < n; i++ {
+		copy(dst.Data[i*len(row):(i+1)*len(row)], row)
+	}
 }
 
 // Backward maps d [N, E] to the group input gradient [N, g, E], accumulating
 // latent and attention gradients.
+//
+// dchag:hotpath — per-step latent-mean broadcast into layer-owned scratch.
 func (a *PerceiverAggregator) Backward(d *tensor.Tensor) *tensor.Tensor {
 	if a.n == 0 {
 		panic("core: PerceiverAggregator.Backward before Forward")
 	}
 	e := d.Shape[len(d.Shape)-1]
-	dy := tensor.New(a.n, a.m, e)
+	a.dy = tensor.EnsureShape(a.dy, a.n, a.m, e)
 	inv := 1 / float64(a.m)
 	for n := 0; n < a.n; n++ {
 		src := d.Data[n*e : (n+1)*e]
 		for m := 0; m < a.m; m++ {
-			dst := dy.Data[(n*a.m+m)*e : (n*a.m+m+1)*e]
+			dst := a.dy.Data[(n*a.m+m)*e : (n*a.m+m+1)*e]
 			for i, v := range src {
 				dst[i] = v * inv
 			}
 		}
 	}
-	dq, dkv := a.Attn.Backward(dy)
+	dq, dkv := a.Attn.Backward(a.dy)
 	// The latents were broadcast over N rows; their gradient sums over rows.
 	for n := 0; n < a.n; n++ {
 		src := dq.Data[n*a.m*e : (n+1)*a.m*e]

@@ -30,7 +30,35 @@ type Reference struct {
 
 	bounds [][2]int
 	b      int
-	outs   []*tensor.Tensor
+
+	// Scratch, grown once and reused every step; Forward and Infer own
+	// separate sets (the partials cache views of their inputs for backward).
+	partIn, ipartIn []*tensor.Tensor // per-virtual-rank channel-slice inputs
+	outs, iouts     []*tensor.Tensor // per-virtual-rank aggregated tokens
+	seq, iseq       *tensor.Tensor   // final layer input [B*T, P, E]
+	dLocal          *tensor.Tensor   // per-virtual-rank token gradient
+	dEmb            *tensor.Tensor   // concatenated channel-token gradient
+}
+
+// ensureScratch sizes the per-virtual-rank scratch slices.
+func (r *Reference) ensureScratch() {
+	if r.partIn != nil {
+		return
+	}
+	r.partIn = make([]*tensor.Tensor, r.P)
+	r.ipartIn = make([]*tensor.Tensor, r.P)
+	r.outs = make([]*tensor.Tensor, r.P)
+	r.iouts = make([]*tensor.Tensor, r.P)
+}
+
+// SetInferDType selects the arithmetic of the no-grad Infer path, matching
+// DCHAG.SetInferDType.
+func (r *Reference) SetInferDType(dt tensor.DType) {
+	r.Tok.SetInferDType(dt)
+	for _, partial := range r.Partials {
+		partial.SetInferDType(dt)
+	}
+	r.Final.SetInferDType(dt)
 }
 
 // NewReference builds the serial equivalent of NewDCHAG over p virtual
@@ -70,16 +98,20 @@ func (r *Reference) Forward(x *tensor.Tensor) *tensor.Tensor {
 		panic(fmt.Sprintf("core: Reference.Forward want [B,%d,H,W], got %v", r.Cfg.Channels, x.Shape))
 	}
 	r.b = x.Shape[0]
+	r.ensureScratch()
+	t, e := r.Cfg.Tokens(), r.Cfg.Embed
 	tok := r.Tok.Forward(x)
 	emb := r.ChEmb.Forward(tok)
-	r.outs = make([]*tensor.Tensor, r.P)
 	for vr := 0; vr < r.P; vr++ {
 		lo, hi := r.Bounds(vr)
-		r.outs[vr] = r.Partials[vr].Forward(tensor.SliceAxis(emb, 1, lo, hi))
+		r.partIn[vr] = tensor.EnsureShape(r.partIn[vr], r.b, hi-lo, t, e)
+		tensor.SliceAxisInto(r.partIn[vr], emb, 1, lo, hi)
+		r.outs[vr] = r.Partials[vr].Forward(r.partIn[vr])
 	}
-	seq := RanksToSeq(r.outs)
-	out := r.Final.Forward(seq)
-	return out.Reshape(r.b, r.Cfg.Tokens(), r.Cfg.Embed)
+	r.seq = tensor.EnsureShape(r.seq, r.b*t, r.P, e)
+	RanksToSeqInto(r.seq, r.outs)
+	out := r.Final.Forward(r.seq)
+	return out.Reshape(r.b, t, e)
 }
 
 // Infer runs Forward's computation without caching activations for
@@ -90,16 +122,20 @@ func (r *Reference) Infer(x *tensor.Tensor) *tensor.Tensor {
 		panic(fmt.Sprintf("core: Reference.Infer want [B,%d,H,W], got %v", r.Cfg.Channels, x.Shape))
 	}
 	b := x.Shape[0]
+	r.ensureScratch()
+	t, e := r.Cfg.Tokens(), r.Cfg.Embed
 	tok := r.Tok.Infer(x)
 	emb := r.ChEmb.Infer(tok)
-	outs := make([]*tensor.Tensor, r.P)
 	for vr := 0; vr < r.P; vr++ {
 		lo, hi := r.Bounds(vr)
-		outs[vr] = r.Partials[vr].Infer(tensor.SliceAxis(emb, 1, lo, hi))
+		r.ipartIn[vr] = tensor.EnsureShape(r.ipartIn[vr], b, hi-lo, t, e)
+		tensor.SliceAxisInto(r.ipartIn[vr], emb, 1, lo, hi)
+		r.iouts[vr] = r.Partials[vr].Infer(r.ipartIn[vr])
 	}
-	seq := RanksToSeq(outs)
-	out := r.Final.Infer(seq)
-	return out.Reshape(b, r.Cfg.Tokens(), r.Cfg.Embed)
+	r.iseq = tensor.EnsureShape(r.iseq, b*t, r.P, e)
+	RanksToSeqInto(r.iseq, r.iouts)
+	out := r.Final.Infer(r.iseq)
+	return out.Reshape(b, t, e)
 }
 
 // Backward consumes the output gradient [B, T, E] and returns the full image
@@ -107,13 +143,18 @@ func (r *Reference) Infer(x *tensor.Tensor) *tensor.Tensor {
 func (r *Reference) Backward(grad *tensor.Tensor) *tensor.Tensor {
 	t, e := r.Cfg.Tokens(), r.Cfg.Embed
 	dSeq := r.Final.Backward(grad.Reshape(r.b*t, e))
-	dEmbParts := make([]*tensor.Tensor, r.P)
+	r.dLocal = tensor.EnsureShape(r.dLocal, r.b, t, e)
+	r.dEmb = tensor.EnsureShape(r.dEmb, r.b, r.Cfg.Channels, t, e)
+	off := 0
 	for vr := 0; vr < r.P; vr++ {
-		dLocal := SeqSlice(dSeq, vr, r.b, t)
-		dEmbParts[vr] = r.Partials[vr].Backward(dLocal)
+		// Each partial consumes dLocal fully during Backward, so one shared
+		// buffer serves every virtual rank in turn.
+		SeqSliceInto(r.dLocal, dSeq, vr, r.b, t)
+		part := r.Partials[vr].Backward(r.dLocal)
+		tensor.SetSliceAxis(r.dEmb, 1, off, part)
+		off += part.Shape[1]
 	}
-	dEmb := tensor.Concat(1, dEmbParts...)
-	dTok := r.ChEmb.Backward(dEmb)
+	dTok := r.ChEmb.Backward(r.dEmb)
 	return r.Tok.Backward(dTok)
 }
 

@@ -1,0 +1,228 @@
+package experiments
+
+import (
+	"fmt"
+	"runtime"
+	"time"
+
+	"repro/internal/tensor"
+)
+
+func init() {
+	register(Experiment{
+		ID:    "compute",
+		Title: "Compute substrate: measured GEMM throughput, naive vs blocked f64 vs f32",
+		Run:   runCompute,
+	})
+}
+
+// ComputeSchema identifies the JSON layout of ComputeReport — the
+// single-node compute-substrate point of the perf trajectory
+// (BENCH_compute.json, written by `dchag-bench -compute`). Like the serving
+// artifact it is wall-clock measured, so tooling gates on its qualitative
+// claims (blocked beats naive, f32 beats f64, steady state allocation-free)
+// rather than exact rates.
+const ComputeSchema = "dchag-bench/compute/v1"
+
+// ComputePoint is one measured square GEMM size (dst = A@B, all [n,n]).
+type ComputePoint struct {
+	// Size is the square matrix extent n; each product is 2n^3 FLOPs.
+	Size int `json:"size"`
+	// NaiveGFLOPS is the pre-blocking reference kernel
+	// (tensor.MatMulNaiveInto, parallel ikj); BlockedGFLOPS the packed,
+	// register-tiled f64 driver (tensor.MatMulInto); F32GFLOPS the float32
+	// kernel against a prepacked B panel (tensor.MatMulPackedF32Into — the
+	// serving configuration, so packing is off the measured path).
+	NaiveGFLOPS   float64 `json:"naive_gflops"`
+	BlockedGFLOPS float64 `json:"blocked_gflops"`
+	F32GFLOPS     float64 `json:"f32_gflops"`
+	// BlockedSpeedup is BlockedGFLOPS/NaiveGFLOPS; F32Speedup is
+	// F32GFLOPS/BlockedGFLOPS.
+	BlockedSpeedup float64 `json:"blocked_speedup"`
+	F32Speedup     float64 `json:"f32_speedup"`
+	// BlockedAllocsPerOp and F32AllocsPerOp are steady-state heap
+	// allocations per product with a reused destination (pool-backed panel
+	// scratch warm); the destination-passing contract pins both at 0 on a
+	// single-threaded run.
+	BlockedAllocsPerOp float64 `json:"blocked_allocs_per_op"`
+	F32AllocsPerOp     float64 `json:"f32_allocs_per_op"`
+}
+
+// ComputeClaims are the qualitative gates the artifact test asserts. The
+// speedup claims hold only where the vector micro-kernels run, so
+// TestComputeJSONArtifact gates them on SIMD being true in the artifact.
+type ComputeClaims struct {
+	// BlockedSpeedupAtMax and F32SpeedupAtMax are the speedups at the
+	// largest measured size (the ISSUE gates: blocked >= 2x naive, f32 >=
+	// 1.5x blocked f64 at 512^3 under SIMD).
+	BlockedSpeedupAtMax float64 `json:"blocked_speedup_at_max"`
+	F32SpeedupAtMax     float64 `json:"f32_speedup_at_max"`
+	// AllocFree reports that every measured point ran with zero steady-state
+	// allocations per product.
+	AllocFree bool `json:"steady_state_alloc_free"`
+}
+
+// ComputeReport is the machine-readable compute benchmark — the payload
+// behind `dchag-bench -compute`.
+type ComputeReport struct {
+	Schema string `json:"schema"`
+	// SIMD records whether the AVX2+FMA micro-kernels were active; MaxProcs
+	// the GOMAXPROCS the rates were measured under.
+	SIMD     bool           `json:"simd"`
+	MaxProcs int            `json:"maxprocs"`
+	Sizes    []int          `json:"sizes"`
+	Points   []ComputePoint `json:"points"`
+	Claims   ComputeClaims  `json:"claims"`
+}
+
+// PointAt returns the point measured at size n.
+func (r ComputeReport) PointAt(n int) (ComputePoint, bool) {
+	for _, p := range r.Points {
+		if p.Size == n {
+			return p, true
+		}
+	}
+	return ComputePoint{}, false
+}
+
+// ComputeBenchConfig parameterizes the compute benchmark.
+type ComputeBenchConfig struct {
+	// Sizes are the square GEMM extents measured, ascending; the claims are
+	// evaluated at the last one.
+	Sizes []int
+	// MinTime is the minimum measured wall time per timing trial; Trials is
+	// the number of best-of trials per kernel.
+	MinTime time.Duration
+	Trials  int
+	// AllocIters is the iteration count for the allocs-per-op measurement.
+	AllocIters int
+}
+
+// DefaultComputeBench is the full configuration behind the committed
+// BENCH_compute.json: the 512^3 claim size plus smaller points that show
+// where blocking starts to pay.
+func DefaultComputeBench() ComputeBenchConfig {
+	return ComputeBenchConfig{
+		Sizes:      []int{64, 128, 256, 512},
+		MinTime:    200 * time.Millisecond,
+		Trials:     3,
+		AllocIters: 10,
+	}
+}
+
+// QuickComputeBench is the reduced configuration the registered experiment
+// and the package tests run.
+func QuickComputeBench() ComputeBenchConfig {
+	return ComputeBenchConfig{
+		Sizes:      []int{64, 128},
+		MinTime:    10 * time.Millisecond,
+		Trials:     1,
+		AllocIters: 4,
+	}
+}
+
+// RunComputeBench measures every configured size with deterministic
+// operands and derives the claim fields from the largest one.
+func RunComputeBench(cfg ComputeBenchConfig) ComputeReport {
+	rep := ComputeReport{
+		Schema:   ComputeSchema,
+		SIMD:     tensor.SIMDEnabled(),
+		MaxProcs: runtime.GOMAXPROCS(0),
+		Sizes:    append([]int(nil), cfg.Sizes...),
+	}
+	for _, n := range cfg.Sizes {
+		rng := tensor.NewRNG(int64(9000 + n))
+		a := tensor.Randn(rng, n, n)
+		b := tensor.Randn(rng, n, n)
+		dst := tensor.New(n, n)
+		pb := tensor.PackB32(b)
+
+		p := ComputePoint{Size: n}
+		p.NaiveGFLOPS = measureGFLOPS(n, cfg, func() { tensor.MatMulNaiveInto(dst, a, b) })
+		p.BlockedGFLOPS = measureGFLOPS(n, cfg, func() { tensor.MatMulInto(dst, a, b) })
+		p.F32GFLOPS = measureGFLOPS(n, cfg, func() { tensor.MatMulPackedF32Into(dst, a, pb) })
+		p.BlockedSpeedup = p.BlockedGFLOPS / p.NaiveGFLOPS
+		p.F32Speedup = p.F32GFLOPS / p.BlockedGFLOPS
+		p.BlockedAllocsPerOp = allocsPerOp(cfg.AllocIters, func() { tensor.MatMulInto(dst, a, b) })
+		p.F32AllocsPerOp = allocsPerOp(cfg.AllocIters, func() { tensor.MatMulPackedF32Into(dst, a, pb) })
+		rep.Points = append(rep.Points, p)
+	}
+	last := rep.Points[len(rep.Points)-1]
+	rep.Claims = ComputeClaims{
+		BlockedSpeedupAtMax: last.BlockedSpeedup,
+		F32SpeedupAtMax:     last.F32Speedup,
+		AllocFree:           true,
+	}
+	for _, p := range rep.Points {
+		if p.BlockedAllocsPerOp != 0 || p.F32AllocsPerOp != 0 {
+			rep.Claims.AllocFree = false
+		}
+	}
+	return rep
+}
+
+// measureGFLOPS times repeated invocations of step (one n^3 product each),
+// growing the repetition count until a trial spans cfg.MinTime, and returns
+// the best trial's rate in GFLOP/s.
+func measureGFLOPS(n int, cfg ComputeBenchConfig, step func()) float64 {
+	step() // warm the pool and the packed panels
+	flops := 2 * float64(n) * float64(n) * float64(n)
+	best := 0.0
+	for trial := 0; trial < cfg.Trials; trial++ {
+		reps := 1
+		for {
+			start := time.Now()
+			for i := 0; i < reps; i++ {
+				step()
+			}
+			elapsed := time.Since(start)
+			if elapsed >= cfg.MinTime || reps >= 1<<24 {
+				if rate := flops * float64(reps) / elapsed.Seconds() / 1e9; rate > best {
+					best = rate
+				}
+				break
+			}
+			// Aim past MinTime with a 20% margin so the next attempt lands.
+			grown := 2 * reps
+			if elapsed > 0 {
+				grown = int(1.2*float64(reps)*float64(cfg.MinTime)/float64(elapsed)) + 1
+			}
+			reps = grown
+		}
+	}
+	return best
+}
+
+// allocsPerOp reports the mean heap allocations per invocation of step in
+// steady state (after a warm-up call that grows the pool's panel scratch).
+func allocsPerOp(iters int, step func()) float64 {
+	step()
+	runtime.GC()
+	var before, after runtime.MemStats
+	runtime.ReadMemStats(&before)
+	for i := 0; i < iters; i++ {
+		step()
+	}
+	runtime.ReadMemStats(&after)
+	return float64(after.Mallocs-before.Mallocs) / float64(iters)
+}
+
+// runCompute renders the quick compute benchmark as the registered
+// experiment.
+func runCompute() Result {
+	rep := RunComputeBench(QuickComputeBench())
+	tab := &Table{
+		Title: fmt.Sprintf("Measured GEMM throughput (simd=%v, GOMAXPROCS=%d)", rep.SIMD, rep.MaxProcs),
+		Headers: []string{"size", "naive GFLOP/s", "blocked f64 GFLOP/s", "f32 GFLOP/s",
+			"blocked/naive", "f32/f64", "allocs/op"},
+	}
+	for _, p := range rep.Points {
+		tab.Add(fmt.Sprint(p.Size),
+			fmt.Sprintf("%.2f", p.NaiveGFLOPS), fmt.Sprintf("%.2f", p.BlockedGFLOPS),
+			fmt.Sprintf("%.2f", p.F32GFLOPS),
+			fmt.Sprintf("%.2fx", p.BlockedSpeedup), fmt.Sprintf("%.2fx", p.F32Speedup),
+			fmt.Sprintf("%.0f/%.0f", p.BlockedAllocsPerOp, p.F32AllocsPerOp))
+	}
+	tab.Note("wall-clock measurement: packed register-tiled driver vs the pre-blocking naive kernel; f32 runs against prepacked weight panels (the serving configuration)")
+	return Result{ID: "compute", Title: "Compute substrate", Tables: []*Table{tab}}
+}

@@ -1,0 +1,52 @@
+package experiments
+
+import (
+	"encoding/json"
+	"testing"
+)
+
+// TestRunComputeBenchQuick sanity-checks the compute benchmark runner on the
+// reduced configuration: every size yields plausible positive rates, the
+// derived claim fields match the largest point, and the report round-trips
+// through JSON under the schema string the artifact test gates on.
+func TestRunComputeBenchQuick(t *testing.T) {
+	if testing.Short() {
+		t.Skip("wall-clock benchmark")
+	}
+	cfg := QuickComputeBench()
+	rep := RunComputeBench(cfg)
+	if rep.Schema != ComputeSchema {
+		t.Fatalf("schema %q, want %q", rep.Schema, ComputeSchema)
+	}
+	if len(rep.Points) != len(cfg.Sizes) {
+		t.Fatalf("got %d points for %d sizes", len(rep.Points), len(cfg.Sizes))
+	}
+	for _, p := range rep.Points {
+		if p.NaiveGFLOPS <= 0 || p.BlockedGFLOPS <= 0 || p.F32GFLOPS <= 0 {
+			t.Fatalf("non-positive rate in point %+v", p)
+		}
+		if p.BlockedAllocsPerOp < 0 || p.F32AllocsPerOp < 0 {
+			t.Fatalf("negative allocs/op in point %+v", p)
+		}
+	}
+	last := rep.Points[len(rep.Points)-1]
+	if rep.Claims.BlockedSpeedupAtMax != last.BlockedSpeedup ||
+		rep.Claims.F32SpeedupAtMax != last.F32Speedup {
+		t.Fatalf("claims %+v do not match the largest point %+v", rep.Claims, last)
+	}
+
+	data, err := json.Marshal(rep)
+	if err != nil {
+		t.Fatalf("encoding report: %v", err)
+	}
+	var back ComputeReport
+	if err := json.Unmarshal(data, &back); err != nil {
+		t.Fatalf("decoding report: %v", err)
+	}
+	if back.Schema != ComputeSchema || len(back.Points) != len(rep.Points) {
+		t.Fatalf("report did not round-trip: %+v", back)
+	}
+	if _, ok := back.PointAt(cfg.Sizes[0]); !ok {
+		t.Fatalf("PointAt(%d) missing after round-trip", cfg.Sizes[0])
+	}
+}

@@ -57,6 +57,12 @@ type ServePoint struct {
 // behind `dchag-serve -bench -json`.
 type ServeReport struct {
 	Schema string `json:"schema"`
+	// DType is the inference arithmetic the engines served under ("f64" or
+	// "f32" — see tensor.DType); additive within v1, so artifacts written
+	// before the field exists decode to "" and mean f64. Note carries a
+	// free-text version annotation for trajectory readers.
+	DType string `json:"dtype,omitempty"`
+	Note  string `json:"note,omitempty"`
 	// Ranks/Replicas/Partitions/Channels describe the serving topology and
 	// workload; Concurrency and Requests the offered load per point.
 	Ranks       int          `json:"ranks"`
@@ -92,6 +98,10 @@ func (r ServeReport) Best() (ServePoint, bool) {
 type ServeBenchConfig struct {
 	Arch            model.Arch
 	Ranks, Replicas int
+	// DType selects the engines' inference arithmetic (zero value F64 is
+	// the bitwise training-equivalent path; F32 the prepacked-panel fast
+	// path the committed artifact measures).
+	DType tensor.DType
 	// Batches are the MaxBatch values swept (include 1 for the batching-off
 	// baseline); DeadlinesMs the MaxWait deadlines.
 	Batches     []int
@@ -125,6 +135,7 @@ func DefaultServeBench() ServeBenchConfig {
 	return ServeBenchConfig{
 		Arch:  serveBenchArch(),
 		Ranks: 2, Replicas: 2,
+		DType:       tensor.F32,
 		Batches:     []int{1, 2, 4, 8, 16},
 		DeadlinesMs: []float64{2, 10},
 		Requests:    4000, Concurrency: 24,
@@ -148,12 +159,16 @@ func QuickServeBench() ServeBenchConfig {
 func RunServeBench(cfg ServeBenchConfig) (ServeReport, error) {
 	rep := ServeReport{
 		Schema:      ServeSchema,
+		DType:       cfg.DType.String(),
 		Ranks:       cfg.Ranks,
 		Replicas:    cfg.Replicas,
 		Partitions:  cfg.Arch.Partitions,
 		Channels:    cfg.Arch.Channels,
 		Concurrency: cfg.Concurrency,
 		Requests:    cfg.Requests,
+	}
+	if cfg.DType == tensor.F32 {
+		rep.Note = "measured on the f32 no-grad inference path (prepacked weight panels); earlier serve/v1 artifacts without a dtype field were f64"
 	}
 	// A fixed pool of inputs keeps request materialization off the measured
 	// path's critical section.
@@ -181,6 +196,7 @@ func RunServeBench(cfg ServeBenchConfig) (ServeReport, error) {
 				MaxBatch:   b,
 				MaxWait:    time.Duration(deadlineMs * float64(time.Millisecond)),
 				QueueDepth: queueDepth,
+				DType:      cfg.DType,
 			}, serve.FromArch(cfg.Arch))
 			if err != nil {
 				return rep, fmt.Errorf("experiments: starting serve engine (batch %d): %w", b, err)
@@ -226,8 +242,8 @@ func RunServeBench(cfg ServeBenchConfig) (ServeReport, error) {
 func runServe() Result {
 	rep, err := RunServeBench(QuickServeBench())
 	tab := &Table{
-		Title: fmt.Sprintf("Measured serving throughput (%d ch, %d partitions, %d ranks x %d replicas, %d reqs @ %d clients)",
-			rep.Channels, rep.Partitions, rep.Ranks, rep.Replicas, rep.Requests, rep.Concurrency),
+		Title: fmt.Sprintf("Measured serving throughput (%d ch, %d partitions, %d ranks x %d replicas, %d reqs @ %d clients, %s inference)",
+			rep.Channels, rep.Partitions, rep.Ranks, rep.Replicas, rep.Requests, rep.Concurrency, rep.DType),
 		Headers: []string{"max batch", "deadline ms", "throughput req/s", "mean batch", "total p50 ms", "total p99 ms", "retries"},
 	}
 	if err != nil {

@@ -71,6 +71,10 @@ type FoundationModel struct {
 	b    int
 	mask *tensor.Tensor
 	eval bool
+
+	masked, imasked *tensor.Tensor // mask-token substitution scratch
+	dFull           *tensor.Tensor // meta-token gradient scatter scratch
+	dMasked         *tensor.Tensor // mask gradient-routing scratch
 }
 
 // NewSerial builds the single-process baseline model.
@@ -122,6 +126,22 @@ func build(a Arch, stage ChannelStage, c *comm.Communicator, tpViT bool) *Founda
 	return m
 }
 
+// SetInferDType selects the arithmetic of the no-grad Infer path for every
+// matrix product in the model: the channel stage, the transformer blocks,
+// and the head. Layer norms, softmaxes and embedding adds stay float64.
+// With tensor.F32 the weights are prepacked into float32 panels, so call it
+// again after every optimizer step that mutates the weights; with tensor.F64
+// (the default) Infer is bitwise identical to Forward.
+func (m *FoundationModel) SetInferDType(dt tensor.DType) {
+	if d, ok := m.Stage.(nn.DTyper); ok {
+		d.SetInferDType(dt)
+	}
+	for _, blk := range m.Blocks {
+		nn.SetInferDType(blk, dt)
+	}
+	m.Head.SetInferDType(dt)
+}
+
 // SetEval switches the model between training mode (the default) and
 // inference mode. In eval mode Forward routes through Infer — the no-grad
 // fast path that skips all activation caching — and Backward panics, so an
@@ -149,7 +169,9 @@ func (m *FoundationModel) Infer(x, mask *tensor.Tensor) *tensor.Tensor {
 		if len(mask.Shape) != 2 || mask.Shape[0] != b || mask.Shape[1] != t {
 			panic(fmt.Sprintf("model: mask want [%d,%d], got %v", b, t, mask.Shape))
 		}
-		feat = feat.Clone()
+		m.imasked = tensor.EnsureShape(m.imasked, feat.Shape...)
+		copy(m.imasked.Data, feat.Data)
+		feat = m.imasked
 		for bi := 0; bi < b; bi++ {
 			for ti := 0; ti < t; ti++ {
 				if mask.At(bi, ti) != 0 {
@@ -189,7 +211,9 @@ func (m *FoundationModel) Forward(x, mask *tensor.Tensor) *tensor.Tensor {
 		if len(mask.Shape) != 2 || mask.Shape[0] != m.b || mask.Shape[1] != t {
 			panic(fmt.Sprintf("model: mask want [%d,%d], got %v", m.b, t, mask.Shape))
 		}
-		feat = feat.Clone()
+		m.masked = tensor.EnsureShape(m.masked, feat.Shape...)
+		copy(m.masked.Data, feat.Data)
+		feat = m.masked
 		for bi := 0; bi < m.b; bi++ {
 			for ti := 0; ti < t; ti++ {
 				if mask.At(bi, ti) != 0 {
@@ -224,13 +248,14 @@ func (m *FoundationModel) Backward(grad *tensor.Tensor) *tensor.Tensor {
 	if m.Meta != nil {
 		// Scatter back into the full sequence; meta rows receive no head
 		// gradient.
-		full := tensor.New(m.b, m.Arch.MetaTokens+t, e)
+		m.dFull = tensor.EnsureShape(m.dFull, m.b, m.Arch.MetaTokens+t, e)
+		m.dFull.Zero()
 		for bi := 0; bi < m.b; bi++ {
 			src := d.Data[bi*t*e : (bi+1)*t*e]
-			dst := full.Data[(bi*(m.Arch.MetaTokens+t)+m.Arch.MetaTokens)*e:]
+			dst := m.dFull.Data[(bi*(m.Arch.MetaTokens+t)+m.Arch.MetaTokens)*e:]
 			copy(dst[:t*e], src)
 		}
-		d = full
+		d = m.dFull
 	}
 	d = m.Norm.Backward(d)
 	for i := len(m.Blocks) - 1; i >= 0; i-- {
@@ -243,7 +268,9 @@ func (m *FoundationModel) Backward(grad *tensor.Tensor) *tensor.Tensor {
 	if m.mask != nil {
 		// Masked positions fed the mask token, not the stage: route their
 		// gradient to the mask token and zero it toward the stage.
-		d = d.Clone()
+		m.dMasked = tensor.EnsureShape(m.dMasked, d.Shape...)
+		copy(m.dMasked.Data, d.Data)
+		d = m.dMasked
 		for bi := 0; bi < m.b; bi++ {
 			for ti := 0; ti < t; ti++ {
 				if m.mask.At(bi, ti) != 0 {

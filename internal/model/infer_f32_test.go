@@ -1,0 +1,94 @@
+package model
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/tensor"
+)
+
+// TestInferF32Tolerance pins the model-level float32 inference contract
+// (DESIGN.md "Compute substrate"): under SetInferDType(F32) the matrix
+// products run in float32, so Infer's output differs from the float64
+// Forward, but only within a tolerance consistent with float32 rounding —
+// and nowhere near the scale of the predictions themselves.
+func TestInferF32Tolerance(t *testing.T) {
+	serial := smallArch()
+	cross := smallArch()
+	cross.Config.Kind = core.KindCross
+	swin := smallArch()
+	swin.MetaTokens = 0
+	swin.SwinWindow = 2
+	for name, a := range map[string]Arch{"serial": serial, "cross": cross, "swin": swin} {
+		t.Run(name, func(t *testing.T) {
+			rng := tensor.NewRNG(61)
+			x := tensor.Randn(rng, 2, a.Channels, a.ImgH, a.ImgW)
+
+			m := NewSerial(a)
+			want := m.Infer(x, nil).Clone()
+
+			m.SetInferDType(tensor.F32)
+			got := m.Infer(x, nil)
+			if !tensor.SameShape(want, got) {
+				t.Fatalf("shape mismatch: %v vs %v", want.Shape, got.Shape)
+			}
+			scale := math.Max(want.Max(), -want.Min())
+			tol := 1e-4 * math.Max(scale, 1)
+			if d := tensor.MaxAbsDiff(want, got); d > tol {
+				t.Fatalf("f32 Infer differs from f64 by %g (tol %g, output scale %g)", d, tol, scale)
+			} else if d == 0 {
+				t.Fatal("f32 Infer is bitwise identical to f64 — the f32 kernels are not engaged")
+			}
+
+			// Switching back to F64 restores bitwise equality with Forward.
+			m.SetInferDType(tensor.F64)
+			back := m.Infer(x, nil)
+			if d := tensor.MaxAbsDiff(want, back); d != 0 {
+				t.Fatalf("returning to F64 left a residual difference of %g", d)
+			}
+		})
+	}
+}
+
+// TestInferF32RepackAfterMutation pins the prepacked-panel staleness
+// contract: SetInferDType(F32) snapshots the weights, so a weight mutation
+// must be followed by another SetInferDType(F32) before the packed panels
+// reflect it.
+func TestInferF32RepackAfterMutation(t *testing.T) {
+	a := smallArch()
+	rng := tensor.NewRNG(71)
+	x := tensor.Randn(rng, 1, a.Channels, a.ImgH, a.ImgW)
+
+	m := NewSerial(a)
+	m.SetInferDType(tensor.F32)
+	before := m.Infer(x, nil).Clone()
+
+	// Mutate every weight; the stale packed panels keep answering with the
+	// old parameters.
+	for _, p := range m.Params() {
+		for i := range p.W.Data {
+			p.W.Data[i] *= 1.5
+		}
+	}
+	stale := m.Infer(x, nil)
+	// The non-packed parts (norms, softmax, biases, embeddings) see the new
+	// weights immediately, so outputs move; the point of the repack is
+	// reproducibility, pinned below.
+	_ = stale
+
+	m.SetInferDType(tensor.F32)
+	fresh := m.Infer(x, nil).Clone()
+	m2 := NewSerial(a)
+	for i, p := range m2.Params() {
+		copy(p.W.Data, m.Params()[i].W.Data)
+	}
+	m2.SetInferDType(tensor.F32)
+	want := m2.Infer(x, nil)
+	if d := tensor.MaxAbsDiff(fresh, want); d != 0 {
+		t.Fatalf("repacked model differs from freshly packed equivalent by %g", d)
+	}
+	if d := tensor.MaxAbsDiff(before, fresh); d == 0 {
+		t.Fatal("weight mutation plus repack did not change the output")
+	}
+}

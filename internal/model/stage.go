@@ -73,6 +73,12 @@ func (s *SerialStage) Backward(grad *tensor.Tensor) *tensor.Tensor {
 	return s.Tok.Backward(s.ChEmb.Backward(s.Agg.Backward(grad)))
 }
 
+// SetInferDType selects the arithmetic of the stage's no-grad Infer path.
+func (s *SerialStage) SetInferDType(dt tensor.DType) {
+	s.Tok.SetInferDType(dt)
+	s.Agg.SetInferDType(dt)
+}
+
 // Params returns the stage parameters.
 func (s *SerialStage) Params() []*nn.Param {
 	var ps []*nn.Param
@@ -107,6 +113,9 @@ func (s *ReferenceStage) Infer(x *tensor.Tensor) *tensor.Tensor { return s.R.Inf
 
 // Backward maps d[B, T, E] to the full image gradient.
 func (s *ReferenceStage) Backward(grad *tensor.Tensor) *tensor.Tensor { return s.R.Backward(grad) }
+
+// SetInferDType selects the arithmetic of the stage's no-grad Infer path.
+func (s *ReferenceStage) SetInferDType(dt tensor.DType) { s.R.SetInferDType(dt) }
 
 // Params returns the stage parameters.
 func (s *ReferenceStage) Params() []*nn.Param { return s.R.Params() }
@@ -143,6 +152,9 @@ func (s *DCHAGStage) Infer(x *tensor.Tensor) *tensor.Tensor { return s.D.Infer(x
 
 // Backward maps d[B, T, E] to the shard gradient [B, Cl, H, W].
 func (s *DCHAGStage) Backward(grad *tensor.Tensor) *tensor.Tensor { return s.D.Backward(grad) }
+
+// SetInferDType selects the arithmetic of the stage's no-grad Infer path.
+func (s *DCHAGStage) SetInferDType(dt tensor.DType) { s.D.SetInferDType(dt) }
 
 // Params returns the rank's stage parameters.
 func (s *DCHAGStage) Params() []*nn.Param { return s.D.Params() }

@@ -10,6 +10,10 @@ import (
 // used by most transformer implementations.
 type GELU struct {
 	x *tensor.Tensor
+
+	out  *tensor.Tensor // Forward output scratch
+	iout *tensor.Tensor // Infer output scratch
+	dx   *tensor.Tensor // Backward scratch
 }
 
 // NewGELU returns a GELU activation layer.
@@ -18,9 +22,12 @@ func NewGELU() *GELU { return &GELU{} }
 const geluC = 0.7978845608028654 // sqrt(2/pi)
 
 // Forward applies GELU elementwise.
+//
+// dchag:hotpath — elementwise activation inside every MLP, every step.
 func (g *GELU) Forward(x *tensor.Tensor) *tensor.Tensor {
 	g.x = x
-	return tensor.Apply(x, geluScalar)
+	g.out = tensor.EnsureShape(g.out, x.Shape...)
+	return tensor.ApplyInto(g.out, x, geluScalar)
 }
 
 func geluScalar(v float64) float64 {
@@ -35,20 +42,26 @@ func geluGradScalar(v float64) float64 {
 }
 
 // Infer applies GELU without caching the input for backward.
+//
+// dchag:hotpath — the serve dispatch loop runs this once per MLP per
+// micro-batch.
 func (g *GELU) Infer(x *tensor.Tensor) *tensor.Tensor {
-	return tensor.Apply(x, geluScalar)
+	g.iout = tensor.EnsureShape(g.iout, x.Shape...)
+	return tensor.ApplyInto(g.iout, x, geluScalar)
 }
 
 // Backward multiplies the upstream gradient by GELU'(x).
+//
+// dchag:hotpath — elementwise activation gradient, every step.
 func (g *GELU) Backward(grad *tensor.Tensor) *tensor.Tensor {
 	if g.x == nil {
 		panic("nn: GELU.Backward before Forward")
 	}
-	out := tensor.New(grad.Shape...)
+	g.dx = tensor.EnsureShape(g.dx, grad.Shape...)
 	for i := range grad.Data {
-		out.Data[i] = grad.Data[i] * geluGradScalar(g.x.Data[i])
+		g.dx.Data[i] = grad.Data[i] * geluGradScalar(g.x.Data[i])
 	}
-	return out
+	return g.dx
 }
 
 // Params returns nil; GELU has no parameters.
@@ -57,6 +70,9 @@ func (g *GELU) Params() []*Param { return nil }
 // ReLU applies max(0, x) elementwise.
 type ReLU struct {
 	mask []bool
+
+	out *tensor.Tensor
+	dx  *tensor.Tensor
 }
 
 // NewReLU returns a ReLU activation layer.
@@ -64,15 +80,22 @@ func NewReLU() *ReLU { return &ReLU{} }
 
 // Forward applies ReLU elementwise.
 func (r *ReLU) Forward(x *tensor.Tensor) *tensor.Tensor {
-	r.mask = make([]bool, len(x.Data))
-	out := tensor.New(x.Shape...)
+	if cap(r.mask) >= len(x.Data) {
+		r.mask = r.mask[:len(x.Data)]
+	} else {
+		r.mask = make([]bool, len(x.Data))
+	}
+	r.out = tensor.EnsureShape(r.out, x.Shape...)
 	for i, v := range x.Data {
 		if v > 0 {
-			out.Data[i] = v
+			r.out.Data[i] = v
 			r.mask[i] = true
+		} else {
+			r.out.Data[i] = 0
+			r.mask[i] = false
 		}
 	}
-	return out
+	return r.out
 }
 
 // Backward zeroes the gradient where the forward input was non-positive.
@@ -80,13 +103,15 @@ func (r *ReLU) Backward(grad *tensor.Tensor) *tensor.Tensor {
 	if r.mask == nil {
 		panic("nn: ReLU.Backward before Forward")
 	}
-	out := tensor.New(grad.Shape...)
+	r.dx = tensor.EnsureShape(r.dx, grad.Shape...)
 	for i, v := range grad.Data {
 		if r.mask[i] {
-			out.Data[i] = v
+			r.dx.Data[i] = v
+		} else {
+			r.dx.Data[i] = 0
 		}
 	}
-	return out
+	return r.dx
 }
 
 // Params returns nil; ReLU has no parameters.

@@ -7,53 +7,96 @@ import (
 	"repro/internal/tensor"
 )
 
-// attnCore holds the cached intermediates of a scaled-dot-product attention
-// over already-projected head tensors, shared by self- and cross-attention.
+// attnCore holds the cached intermediates and scratch buffers of a
+// scaled-dot-product attention over already-projected head tensors, shared
+// by self- and cross-attention.
 type attnCore struct {
 	heads, headDim int
+	dtype          tensor.DType // arithmetic of the no-grad infer path
 
 	q, k, v *tensor.Tensor // [B,H,Tq,Dh], [B,H,Tk,Dh], [B,H,Tk,Dh]
-	attn    *tensor.Tensor // softmax weights [B,H,Tq,Tk]
+	attn    *tensor.Tensor // softmax weights [B,H,Tq,Tk] (aliases scores)
+
+	scores *tensor.Tensor // Forward scores/softmax scratch
+	ctx    *tensor.Tensor // Forward context scratch
+	iscore *tensor.Tensor // Infer scratch, separate so an eval pass never
+	ictx   *tensor.Tensor // clobbers the attn cache a pending Backward reads
+	dA     *tensor.Tensor // Backward dAttn/dScores scratch
+	dq     *tensor.Tensor
+	dk     *tensor.Tensor
+	dv     *tensor.Tensor
 }
 
-// run computes softmax(q k^T / sqrt(Dh)) v, caching intermediates.
+// run computes softmax(q k^T / sqrt(Dh)) v, caching intermediates. The
+// returned context is core-owned scratch.
+//
+// dchag:hotpath — the attention product of every block, every step.
 func (c *attnCore) run(q, k, v *tensor.Tensor) *tensor.Tensor {
 	c.q, c.k, c.v = q, k, v
 	scale := 1 / math.Sqrt(float64(c.headDim))
-	scores := tensor.BatchedMatMulT(q, k)
-	tensor.ScaleInPlace(scores, scale)
-	c.attn = tensor.SoftmaxLastDim(scores)
-	return tensor.BatchedMatMul(c.attn, v) // [B,H,Tq,Dh]
+	b, h, tq, tk := q.Shape[0], q.Shape[1], q.Shape[2], k.Shape[2]
+	c.scores = tensor.EnsureShape(c.scores, b, h, tq, tk)
+	tensor.BatchedMatMulTInto(c.scores, q, k)
+	tensor.ScaleInPlace(c.scores, scale)
+	c.attn = tensor.SoftmaxLastDimInto(c.scores, c.scores)
+	c.ctx = tensor.EnsureShape(c.ctx, b, h, tq, q.Shape[3])
+	return tensor.BatchedMatMulInto(c.ctx, c.attn, v) // [B,H,Tq,Dh]
 }
 
 // infer computes run's output without caching the head tensors or attention
-// weights for backward.
+// weights for backward. Under dtype F32 the two matrix products run in
+// float32; the softmax stays float64.
+//
+// dchag:hotpath — the serve dispatch loop runs this once per block per
+// micro-batch.
 func (c *attnCore) infer(q, k, v *tensor.Tensor) *tensor.Tensor {
 	scale := 1 / math.Sqrt(float64(c.headDim))
-	scores := tensor.BatchedMatMulT(q, k)
-	tensor.ScaleInPlace(scores, scale)
-	attn := tensor.SoftmaxLastDim(scores)
-	return tensor.BatchedMatMul(attn, v) // [B,H,Tq,Dh]
+	b, h, tq, tk := q.Shape[0], q.Shape[1], q.Shape[2], k.Shape[2]
+	c.iscore = tensor.EnsureShape(c.iscore, b, h, tq, tk)
+	if c.dtype == tensor.F32 {
+		tensor.BatchedMatMulTF32Into(c.iscore, q, k)
+	} else {
+		tensor.BatchedMatMulTInto(c.iscore, q, k)
+	}
+	tensor.ScaleInPlace(c.iscore, scale)
+	attn := tensor.SoftmaxLastDimInto(c.iscore, c.iscore)
+	c.ictx = tensor.EnsureShape(c.ictx, b, h, tq, q.Shape[3])
+	if c.dtype == tensor.F32 {
+		return tensor.BatchedMatMulF32Into(c.ictx, attn, v)
+	}
+	return tensor.BatchedMatMulInto(c.ictx, attn, v) // [B,H,Tq,Dh]
 }
 
 // grad back-propagates through the attention product, returning gradients
-// with respect to the projected q, k and v head tensors.
+// with respect to the projected q, k and v head tensors (core-owned
+// scratch).
+//
+// dchag:hotpath — per-step attention backward kernels.
 func (c *attnCore) grad(dctx *tensor.Tensor) (dq, dk, dv *tensor.Tensor) {
 	if c.attn == nil {
 		panic("nn: attention backward before forward")
 	}
 	scale := 1 / math.Sqrt(float64(c.headDim))
-	dA := tensor.BatchedMatMulT(dctx, c.v)   // [B,H,Tq,Tk]
-	dv = tensor.BatchedTMatMul(c.attn, dctx) // [B,H,Tk,Dh]
-	dS := tensor.SoftmaxBackwardLastDim(c.attn, dA)
+	c.dA = tensor.EnsureShape(c.dA, c.attn.Shape...)
+	tensor.BatchedMatMulTInto(c.dA, dctx, c.v) // [B,H,Tq,Tk]
+	c.dv = tensor.EnsureShape(c.dv, c.v.Shape...)
+	tensor.BatchedTMatMulInto(c.dv, c.attn, dctx) // [B,H,Tk,Dh]
+	dS := tensor.SoftmaxBackwardLastDimInto(c.dA, c.attn, c.dA)
 	tensor.ScaleInPlace(dS, scale)
-	dq = tensor.BatchedMatMul(dS, c.k)  // [B,H,Tq,Dh]
-	dk = tensor.BatchedTMatMul(dS, c.q) // [B,H,Tk,Dh]
-	return dq, dk, dv
+	c.dq = tensor.EnsureShape(c.dq, c.q.Shape...)
+	tensor.BatchedMatMulInto(c.dq, dS, c.k) // [B,H,Tq,Dh]
+	c.dk = tensor.EnsureShape(c.dk, c.k.Shape...)
+	tensor.BatchedTMatMulInto(c.dk, dS, c.q) // [B,H,Tk,Dh]
+	return c.dq, c.dk, c.dv
 }
 
-// SplitHeads reshapes [B,T,E] to [B,H,T,Dh] where E = H*Dh.
-func SplitHeads(x *tensor.Tensor, heads int) *tensor.Tensor {
+// SplitHeadsInto reshapes x [B,T,E] to dst [B,H,T,Dh] where E = H*Dh. dst
+// may be nil (allocate) or a reusable buffer (its backing array is grown as
+// needed). It returns dst.
+//
+// dchag:hotpath — head shuffle on the attention path; with a warm dst it
+// performs no heap allocation.
+func SplitHeadsInto(dst, x *tensor.Tensor, heads int) *tensor.Tensor {
 	if len(x.Shape) != 3 {
 		panic(fmt.Sprintf("nn: SplitHeads requires rank 3, got %v", x.Shape))
 	}
@@ -62,39 +105,52 @@ func SplitHeads(x *tensor.Tensor, heads int) *tensor.Tensor {
 		panic(fmt.Sprintf("nn: embed dim %d not divisible by %d heads", e, heads))
 	}
 	dh := e / heads
-	out := tensor.New(b, heads, t, dh)
+	dst = tensor.EnsureShape(dst, b, heads, t, dh)
 	for bi := 0; bi < b; bi++ {
 		for ti := 0; ti < t; ti++ {
 			src := x.Data[(bi*t+ti)*e : (bi*t+ti+1)*e]
 			for h := 0; h < heads; h++ {
-				dst := out.Data[((bi*heads+h)*t+ti)*dh : ((bi*heads+h)*t+ti+1)*dh]
-				copy(dst, src[h*dh:(h+1)*dh])
+				d := dst.Data[((bi*heads+h)*t+ti)*dh : ((bi*heads+h)*t+ti+1)*dh]
+				copy(d, src[h*dh:(h+1)*dh])
 			}
 		}
 	}
-	return out
+	return dst
 }
 
-// MergeHeads reshapes [B,H,T,Dh] back to [B,T,H*Dh]; the inverse of
-// SplitHeads.
-func MergeHeads(x *tensor.Tensor) *tensor.Tensor {
+// SplitHeads reshapes [B,T,E] to [B,H,T,Dh]; the allocating wrapper over
+// SplitHeadsInto.
+func SplitHeads(x *tensor.Tensor, heads int) *tensor.Tensor {
+	return SplitHeadsInto(nil, x, heads)
+}
+
+// MergeHeadsInto reshapes x [B,H,T,Dh] back to dst [B,T,H*Dh]; the inverse
+// of SplitHeadsInto. dst may be nil or a reusable buffer. It returns dst.
+//
+// dchag:hotpath — head shuffle on the attention path; with a warm dst it
+// performs no heap allocation.
+func MergeHeadsInto(dst, x *tensor.Tensor) *tensor.Tensor {
 	if len(x.Shape) != 4 {
 		panic(fmt.Sprintf("nn: MergeHeads requires rank 4, got %v", x.Shape))
 	}
 	b, h, t, dh := x.Shape[0], x.Shape[1], x.Shape[2], x.Shape[3]
 	e := h * dh
-	out := tensor.New(b, t, e)
+	dst = tensor.EnsureShape(dst, b, t, e)
 	for bi := 0; bi < b; bi++ {
 		for hi := 0; hi < h; hi++ {
 			for ti := 0; ti < t; ti++ {
 				src := x.Data[((bi*h+hi)*t+ti)*dh : ((bi*h+hi)*t+ti+1)*dh]
-				dst := out.Data[(bi*t+ti)*e+hi*dh : (bi*t+ti)*e+(hi+1)*dh]
-				copy(dst, src)
+				d := dst.Data[(bi*t+ti)*e+hi*dh : (bi*t+ti)*e+(hi+1)*dh]
+				copy(d, src)
 			}
 		}
 	}
-	return out
+	return dst
 }
+
+// MergeHeads reshapes [B,H,T,Dh] back to [B,T,H*Dh]; the allocating wrapper
+// over MergeHeadsInto.
+func MergeHeads(x *tensor.Tensor) *tensor.Tensor { return MergeHeadsInto(nil, x) }
 
 // SelfAttention is a standard multi-head self-attention layer: the ViT
 // component of the paper's architecture applies it over spatial tokens.
@@ -104,6 +160,11 @@ type SelfAttention struct {
 	Wo           *Linear
 
 	core attnCore
+
+	qh, kh, vh *tensor.Tensor // split-head scratch
+	merged     *tensor.Tensor // merged-context scratch
+	dctxh      *tensor.Tensor // backward split-head scratch
+	dm         *tensor.Tensor // backward merge scratch, reused across q/k/v
 }
 
 // NewSelfAttention constructs a multi-head self-attention layer over embed
@@ -123,16 +184,26 @@ func NewSelfAttention(name string, embed, heads int, seed int64) *SelfAttention 
 	}
 }
 
+// SetInferDType selects the arithmetic of the no-grad Infer path for the
+// four projections and the attention products.
+func (a *SelfAttention) SetInferDType(dt tensor.DType) {
+	a.Wq.SetInferDType(dt)
+	a.Wk.SetInferDType(dt)
+	a.Wv.SetInferDType(dt)
+	a.Wo.SetInferDType(dt)
+	a.core.dtype = dt
+}
+
 // Forward computes multi-head self-attention over x of shape [B,T,E].
 func (a *SelfAttention) Forward(x *tensor.Tensor) *tensor.Tensor {
 	if len(x.Shape) != 3 {
 		panic(fmt.Sprintf("nn: SelfAttention.Forward requires [B,T,E], got %v", x.Shape))
 	}
-	q := SplitHeads(a.Wq.Forward(x), a.Heads)
-	k := SplitHeads(a.Wk.Forward(x), a.Heads)
-	v := SplitHeads(a.Wv.Forward(x), a.Heads)
-	ctx := MergeHeads(a.core.run(q, k, v))
-	return a.Wo.Forward(ctx)
+	a.qh = SplitHeadsInto(a.qh, a.Wq.Forward(x), a.Heads)
+	a.kh = SplitHeadsInto(a.kh, a.Wk.Forward(x), a.Heads)
+	a.vh = SplitHeadsInto(a.vh, a.Wv.Forward(x), a.Heads)
+	a.merged = MergeHeadsInto(a.merged, a.core.run(a.qh, a.kh, a.vh))
+	return a.Wo.Forward(a.merged)
 }
 
 // Infer computes Forward's output through the projections' no-grad fast
@@ -141,21 +212,26 @@ func (a *SelfAttention) Infer(x *tensor.Tensor) *tensor.Tensor {
 	if len(x.Shape) != 3 {
 		panic(fmt.Sprintf("nn: SelfAttention.Infer requires [B,T,E], got %v", x.Shape))
 	}
-	q := SplitHeads(a.Wq.Infer(x), a.Heads)
-	k := SplitHeads(a.Wk.Infer(x), a.Heads)
-	v := SplitHeads(a.Wv.Infer(x), a.Heads)
-	ctx := MergeHeads(a.core.infer(q, k, v))
-	return a.Wo.Infer(ctx)
+	a.qh = SplitHeadsInto(a.qh, a.Wq.Infer(x), a.Heads)
+	a.kh = SplitHeadsInto(a.kh, a.Wk.Infer(x), a.Heads)
+	a.vh = SplitHeadsInto(a.vh, a.Wv.Infer(x), a.Heads)
+	a.merged = MergeHeadsInto(a.merged, a.core.infer(a.qh, a.kh, a.vh))
+	return a.Wo.Infer(a.merged)
 }
 
 // Backward back-propagates to the forward input, accumulating parameter
 // gradients in the four projections.
 func (a *SelfAttention) Backward(grad *tensor.Tensor) *tensor.Tensor {
-	dctx := SplitHeads(a.Wo.Backward(grad), a.Heads)
-	dq, dk, dv := a.core.grad(dctx)
-	dx := a.Wq.Backward(MergeHeads(dq))
-	tensor.AddInPlace(dx, a.Wk.Backward(MergeHeads(dk)))
-	tensor.AddInPlace(dx, a.Wv.Backward(MergeHeads(dv)))
+	a.dctxh = SplitHeadsInto(a.dctxh, a.Wo.Backward(grad), a.Heads)
+	dq, dk, dv := a.core.grad(a.dctxh)
+	// The merge scratch is reused for dk and dv: each projection's Backward
+	// fully consumes it before the next merge overwrites it.
+	a.dm = MergeHeadsInto(a.dm, dq)
+	dx := a.Wq.Backward(a.dm)
+	a.dm = MergeHeadsInto(a.dm, dk)
+	tensor.AddInPlace(dx, a.Wk.Backward(a.dm))
+	a.dm = MergeHeadsInto(a.dm, dv)
+	tensor.AddInPlace(dx, a.Wv.Backward(a.dm))
 	return dx
 }
 
@@ -179,6 +255,11 @@ type CrossAttention struct {
 	Wo           *Linear
 
 	core attnCore
+
+	qh, kh, vh *tensor.Tensor
+	merged     *tensor.Tensor
+	dctxh      *tensor.Tensor
+	dm         *tensor.Tensor
 }
 
 // NewCrossAttention constructs a multi-head cross-attention layer.
@@ -197,17 +278,27 @@ func NewCrossAttention(name string, embed, heads int, seed int64) *CrossAttentio
 	}
 }
 
+// SetInferDType selects the arithmetic of the no-grad Infer path for the
+// four projections and the attention products.
+func (a *CrossAttention) SetInferDType(dt tensor.DType) {
+	a.Wq.SetInferDType(dt)
+	a.Wk.SetInferDType(dt)
+	a.Wv.SetInferDType(dt)
+	a.Wo.SetInferDType(dt)
+	a.core.dtype = dt
+}
+
 // Forward computes attention of query [B,Tq,E] over context [B,Tk,E],
 // returning [B,Tq,E].
 func (a *CrossAttention) Forward(query, context *tensor.Tensor) *tensor.Tensor {
 	if len(query.Shape) != 3 || len(context.Shape) != 3 {
 		panic(fmt.Sprintf("nn: CrossAttention.Forward requires rank-3 inputs, got %v and %v", query.Shape, context.Shape))
 	}
-	q := SplitHeads(a.Wq.Forward(query), a.Heads)
-	k := SplitHeads(a.Wk.Forward(context), a.Heads)
-	v := SplitHeads(a.Wv.Forward(context), a.Heads)
-	ctx := MergeHeads(a.core.run(q, k, v))
-	return a.Wo.Forward(ctx)
+	a.qh = SplitHeadsInto(a.qh, a.Wq.Forward(query), a.Heads)
+	a.kh = SplitHeadsInto(a.kh, a.Wk.Forward(context), a.Heads)
+	a.vh = SplitHeadsInto(a.vh, a.Wv.Forward(context), a.Heads)
+	a.merged = MergeHeadsInto(a.merged, a.core.run(a.qh, a.kh, a.vh))
+	return a.Wo.Forward(a.merged)
 }
 
 // Infer computes Forward's output through the projections' no-grad fast
@@ -216,20 +307,23 @@ func (a *CrossAttention) Infer(query, context *tensor.Tensor) *tensor.Tensor {
 	if len(query.Shape) != 3 || len(context.Shape) != 3 {
 		panic(fmt.Sprintf("nn: CrossAttention.Infer requires rank-3 inputs, got %v and %v", query.Shape, context.Shape))
 	}
-	q := SplitHeads(a.Wq.Infer(query), a.Heads)
-	k := SplitHeads(a.Wk.Infer(context), a.Heads)
-	v := SplitHeads(a.Wv.Infer(context), a.Heads)
-	ctx := MergeHeads(a.core.infer(q, k, v))
-	return a.Wo.Infer(ctx)
+	a.qh = SplitHeadsInto(a.qh, a.Wq.Infer(query), a.Heads)
+	a.kh = SplitHeadsInto(a.kh, a.Wk.Infer(context), a.Heads)
+	a.vh = SplitHeadsInto(a.vh, a.Wv.Infer(context), a.Heads)
+	a.merged = MergeHeadsInto(a.merged, a.core.infer(a.qh, a.kh, a.vh))
+	return a.Wo.Infer(a.merged)
 }
 
 // Backward returns gradients with respect to the query and context inputs.
 func (a *CrossAttention) Backward(grad *tensor.Tensor) (dQuery, dContext *tensor.Tensor) {
-	dctx := SplitHeads(a.Wo.Backward(grad), a.Heads)
-	dq, dk, dv := a.core.grad(dctx)
-	dQuery = a.Wq.Backward(MergeHeads(dq))
-	dContext = a.Wk.Backward(MergeHeads(dk))
-	tensor.AddInPlace(dContext, a.Wv.Backward(MergeHeads(dv)))
+	a.dctxh = SplitHeadsInto(a.dctxh, a.Wo.Backward(grad), a.Heads)
+	dq, dk, dv := a.core.grad(a.dctxh)
+	a.dm = MergeHeadsInto(a.dm, dq)
+	dQuery = a.Wq.Backward(a.dm)
+	a.dm = MergeHeadsInto(a.dm, dk)
+	dContext = a.Wk.Backward(a.dm)
+	a.dm = MergeHeadsInto(a.dm, dv)
+	tensor.AddInPlace(dContext, a.Wv.Backward(a.dm))
 	return dQuery, dContext
 }
 

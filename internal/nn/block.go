@@ -11,6 +11,9 @@ type TransformerBlock struct {
 	Norm1, Norm2 *LayerNorm
 	Attn         *SelfAttention
 	FFN          *MLP
+
+	h, out *tensor.Tensor // residual scratch (forward)
+	dh, dx *tensor.Tensor // residual scratch (backward)
 }
 
 // NewTransformerBlock constructs a pre-norm transformer block with an MLP
@@ -26,24 +29,45 @@ func NewTransformerBlock(name string, embed, heads int, seed int64) *Transformer
 	}
 }
 
+// SetInferDType selects the arithmetic of the no-grad Infer path for the
+// attention and MLP sublayers; the layer norms always run float64.
+func (b *TransformerBlock) SetInferDType(dt tensor.DType) {
+	b.Attn.SetInferDType(dt)
+	b.FFN.SetInferDType(dt)
+}
+
 // Forward applies the block to x of shape [B,T,E].
+//
+// dchag:hotpath — residual adds run destination-passing into block-owned
+// scratch.
 func (b *TransformerBlock) Forward(x *tensor.Tensor) *tensor.Tensor {
-	h := tensor.Add(x, b.Attn.Forward(b.Norm1.Forward(x)))
-	return tensor.Add(h, b.FFN.Forward(b.Norm2.Forward(h)))
+	b.h = tensor.EnsureShape(b.h, x.Shape...)
+	tensor.AddInto(b.h, x, b.Attn.Forward(b.Norm1.Forward(x)))
+	b.out = tensor.EnsureShape(b.out, x.Shape...)
+	return tensor.AddInto(b.out, b.h, b.FFN.Forward(b.Norm2.Forward(b.h)))
 }
 
 // Infer applies the block through the sublayers' no-grad fast paths.
+//
+// dchag:hotpath — the serve dispatch loop runs this once per block per
+// micro-batch.
 func (b *TransformerBlock) Infer(x *tensor.Tensor) *tensor.Tensor {
-	h := tensor.Add(x, b.Attn.Infer(b.Norm1.Infer(x)))
-	return tensor.Add(h, b.FFN.Infer(b.Norm2.Infer(h)))
+	b.h = tensor.EnsureShape(b.h, x.Shape...)
+	tensor.AddInto(b.h, x, b.Attn.Infer(b.Norm1.Infer(x)))
+	b.out = tensor.EnsureShape(b.out, x.Shape...)
+	return tensor.AddInto(b.out, b.h, b.FFN.Infer(b.Norm2.Infer(b.h)))
 }
 
 // Backward back-propagates through both residual branches.
+//
+// dchag:hotpath — per-step residual gradient adds.
 func (b *TransformerBlock) Backward(grad *tensor.Tensor) *tensor.Tensor {
 	// Second residual: dh = grad + dLN2->MLP path.
-	dh := tensor.Add(grad, b.Norm2.Backward(b.FFN.Backward(grad)))
+	b.dh = tensor.EnsureShape(b.dh, grad.Shape...)
+	tensor.AddInto(b.dh, grad, b.Norm2.Backward(b.FFN.Backward(grad)))
 	// First residual: dx = dh + dLN1->Attn path.
-	return tensor.Add(dh, b.Norm1.Backward(b.Attn.Backward(dh)))
+	b.dx = tensor.EnsureShape(b.dx, grad.Shape...)
+	return tensor.AddInto(b.dx, b.dh, b.Norm1.Backward(b.Attn.Backward(b.dh)))
 }
 
 // Params returns the block's parameters.

@@ -14,6 +14,9 @@ type PosEmbed struct {
 	Table         *Param // [T, E]
 
 	b int
+
+	out  *tensor.Tensor // Forward output scratch
+	iout *tensor.Tensor // Infer output scratch
 }
 
 // NewPosEmbed constructs a learned positional embedding initialized with
@@ -33,7 +36,8 @@ func (p *PosEmbed) Forward(x *tensor.Tensor) *tensor.Tensor {
 		panic(fmt.Sprintf("nn: PosEmbed.Forward want [B,%d,%d], got %v", p.Tokens, p.Embed, x.Shape))
 	}
 	p.b = x.Shape[0]
-	return p.add(x)
+	p.out = tensor.EnsureShape(p.out, x.Shape...)
+	return p.add(p.out, x)
 }
 
 // Infer adds the table without recording the batch extent a pending
@@ -42,11 +46,15 @@ func (p *PosEmbed) Infer(x *tensor.Tensor) *tensor.Tensor {
 	if len(x.Shape) != 3 || x.Shape[1] != p.Tokens || x.Shape[2] != p.Embed {
 		panic(fmt.Sprintf("nn: PosEmbed.Infer want [B,%d,%d], got %v", p.Tokens, p.Embed, x.Shape))
 	}
-	return p.add(x)
+	p.iout = tensor.EnsureShape(p.iout, x.Shape...)
+	return p.add(p.iout, x)
 }
 
-func (p *PosEmbed) add(x *tensor.Tensor) *tensor.Tensor {
-	out := x.Clone()
+// add writes x plus the broadcast table into out.
+//
+// dchag:hotpath — per-step embedding add; out is layer-owned scratch.
+func (p *PosEmbed) add(out, x *tensor.Tensor) *tensor.Tensor {
+	copy(out.Data, x.Data)
 	n := p.Tokens * p.Embed
 	for bi := 0; bi < x.Shape[0]; bi++ {
 		dst := out.Data[bi*n : (bi+1)*n]
@@ -84,6 +92,9 @@ type ChannelEmbed struct {
 	Table      *Param // [localC, E]
 
 	b, t int
+
+	out  *tensor.Tensor // Forward output scratch
+	iout *tensor.Tensor // Infer output scratch
 }
 
 // NewChannelEmbed constructs an embedding over all channels [0, channels).
@@ -120,7 +131,8 @@ func (c *ChannelEmbed) Forward(x *tensor.Tensor) *tensor.Tensor {
 		panic(fmt.Sprintf("nn: ChannelEmbed.Forward want [B,%d,T,%d], got %v", localC, c.Embed, x.Shape))
 	}
 	c.b, c.t = x.Shape[0], x.Shape[2]
-	return c.add(x)
+	c.out = tensor.EnsureShape(c.out, x.Shape...)
+	return c.add(c.out, x)
 }
 
 // Infer adds the channel rows without recording the batch/token extents a
@@ -130,13 +142,17 @@ func (c *ChannelEmbed) Infer(x *tensor.Tensor) *tensor.Tensor {
 	if len(x.Shape) != 4 || x.Shape[1] != localC || x.Shape[3] != c.Embed {
 		panic(fmt.Sprintf("nn: ChannelEmbed.Infer want [B,%d,T,%d], got %v", localC, c.Embed, x.Shape))
 	}
-	return c.add(x)
+	c.iout = tensor.EnsureShape(c.iout, x.Shape...)
+	return c.add(c.iout, x)
 }
 
-func (c *ChannelEmbed) add(x *tensor.Tensor) *tensor.Tensor {
+// add writes x plus the broadcast channel rows into out.
+//
+// dchag:hotpath — per-step embedding add; out is layer-owned scratch.
+func (c *ChannelEmbed) add(out, x *tensor.Tensor) *tensor.Tensor {
 	localC := c.LocalChannels()
 	b, t := x.Shape[0], x.Shape[2]
-	out := x.Clone()
+	copy(out.Data, x.Data)
 	for bi := 0; bi < b; bi++ {
 		for ci := 0; ci < localC; ci++ {
 			row := c.Table.W.Data[ci*c.Embed : (ci+1)*c.Embed]
@@ -179,6 +195,10 @@ type MetaToken struct {
 	Table        *Param // [M, E]
 
 	b, t int
+
+	out  *tensor.Tensor // Forward output scratch
+	iout *tensor.Tensor // Infer output scratch
+	dx   *tensor.Tensor // Backward scratch
 }
 
 // NewMetaToken constructs M learned tokens.
@@ -197,7 +217,8 @@ func (m *MetaToken) Forward(x *tensor.Tensor) *tensor.Tensor {
 		panic(fmt.Sprintf("nn: MetaToken.Forward want [B,T,%d], got %v", m.Embed, x.Shape))
 	}
 	m.b, m.t = x.Shape[0], x.Shape[1]
-	return m.prepend(x)
+	m.out = tensor.EnsureShape(m.out, x.Shape[0], m.Count+x.Shape[1], m.Embed)
+	return m.prepend(m.out, x)
 }
 
 // Infer prepends the tokens without recording the extents a pending
@@ -206,12 +227,15 @@ func (m *MetaToken) Infer(x *tensor.Tensor) *tensor.Tensor {
 	if len(x.Shape) != 3 || x.Shape[2] != m.Embed {
 		panic(fmt.Sprintf("nn: MetaToken.Infer want [B,T,%d], got %v", m.Embed, x.Shape))
 	}
-	return m.prepend(x)
+	m.iout = tensor.EnsureShape(m.iout, x.Shape[0], m.Count+x.Shape[1], m.Embed)
+	return m.prepend(m.iout, x)
 }
 
-func (m *MetaToken) prepend(x *tensor.Tensor) *tensor.Tensor {
+// prepend writes the learned tokens followed by x into out.
+//
+// dchag:hotpath — per-step token prepend; out is layer-owned scratch.
+func (m *MetaToken) prepend(out, x *tensor.Tensor) *tensor.Tensor {
 	b, t := x.Shape[0], x.Shape[1]
-	out := tensor.New(b, m.Count+t, m.Embed)
 	for bi := 0; bi < b; bi++ {
 		copy(out.Data[bi*(m.Count+t)*m.Embed:], m.Table.W.Data)
 		copy(out.Data[(bi*(m.Count+t)+m.Count)*m.Embed:], x.Data[bi*t*m.Embed:(bi+1)*t*m.Embed])
@@ -225,15 +249,15 @@ func (m *MetaToken) Backward(grad *tensor.Tensor) *tensor.Tensor {
 	if len(grad.Shape) != 3 || grad.Shape[1] != m.Count+m.t {
 		panic(fmt.Sprintf("nn: MetaToken.Backward want [B,%d,%d], got %v", m.Count+m.t, m.Embed, grad.Shape))
 	}
-	dx := tensor.New(m.b, m.t, m.Embed)
+	m.dx = tensor.EnsureShape(m.dx, m.b, m.t, m.Embed)
 	for bi := 0; bi < m.b; bi++ {
 		src := grad.Data[bi*(m.Count+m.t)*m.Embed : (bi+1)*(m.Count+m.t)*m.Embed]
 		for i := 0; i < m.Count*m.Embed; i++ {
 			m.Table.Grad.Data[i] += src[i]
 		}
-		copy(dx.Data[bi*m.t*m.Embed:(bi+1)*m.t*m.Embed], src[m.Count*m.Embed:])
+		copy(m.dx.Data[bi*m.t*m.Embed:(bi+1)*m.t*m.Embed], src[m.Count*m.Embed:])
 	}
-	return dx
+	return m.dx
 }
 
 // Params returns the token table.

@@ -8,6 +8,8 @@ import (
 
 // LayerNorm normalizes the last dimension of its input to zero mean and unit
 // variance, then applies a learned affine transform (gamma, beta).
+// Normalization statistics always run in float64, also under an F32
+// inference dtype (the reductions are cheap and precision-critical).
 type LayerNorm struct {
 	Dim   int
 	Eps   float64
@@ -17,6 +19,11 @@ type LayerNorm struct {
 	xhat   *tensor.Tensor // normalized input, cached for backward
 	invStd []float64      // 1/sqrt(var+eps) per row
 	shape  []int
+
+	out  *tensor.Tensor // Forward output scratch
+	iout *tensor.Tensor // Infer output scratch (separate so eval passes
+	// never clobber a pending Backward's upstream activations)
+	dx *tensor.Tensor // Backward scratch
 }
 
 // NewLayerNorm constructs a LayerNorm over the given dimension with
@@ -36,34 +43,11 @@ func (l *LayerNorm) Forward(x *tensor.Tensor) *tensor.Tensor {
 	x2, shape := foldLeading(x)
 	l.shape = shape
 	rows := x2.Shape[0]
-	n := l.Dim
-	l.xhat = tensor.New(rows, n)
-	l.invStd = make([]float64, rows)
-	out := tensor.New(rows, n)
-	for r := 0; r < rows; r++ {
-		row := x2.Data[r*n : (r+1)*n]
-		mean := 0.0
-		for _, v := range row {
-			mean += v
-		}
-		mean /= float64(n)
-		variance := 0.0
-		for _, v := range row {
-			d := v - mean
-			variance += d * d
-		}
-		variance /= float64(n)
-		inv := 1 / math.Sqrt(variance+l.Eps)
-		l.invStd[r] = inv
-		xh := l.xhat.Data[r*n : (r+1)*n]
-		o := out.Data[r*n : (r+1)*n]
-		for i, v := range row {
-			h := (v - mean) * inv
-			xh[i] = h
-			o[i] = h*l.Gamma.W.Data[i] + l.Beta.W.Data[i]
-		}
-	}
-	return out.Reshape(shape...)
+	l.xhat = tensor.EnsureShape(l.xhat, rows, l.Dim)
+	l.invStd = ensureFloats(l.invStd, rows)
+	l.out = tensor.EnsureShape(l.out, rows, l.Dim)
+	l.normalize(l.out, x2, true)
+	return l.out.Reshape(shape...)
 }
 
 // Infer computes Forward's output without caching the normalized input or
@@ -71,9 +55,19 @@ func (l *LayerNorm) Forward(x *tensor.Tensor) *tensor.Tensor {
 func (l *LayerNorm) Infer(x *tensor.Tensor) *tensor.Tensor {
 	mustLastDim("LayerNorm.Infer", x, l.Dim)
 	x2, shape := foldLeading(x)
+	l.iout = tensor.EnsureShape(l.iout, x2.Shape[0], l.Dim)
+	l.normalize(l.iout, x2, false)
+	return l.iout.Reshape(shape...)
+}
+
+// normalize writes the normalized, affine-transformed rows of x2 into out;
+// with cache it also records xhat and invStd for backward.
+//
+// dchag:hotpath — per-token normalization loop, run twice per block per
+// step.
+func (l *LayerNorm) normalize(out, x2 *tensor.Tensor, cache bool) {
 	rows := x2.Shape[0]
 	n := l.Dim
-	out := tensor.New(rows, n)
 	for r := 0; r < rows; r++ {
 		row := x2.Data[r*n : (r+1)*n]
 		mean := 0.0
@@ -89,12 +83,21 @@ func (l *LayerNorm) Infer(x *tensor.Tensor) *tensor.Tensor {
 		variance /= float64(n)
 		inv := 1 / math.Sqrt(variance+l.Eps)
 		o := out.Data[r*n : (r+1)*n]
-		for i, v := range row {
-			h := (v - mean) * inv
-			o[i] = h*l.Gamma.W.Data[i] + l.Beta.W.Data[i]
+		if cache {
+			l.invStd[r] = inv
+			xh := l.xhat.Data[r*n : (r+1)*n]
+			for i, v := range row {
+				h := (v - mean) * inv
+				xh[i] = h
+				o[i] = h*l.Gamma.W.Data[i] + l.Beta.W.Data[i]
+			}
+		} else {
+			for i, v := range row {
+				h := (v - mean) * inv
+				o[i] = h*l.Gamma.W.Data[i] + l.Beta.W.Data[i]
+			}
 		}
 	}
-	return out.Reshape(shape...)
 }
 
 // Backward implements the standard layer-norm gradient:
@@ -108,9 +111,17 @@ func (l *LayerNorm) Backward(grad *tensor.Tensor) *tensor.Tensor {
 		panic("nn: LayerNorm.Backward before Forward")
 	}
 	g2, _ := foldLeading(grad)
+	l.dx = tensor.EnsureShape(l.dx, g2.Shape[0], l.Dim)
+	l.backward(l.dx, g2)
+	return l.dx.Reshape(l.shape...)
+}
+
+// backward accumulates the gamma/beta gradients and writes dx.
+//
+// dchag:hotpath — per-token normalization backward loop.
+func (l *LayerNorm) backward(dx, g2 *tensor.Tensor) {
 	rows := g2.Shape[0]
 	n := l.Dim
-	dx := tensor.New(rows, n)
 	for r := 0; r < rows; r++ {
 		gy := g2.Data[r*n : (r+1)*n]
 		xh := l.xhat.Data[r*n : (r+1)*n]
@@ -133,8 +144,16 @@ func (l *LayerNorm) Backward(grad *tensor.Tensor) *tensor.Tensor {
 			d[i] = inv / float64(n) * (float64(n)*dyg - sum1 - xh[i]*sum2)
 		}
 	}
-	return dx.Reshape(l.shape...)
 }
 
 // Params returns gamma and beta.
 func (l *LayerNorm) Params() []*Param { return []*Param{l.Gamma, l.Beta} }
+
+// ensureFloats returns a float64 slice of length n, reusing s's backing
+// array when it is large enough.
+func ensureFloats(s []float64, n int) []float64 {
+	if cap(s) >= n {
+		return s[:n]
+	}
+	return make([]float64, n)
+}

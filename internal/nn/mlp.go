@@ -18,6 +18,13 @@ func NewMLP(name string, embed, hidden int, seed int64) *MLP {
 	}
 }
 
+// SetInferDType selects the arithmetic of the no-grad Infer path for both
+// linears.
+func (m *MLP) SetInferDType(dt tensor.DType) {
+	m.Fc1.SetInferDType(dt)
+	m.Fc2.SetInferDType(dt)
+}
+
 // Forward applies fc2(gelu(fc1(x))).
 func (m *MLP) Forward(x *tensor.Tensor) *tensor.Tensor {
 	return m.Fc2.Forward(m.Act.Forward(m.Fc1.Forward(x)))

@@ -10,6 +10,15 @@
 // backward pass" claim by construction). Layers are not safe for concurrent
 // use; in the distributed simulation every rank owns its own replica.
 //
+// Buffer ownership: layers return layer-owned scratch from Forward, Infer
+// and Backward (grown once, reused every step — see tensor.EnsureShape), so
+// steady-state training and serving steps are allocation-free. The returned
+// tensor stays valid until the same method on the same layer runs again.
+// Layers are single-stream: Forward then Backward strictly alternate on one
+// goroutine, and Infer may interleave only outside a Forward/Backward pair
+// (between optimizer steps). Recomputation (see Recompute) re-runs Forward
+// deterministically, which rebuilds identical caches and is therefore safe.
+//
 // Determinism: every constructor takes an explicit seed. Layers that own a
 // logically-sharded parameter (attention heads, channel shards) generate the
 // full logical parameter from that seed and slice it, so distributed shards
@@ -132,13 +141,31 @@ type Inferencer interface {
 }
 
 // Infer runs l's inference fast path when it has one, falling back to
-// Forward. The output is bitwise identical either way; only the activation
-// caching differs.
+// Forward. Under the default F64 inference dtype the output is bitwise
+// identical either way; only the activation caching differs. Under
+// SetInferDType(F32) the matrix products run in float32 and the output
+// differs from Forward by the tolerance contract documented in DESIGN.md.
 func Infer(l Layer, x *tensor.Tensor) *tensor.Tensor {
 	if in, ok := l.(Inferencer); ok {
 		return in.Infer(x)
 	}
 	return l.Forward(x)
+}
+
+// DTyper is implemented by layers whose no-grad Infer path has a selectable
+// arithmetic (see tensor.DType). SetInferDType(F32) additionally prepacks
+// weights for the float32 kernels; it must be called again after the
+// weights change.
+type DTyper interface {
+	SetInferDType(tensor.DType)
+}
+
+// SetInferDType applies dt to l when it implements DTyper; layers without a
+// dtype switch (layer norms, activations) are left on float64.
+func SetInferDType(l Layer, dt tensor.DType) {
+	if d, ok := l.(DTyper); ok {
+		d.SetInferDType(dt)
+	}
 }
 
 // ZeroGrads clears the gradients of every parameter in ps.
@@ -179,6 +206,13 @@ func (s *Sequential) Backward(grad *tensor.Tensor) *tensor.Tensor {
 		grad = s.Layers[i].Backward(grad)
 	}
 	return grad
+}
+
+// SetInferDType applies dt to every layer that implements DTyper.
+func (s *Sequential) SetInferDType(dt tensor.DType) {
+	for _, l := range s.Layers {
+		SetInferDType(l, dt)
+	}
 }
 
 // Params returns the concatenated parameters of all layers.

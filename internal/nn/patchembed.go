@@ -27,6 +27,55 @@ type PatchEmbed struct {
 
 	cols []*tensor.Tensor // cached im2col matrices per local channel
 	b    int              // cached batch size
+
+	out  *tensor.Tensor // Forward output scratch
+	iout *tensor.Tensor // Infer output scratch
+	icol *tensor.Tensor // Infer im2col scratch (not cached for backward)
+	y    *tensor.Tensor // per-channel projection scratch
+	dy   *tensor.Tensor // per-channel gathered gradient scratch
+	dcol *tensor.Tensor // per-channel patch-gradient scratch
+	dimg *tensor.Tensor // Backward image-gradient scratch
+
+	inferDType tensor.DType
+	pb32       []*tensor.PackedB32 // per-channel prepacked f32 weights
+	wviews     []*tensor.Tensor    // cached per-channel views of Weight.W
+	gviews     []*tensor.Tensor    // cached per-channel views of Weight.Grad
+}
+
+// weightView returns the [P*P, E] view of local channel c's projection
+// weights, cached so hot paths do not rebuild tensor headers per call. The
+// cache is invalidated when Weight.W's backing array changes (e.g. after a
+// checkpoint load swaps the tensor).
+func (p *PatchEmbed) weightView(c int) *tensor.Tensor {
+	pp := p.Patch * p.Patch
+	stale := len(p.wviews) != p.LocalChannels()
+	if !stale && p.wviews[c] != nil && &p.wviews[c].Data[0] != &p.Weight.W.Data[c*pp*p.Embed] {
+		stale = true
+	}
+	if stale {
+		p.wviews = make([]*tensor.Tensor, p.LocalChannels())
+	}
+	if p.wviews[c] == nil {
+		p.wviews[c] = tensor.FromSlice(p.Weight.W.Data[c*pp*p.Embed:(c+1)*pp*p.Embed], pp, p.Embed)
+	}
+	return p.wviews[c]
+}
+
+// SetInferDType selects the arithmetic of the no-grad Infer path. F32
+// prepacks every channel's projection weights; call again after the weights
+// change.
+func (p *PatchEmbed) SetInferDType(dt tensor.DType) {
+	p.inferDType = dt
+	p.pb32 = nil
+	if dt == tensor.F32 {
+		localC := p.LocalChannels()
+		pp := p.Patch * p.Patch
+		p.pb32 = make([]*tensor.PackedB32, localC)
+		for c := 0; c < localC; c++ {
+			wc := tensor.FromSlice(p.Weight.W.Data[c*pp*p.Embed:(c+1)*pp*p.Embed], pp, p.Embed)
+			p.pb32[c] = tensor.PackB32(wc)
+		}
+	}
 }
 
 // NewPatchEmbed constructs a tokenizer over all channels [0, channels).
@@ -75,12 +124,18 @@ func (p *PatchEmbed) Forward(x *tensor.Tensor) *tensor.Tensor {
 	}
 	b := x.Shape[0]
 	p.b = b
-	p.cols = make([]*tensor.Tensor, localC)
-	out := tensor.New(b, localC, p.Tokens(), p.Embed)
-	for c := 0; c < localC; c++ {
-		p.cols[c] = p.project(x, c, out)
+	if len(p.cols) != localC {
+		p.cols = make([]*tensor.Tensor, localC)
 	}
-	return out
+	p.out = tensor.EnsureShape(p.out, b, localC, p.Tokens(), p.Embed)
+	for c := 0; c < localC; c++ {
+		// The per-channel im2col caches are layer-owned and rebuilt in
+		// place each step.
+		p.cols[c] = tensor.EnsureShape(p.cols[c], b*p.Tokens(), p.Patch*p.Patch)
+		p.im2col(p.cols[c], x, c)
+		p.project(p.cols[c], c, p.out, false)
+	}
+	return p.out
 }
 
 // Infer tokenizes without caching the im2col matrices for backward — the
@@ -90,38 +145,44 @@ func (p *PatchEmbed) Infer(x *tensor.Tensor) *tensor.Tensor {
 	if len(x.Shape) != 4 || x.Shape[1] != localC || x.Shape[2] != p.ImgH || x.Shape[3] != p.ImgW {
 		panic(fmt.Sprintf("nn: PatchEmbed.Infer want [B,%d,%d,%d], got %v", localC, p.ImgH, p.ImgW, x.Shape))
 	}
-	out := tensor.New(x.Shape[0], localC, p.Tokens(), p.Embed)
+	b := x.Shape[0]
+	p.iout = tensor.EnsureShape(p.iout, b, localC, p.Tokens(), p.Embed)
+	p.icol = tensor.EnsureShape(p.icol, b*p.Tokens(), p.Patch*p.Patch)
 	for c := 0; c < localC; c++ {
-		p.project(x, c, out)
+		p.im2col(p.icol, x, c)
+		p.project(p.icol, c, p.iout, true)
 	}
-	return out
+	return p.iout
 }
 
-// project tokenizes local channel c of x into out [B, localC, T, E],
-// returning the channel's im2col matrix for Forward to cache (Infer drops
-// it).
-func (p *PatchEmbed) project(x *tensor.Tensor, c int, out *tensor.Tensor) *tensor.Tensor {
+// project tokenizes local channel c's im2col matrix col into out
+// [B, localC, T, E]. With infer it dispatches on the inference dtype.
+//
+// dchag:hotpath — the per-channel projection of the tokenizer; scratch is
+// layer-owned.
+func (p *PatchEmbed) project(col *tensor.Tensor, c int, out *tensor.Tensor, infer bool) {
 	localC := p.LocalChannels()
-	b := x.Shape[0]
 	t := p.Tokens()
-	pp := p.Patch * p.Patch
-	col := p.im2col(x, c) // [B*T, P*P]
-	wc := tensor.FromSlice(p.Weight.W.Data[c*pp*p.Embed:(c+1)*pp*p.Embed], pp, p.Embed)
-	y := tensor.MatMul(col, wc) // [B*T, E]
+	b := out.Shape[0]
+	p.y = tensor.EnsureShape(p.y, b*t, p.Embed)
+	if infer && p.inferDType == tensor.F32 && p.pb32 != nil {
+		tensor.MatMulPackedF32Into(p.y, col, p.pb32[c])
+	} else {
+		tensor.MatMulInto(p.y, col, p.weightView(c))
+	}
 	bias := p.Bias.W.Data[c*p.Embed : (c+1)*p.Embed]
 	for r := 0; r < b*t; r++ {
-		row := y.Data[r*p.Embed : (r+1)*p.Embed]
+		row := p.y.Data[r*p.Embed : (r+1)*p.Embed]
 		for j, bv := range bias {
 			row[j] += bv
 		}
 	}
 	// Scatter rows into [B, c, T, E].
 	for bi := 0; bi < b; bi++ {
-		src := y.Data[bi*t*p.Embed : (bi+1)*t*p.Embed]
+		src := p.y.Data[bi*t*p.Embed : (bi+1)*t*p.Embed]
 		dst := out.Data[((bi*localC+c)*t)*p.Embed : ((bi*localC+c)*t+t)*p.Embed]
 		copy(dst, src)
 	}
-	return col
 }
 
 // Backward consumes dOut of shape [B, localC, T, E], accumulates weight and
@@ -138,44 +199,71 @@ func (p *PatchEmbed) Backward(grad *tensor.Tensor) *tensor.Tensor {
 	}
 	b := p.b
 	pp := p.Patch * p.Patch
-	dimg := tensor.New(b, localC, p.ImgH, p.ImgW)
+	p.dimg = tensor.EnsureShape(p.dimg, b, localC, p.ImgH, p.ImgW)
+	p.dy = tensor.EnsureShape(p.dy, b*t, p.Embed)
+	p.dcol = tensor.EnsureShape(p.dcol, b*t, pp)
 	for c := 0; c < localC; c++ {
-		// Gather dY_c: [B*T, E].
-		dy := tensor.New(b*t, p.Embed)
-		for bi := 0; bi < b; bi++ {
-			src := grad.Data[((bi*localC+c)*t)*p.Embed : ((bi*localC+c)*t+t)*p.Embed]
-			copy(dy.Data[bi*t*p.Embed:(bi+1)*t*p.Embed], src)
-		}
-		// dW_c += col^T @ dY.
-		dw := tensor.TMatMul(p.cols[c], dy)
-		dst := p.Weight.Grad.Data[c*pp*p.Embed : (c+1)*pp*p.Embed]
-		for i, v := range dw.Data {
-			dst[i] += v
-		}
-		// dBias_c += column sums of dY.
-		bg := p.Bias.Grad.Data[c*p.Embed : (c+1)*p.Embed]
-		for r := 0; r < b*t; r++ {
-			row := dy.Data[r*p.Embed : (r+1)*p.Embed]
-			for j, v := range row {
-				bg[j] += v
-			}
-		}
-		// dCol = dY @ W_c^T, then col2im back onto the image gradient.
-		wc := tensor.FromSlice(p.Weight.W.Data[c*pp*p.Embed:(c+1)*pp*p.Embed], pp, p.Embed)
-		dcol := tensor.MatMulT(dy, wc) // [B*T, P*P]
-		p.col2im(dcol, dimg, c)
+		p.backwardChannel(grad, c)
 	}
-	return dimg
+	return p.dimg
 }
 
-// im2col extracts the [B*T, P*P] patch matrix for local channel c.
-func (p *PatchEmbed) im2col(x *tensor.Tensor, c int) *tensor.Tensor {
+// backwardChannel accumulates channel c's weight and bias gradients and
+// scatters its patch gradient into the image-gradient scratch.
+//
+// dchag:hotpath — per-channel tokenizer backward; dW accumulates directly
+// into the sliced gradient with no intermediate product tensor.
+func (p *PatchEmbed) backwardChannel(grad *tensor.Tensor, c int) {
+	localC := p.LocalChannels()
+	t := p.Tokens()
+	b := p.b
+	// Gather dY_c: [B*T, E].
+	for bi := 0; bi < b; bi++ {
+		src := grad.Data[((bi*localC+c)*t)*p.Embed : ((bi*localC+c)*t+t)*p.Embed]
+		copy(p.dy.Data[bi*t*p.Embed:(bi+1)*t*p.Embed], src)
+	}
+	// dW_c += col^T @ dY, accumulated straight into the gradient slice.
+	gview := p.gradView(c)
+	tensor.TMatMulAccInto(gview, p.cols[c], p.dy)
+	// dBias_c += column sums of dY.
+	bg := p.Bias.Grad.Data[c*p.Embed : (c+1)*p.Embed]
+	for r := 0; r < b*t; r++ {
+		row := p.dy.Data[r*p.Embed : (r+1)*p.Embed]
+		for j, v := range row {
+			bg[j] += v
+		}
+	}
+	// dCol = dY @ W_c^T, then col2im back onto the image gradient.
+	tensor.MatMulTInto(p.dcol, p.dy, p.weightView(c)) // [B*T, P*P]
+	p.col2im(p.dcol, p.dimg, c)
+}
+
+// gradView returns the [P*P, E] view of local channel c's weight-gradient
+// slice, cached alongside the weight views.
+func (p *PatchEmbed) gradView(c int) *tensor.Tensor {
+	pp := p.Patch * p.Patch
+	stale := len(p.gviews) != p.LocalChannels()
+	if !stale && p.gviews[c] != nil && &p.gviews[c].Data[0] != &p.Weight.Grad.Data[c*pp*p.Embed] {
+		stale = true
+	}
+	if stale {
+		p.gviews = make([]*tensor.Tensor, p.LocalChannels())
+	}
+	if p.gviews[c] == nil {
+		p.gviews[c] = tensor.FromSlice(p.Weight.Grad.Data[c*pp*p.Embed:(c+1)*pp*p.Embed], pp, p.Embed)
+	}
+	return p.gviews[c]
+}
+
+// im2col extracts the [B*T, P*P] patch matrix for local channel c into col.
+//
+// dchag:hotpath — per-channel patch gather; col is layer-owned scratch.
+func (p *PatchEmbed) im2col(col, x *tensor.Tensor, c int) {
 	b := x.Shape[0]
 	localC := p.LocalChannels()
 	ph, pw := p.ImgH/p.Patch, p.ImgW/p.Patch
 	t := ph * pw
 	pp := p.Patch * p.Patch
-	col := tensor.New(b*t, pp)
 	for bi := 0; bi < b; bi++ {
 		base := (bi*localC + c) * p.ImgH * p.ImgW
 		for py := 0; py < ph; py++ {
@@ -189,7 +277,6 @@ func (p *PatchEmbed) im2col(x *tensor.Tensor, c int) *tensor.Tensor {
 			}
 		}
 	}
-	return col
 }
 
 // col2im scatters a [B*T, P*P] patch-gradient matrix back into the image

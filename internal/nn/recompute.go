@@ -27,8 +27,20 @@ func NewRecompute(inner Layer) *Recompute { return &Recompute{Inner: inner} }
 // them; here the recomputation in Backward overwrites them, which the
 // equivalence test exploits to prove the recomputed path is used).
 func (r *Recompute) Forward(x *tensor.Tensor) *tensor.Tensor {
-	r.input = x.Clone()
+	r.input = tensor.EnsureShape(r.input, x.Shape...)
+	copy(r.input.Data, x.Data)
 	return r.Inner.Forward(x)
+}
+
+// Infer forwards to the inner layer's no-grad fast path; recomputation is a
+// training-only concern.
+func (r *Recompute) Infer(x *tensor.Tensor) *tensor.Tensor {
+	return Infer(r.Inner, x)
+}
+
+// SetInferDType forwards the inference dtype to the inner layer.
+func (r *Recompute) SetInferDType(dt tensor.DType) {
+	SetInferDType(r.Inner, dt)
 }
 
 // Backward re-runs the forward pass on the stored input to rebuild caches,

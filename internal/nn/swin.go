@@ -32,6 +32,23 @@ type SwinBlock struct {
 	FFN          *MLP
 
 	b int
+
+	// Per-pass data-movement scratch. Forward, Infer and Backward each own a
+	// set: the attention sublayer caches views of the partitioned windows for
+	// its backward pass, so Backward's (and Infer's) data movement must not
+	// reuse Forward's buffers.
+	fsc, isc, bsc swinScratch
+	h, out        *tensor.Tensor // residual scratch (forward)
+	ih, iout      *tensor.Tensor // residual scratch (infer)
+	dh, dx        *tensor.Tensor // residual scratch (backward)
+}
+
+// swinScratch holds the shift/partition buffers of one pass direction.
+type swinScratch struct {
+	shifted *tensor.Tensor // cyclically shifted grid
+	part    *tensor.Tensor // windows, [B*numWindows, Window*Window, E]
+	merged  *tensor.Tensor // unpartitioned grid
+	unshift *tensor.Tensor // unshifted grid
 }
 
 // NewSwinBlock constructs a windowed block. The grid must tile exactly into
@@ -53,10 +70,18 @@ func NewSwinBlock(name string, embed, heads, gridH, gridW, window int, shift boo
 // Tokens returns the sequence length the block expects.
 func (s *SwinBlock) Tokens() int { return s.GridH * s.GridW }
 
-// shiftGrid cyclically shifts the token grid by (dy, dx).
-func (s *SwinBlock) shiftGrid(x *tensor.Tensor, dy, dx int) *tensor.Tensor {
+// SetInferDType selects the arithmetic of the no-grad Infer path for the
+// attention and MLP sublayers; the layer norms always run float64.
+func (s *SwinBlock) SetInferDType(dt tensor.DType) {
+	s.Attn.SetInferDType(dt)
+	s.FFN.SetInferDType(dt)
+}
+
+// shiftGrid cyclically shifts the token grid by (dy, dx), writing into out.
+//
+// dchag:hotpath — per-block data movement; out is pass-owned scratch.
+func (s *SwinBlock) shiftGrid(out, x *tensor.Tensor, dy, dx int) *tensor.Tensor {
 	b, e := x.Shape[0], s.Embed
-	out := tensor.New(x.Shape...)
 	for bi := 0; bi < b; bi++ {
 		for y := 0; y < s.GridH; y++ {
 			for xx := 0; xx < s.GridW; xx++ {
@@ -71,11 +96,13 @@ func (s *SwinBlock) shiftGrid(x *tensor.Tensor, dy, dx int) *tensor.Tensor {
 	return out
 }
 
-// partition rearranges [B, T, E] into [B*numWindows, Window*Window, E].
-func (s *SwinBlock) partition(x *tensor.Tensor) *tensor.Tensor {
+// partition rearranges [B, T, E] into [B*numWindows, Window*Window, E],
+// writing into out.
+//
+// dchag:hotpath — per-block data movement; out is pass-owned scratch.
+func (s *SwinBlock) partition(out, x *tensor.Tensor) *tensor.Tensor {
 	b, e := x.Shape[0], s.Embed
 	wh, ww := s.GridH/s.Window, s.GridW/s.Window
-	out := tensor.New(b*wh*ww, s.Window*s.Window, e)
 	for bi := 0; bi < b; bi++ {
 		for wy := 0; wy < wh; wy++ {
 			for wx := 0; wx < ww; wx++ {
@@ -94,11 +121,12 @@ func (s *SwinBlock) partition(x *tensor.Tensor) *tensor.Tensor {
 	return out
 }
 
-// unpartition inverts partition.
-func (s *SwinBlock) unpartition(x *tensor.Tensor, b int) *tensor.Tensor {
+// unpartition inverts partition, writing into out.
+//
+// dchag:hotpath — per-block data movement; out is pass-owned scratch.
+func (s *SwinBlock) unpartition(out, x *tensor.Tensor, b int) *tensor.Tensor {
 	e := s.Embed
 	wh, ww := s.GridH/s.Window, s.GridW/s.Window
-	out := tensor.New(b, s.Tokens(), e)
 	for bi := 0; bi < b; bi++ {
 		for wy := 0; wy < wh; wy++ {
 			for wx := 0; wx < ww; wx++ {
@@ -117,48 +145,61 @@ func (s *SwinBlock) unpartition(x *tensor.Tensor, b int) *tensor.Tensor {
 	return out
 }
 
-// windowAttention applies self-attention within windows (with optional
-// shift) to normed input [B, T, E].
-func (s *SwinBlock) windowAttention(x *tensor.Tensor) *tensor.Tensor {
+// Attention pass directions for windowed.
+const (
+	swinForward = iota
+	swinInfer
+	swinBackward
+)
+
+// windowed runs the shift -> partition -> attention -> unpartition ->
+// unshift data movement in the given direction, using the pass-owned
+// scratch set sc.
+//
+// dchag:hotpath — one call per block per step/micro-batch.
+func (s *SwinBlock) windowed(x *tensor.Tensor, sc *swinScratch, mode int) *tensor.Tensor {
 	b := x.Shape[0]
 	half := s.Window / 2
 	if s.Shift {
-		x = s.shiftGrid(x, half, half)
+		sc.shifted = tensor.EnsureShape(sc.shifted, x.Shape...)
+		x = s.shiftGrid(sc.shifted, x, half, half)
 	}
-	y := s.unpartition(s.Attn.Forward(s.partition(x)), b)
+	wh, ww := s.GridH/s.Window, s.GridW/s.Window
+	sc.part = tensor.EnsureShape(sc.part, b*wh*ww, s.Window*s.Window, s.Embed)
+	s.partition(sc.part, x)
+	var y *tensor.Tensor
+	switch mode {
+	case swinForward:
+		y = s.Attn.Forward(sc.part)
+	case swinInfer:
+		y = s.Attn.Infer(sc.part)
+	default:
+		y = s.Attn.Backward(sc.part)
+	}
+	sc.merged = tensor.EnsureShape(sc.merged, b, s.Tokens(), s.Embed)
+	y = s.unpartition(sc.merged, y, b)
 	if s.Shift {
-		y = s.shiftGrid(y, -half, -half)
+		sc.unshift = tensor.EnsureShape(sc.unshift, y.Shape...)
+		y = s.shiftGrid(sc.unshift, y, -half, -half)
 	}
 	return y
+}
+
+// windowAttention applies self-attention within windows (with optional
+// shift) to normed input [B, T, E].
+func (s *SwinBlock) windowAttention(x *tensor.Tensor) *tensor.Tensor {
+	return s.windowed(x, &s.fsc, swinForward)
 }
 
 // windowAttentionInfer is windowAttention through the attention layer's
 // no-grad fast path.
 func (s *SwinBlock) windowAttentionInfer(x *tensor.Tensor) *tensor.Tensor {
-	b := x.Shape[0]
-	half := s.Window / 2
-	if s.Shift {
-		x = s.shiftGrid(x, half, half)
-	}
-	y := s.unpartition(s.Attn.Infer(s.partition(x)), b)
-	if s.Shift {
-		y = s.shiftGrid(y, -half, -half)
-	}
-	return y
+	return s.windowed(x, &s.isc, swinInfer)
 }
 
 // windowAttentionBackward inverts windowAttention's data movement.
 func (s *SwinBlock) windowAttentionBackward(grad *tensor.Tensor) *tensor.Tensor {
-	b := grad.Shape[0]
-	half := s.Window / 2
-	if s.Shift {
-		grad = s.shiftGrid(grad, half, half)
-	}
-	d := s.unpartition(s.Attn.Backward(s.partition(grad)), b)
-	if s.Shift {
-		d = s.shiftGrid(d, -half, -half)
-	}
-	return d
+	return s.windowed(grad, &s.bsc, swinBackward)
 }
 
 // Forward applies the block to x [B, T, E] with T = GridH*GridW.
@@ -167,8 +208,10 @@ func (s *SwinBlock) Forward(x *tensor.Tensor) *tensor.Tensor {
 		panic(fmt.Sprintf("nn: SwinBlock.Forward want [B,%d,%d], got %v", s.Tokens(), s.Embed, x.Shape))
 	}
 	s.b = x.Shape[0]
-	h := tensor.Add(x, s.windowAttention(s.Norm1.Forward(x)))
-	return tensor.Add(h, s.FFN.Forward(s.Norm2.Forward(h)))
+	s.h = tensor.EnsureShape(s.h, x.Shape...)
+	tensor.AddInto(s.h, x, s.windowAttention(s.Norm1.Forward(x)))
+	s.out = tensor.EnsureShape(s.out, x.Shape...)
+	return tensor.AddInto(s.out, s.h, s.FFN.Forward(s.Norm2.Forward(s.h)))
 }
 
 // Infer applies the block through the sublayers' no-grad fast paths.
@@ -176,14 +219,18 @@ func (s *SwinBlock) Infer(x *tensor.Tensor) *tensor.Tensor {
 	if len(x.Shape) != 3 || x.Shape[1] != s.Tokens() || x.Shape[2] != s.Embed {
 		panic(fmt.Sprintf("nn: SwinBlock.Infer want [B,%d,%d], got %v", s.Tokens(), s.Embed, x.Shape))
 	}
-	h := tensor.Add(x, s.windowAttentionInfer(s.Norm1.Infer(x)))
-	return tensor.Add(h, s.FFN.Infer(s.Norm2.Infer(h)))
+	s.ih = tensor.EnsureShape(s.ih, x.Shape...)
+	tensor.AddInto(s.ih, x, s.windowAttentionInfer(s.Norm1.Infer(x)))
+	s.iout = tensor.EnsureShape(s.iout, x.Shape...)
+	return tensor.AddInto(s.iout, s.ih, s.FFN.Infer(s.Norm2.Infer(s.ih)))
 }
 
 // Backward back-propagates through both residual branches.
 func (s *SwinBlock) Backward(grad *tensor.Tensor) *tensor.Tensor {
-	dh := tensor.Add(grad, s.Norm2.Backward(s.FFN.Backward(grad)))
-	return tensor.Add(dh, s.Norm1.Backward(s.windowAttentionBackward(dh)))
+	s.dh = tensor.EnsureShape(s.dh, grad.Shape...)
+	tensor.AddInto(s.dh, grad, s.Norm2.Backward(s.FFN.Backward(grad)))
+	s.dx = tensor.EnsureShape(s.dx, grad.Shape...)
+	return tensor.AddInto(s.dx, s.dh, s.Norm1.Backward(s.windowAttentionBackward(s.dh)))
 }
 
 // Params returns the block's parameters.

@@ -9,12 +9,12 @@ import (
 func TestSwinShiftGridRoundTrip(t *testing.T) {
 	s := NewSwinBlock("sw", 4, 2, 4, 6, 2, false, 1)
 	x := tensor.Randn(tensor.NewRNG(1), 2, 24, 4)
-	back := s.shiftGrid(s.shiftGrid(x, 1, 2), -1, -2)
+	back := s.shiftGrid(tensor.New(x.Shape...), s.shiftGrid(tensor.New(x.Shape...), x, 1, 2), -1, -2)
 	if tensor.MaxAbsDiff(back, x) != 0 {
 		t.Fatal("shift then unshift must be the identity")
 	}
 	// Full wrap is also the identity.
-	if tensor.MaxAbsDiff(s.shiftGrid(x, 4, 6), x) != 0 {
+	if tensor.MaxAbsDiff(s.shiftGrid(tensor.New(x.Shape...), x, 4, 6), x) != 0 {
 		t.Fatal("shifting by the grid size must be the identity")
 	}
 }
@@ -22,7 +22,8 @@ func TestSwinShiftGridRoundTrip(t *testing.T) {
 func TestSwinPartitionRoundTrip(t *testing.T) {
 	s := NewSwinBlock("sw", 4, 2, 4, 4, 2, false, 2)
 	x := tensor.Randn(tensor.NewRNG(2), 3, 16, 4)
-	back := s.unpartition(s.partition(x), 3)
+	part := s.partition(tensor.New(3*4, 4, 4), x)
+	back := s.unpartition(tensor.New(x.Shape...), part, 3)
 	if tensor.MaxAbsDiff(back, x) != 0 {
 		t.Fatal("partition/unpartition must round trip")
 	}
@@ -35,7 +36,7 @@ func TestSwinPartitionGroupsWindows(t *testing.T) {
 	for i := range x.Data {
 		x.Data[i] = float64(i)
 	}
-	p := s.partition(x)
+	p := s.partition(tensor.New(16, 4, 1), x)
 	want := []float64{0, 1, 4, 5} // first window's tokens
 	for i, w := range want {
 		if p.At(0, i, 0) != w {

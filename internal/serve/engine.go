@@ -94,6 +94,7 @@ func Start(cfg Config, src Source) (*Engine, error) {
 				break
 			}
 			e.failJobs(bj.jobs)
+			tensor.DefaultPool.PutTensor(bj.x)
 		}
 		e.runErr = err
 		close(e.dead)
@@ -333,14 +334,16 @@ func (e *Engine) collect(first *job) []*job {
 
 // assemble builds the [B, C, H, W] batch tensor: every input regridded to
 // the model grid and scattered onto its channel rows (partial channel sets
-// leave the others zero — the normalized-data mean).
+// leave the others zero — the normalized-data mean). The tensor comes from
+// the process-wide pool and is returned to it by complete (or by the
+// shutdown drain), so steady-state batch assembly allocates nothing.
 //
 // dchag:hotpath — the serve dispatch loop runs this once per micro-batch.
 func (e *Engine) assemble(jobs []*job) *batchJob {
 	a := e.arch
 	hw := a.ImgH * a.ImgW
-	//lint:ignore hotalloc per-batch buffer; pooling it is part of ROADMAP item 1's reuse pass
-	x := tensor.New(len(jobs), a.Channels, a.ImgH, a.ImgW)
+	x := tensor.DefaultPool.GetTensor(len(jobs), a.Channels, a.ImgH, a.ImgW)
+	x.Zero() // pooled buffers come back dirty; unlisted channels must read 0
 	for i, j := range jobs {
 		in := j.req.Input
 		if in.Shape[1] != a.ImgH || in.Shape[2] != a.ImgW {
@@ -420,6 +423,11 @@ func (e *Engine) worker(rank int, m *dist.Mesh, ready chan<- error) (err error) 
 	if err != nil {
 		return err
 	}
+	if e.cfg.DType != tensor.F64 {
+		// Serving weights are frozen after restore, so the one-time f32
+		// panel prepack stays valid for the engine's lifetime.
+		mdl.SetInferDType(e.cfg.DType)
+	}
 
 	if tpc.Size() == 1 {
 		// Single-rank replica: no group coordination needed.
@@ -445,6 +453,7 @@ func (e *Engine) worker(rank int, m *dist.Mesh, ready chan<- error) (err error) 
 	lead := m.Spec.CoordOf(rank).TP == 0
 	stop := tensor.FromSlice([]float64{0}, 1)
 	cont := tensor.FromSlice([]float64{1}, 1)
+	var shard *tensor.Tensor // per-worker channel-slice scratch
 	for {
 		var bj *batchJob
 		var ctrl *tensor.Tensor
@@ -477,7 +486,12 @@ func (e *Engine) worker(rank int, m *dist.Mesh, ready chan<- error) (err error) 
 			x = bj.x
 		}
 		x = tpc.Broadcast(x, 0)
-		pred := mdl.Infer(tensor.SliceAxis(x, 1, lo, hi), nil)
+		in := x
+		if lo != 0 || hi != e.arch.Channels {
+			shard = tensor.EnsureShape(shard, x.Shape[0], hi-lo, x.Shape[2], x.Shape[3])
+			in = tensor.SliceAxisInto(shard, x, 1, lo, hi)
+		}
+		pred := mdl.Infer(in, nil)
 		if lead {
 			e.complete(bj, pred)
 			inflight = nil
@@ -490,6 +504,8 @@ func (e *Engine) worker(rank int, m *dist.Mesh, ready chan<- error) (err error) 
 func (e *Engine) complete(bj *batchJob, pred *tensor.Tensor) {
 	a := e.arch
 	imgs := model.Unpatchify(pred, a.Channels, a.ImgH, a.ImgW, a.Patch)
+	tensor.DefaultPool.PutTensor(bj.x) // the batch tensor is consumed
+	bj.x = nil
 	now := time.Now()
 	b := len(bj.jobs)
 	e.metrics.noteBatch(b)

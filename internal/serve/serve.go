@@ -98,6 +98,12 @@ type Config struct {
 	// QueueDepth bounds the request queue (admission control); Submit
 	// returns ErrQueueFull beyond it. 0 defaults to 4*MaxBatch*Replicas.
 	QueueDepth int
+	// DType selects the arithmetic of the replicas' no-grad forward. The
+	// zero value (tensor.F64) serves bitwise training-equivalent outputs;
+	// tensor.F32 runs the matrix products in float32 over prepacked weight
+	// panels — faster, with outputs within the tolerance contract documented
+	// in DESIGN.md ("Compute substrate").
+	DType tensor.DType
 }
 
 // withDefaults normalizes zero fields.

@@ -1,0 +1,185 @@
+package tensor
+
+import "fmt"
+
+// DType selects the arithmetic used by the no-grad inference fast path.
+// Tensors always STORE float64 (the package contract that distributed
+// results stay bitwise comparable to the serial reference at 1e-9); F32
+// selects float32 COMPUTE inside the matrix-product kernels, with the
+// f64->f32 conversion fused into panel packing and the f32->f64 conversion
+// fused into the tile accumulate. The tolerance contract for F32 serving
+// outputs is documented in DESIGN.md ("Compute substrate").
+type DType int
+
+const (
+	// F64 is full float64 arithmetic — training and the default for serving.
+	F64 DType = iota
+	// F32 is the float32-compute inference path.
+	F32
+)
+
+// String returns the conventional dtype name.
+func (d DType) String() string {
+	if d == F32 {
+		return "f32"
+	}
+	return "f64"
+}
+
+// PackedB32 holds a weight matrix prepacked into the f32 kernel's B panels.
+// Packing the K x N operand once at SetInferDType time hoists both the
+// f64->f32 conversion and the panel shuffle out of the per-request hot loop.
+type PackedB32 struct {
+	K, N     int
+	panels   []float32
+	blockOff []int // panel offset of each kc-deep block
+}
+
+// PackB32 packs a rank-2 [K,N] tensor for use as the B operand of
+// MatMulPackedF32Into. The returned pack is immutable and safe for
+// concurrent use; it snapshots b, so repack after mutating the weights.
+func PackB32(b *Tensor) *PackedB32 {
+	if len(b.Shape) != 2 {
+		panic(fmt.Sprintf("tensor: PackB32 requires rank 2, got %v", b.Shape))
+	}
+	k, n := b.Shape[0], b.Shape[1]
+	nPanels := (n + gemmNR32 - 1) / gemmNR32
+	pb := &PackedB32{K: k, N: n}
+	for p0 := 0; p0 < k; p0 += gemmKC {
+		pb.blockOff = append(pb.blockOff, len(pb.panels))
+		kb := min(gemmKC, k-p0)
+		block := make([]float32, nPanels*kb*gemmNR32)
+		packBF32(block, b.Data, n, p0, 0, kb, n, false)
+		pb.panels = append(pb.panels, block...)
+	}
+	if k == 0 {
+		pb.blockOff = []int{0}
+	}
+	return pb
+}
+
+// MatMulPackedF32Into computes dst = a@b in float32 arithmetic against a
+// prepacked B (see PackB32): a is [M,K] float64, dst is [M,N] float64. It
+// returns dst.
+//
+// dchag:hotpath — the f32 serving fast path; with a non-nil dst it performs
+// no heap allocation.
+func MatMulPackedF32Into(dst, a *Tensor, pb *PackedB32) *Tensor {
+	if len(a.Shape) != 2 {
+		panic(fmt.Sprintf("tensor: MatMulPackedF32Into requires rank-2 a, got %v", a.Shape))
+	}
+	m, k := a.Shape[0], a.Shape[1]
+	if k != pb.K {
+		panic(fmt.Sprintf("tensor: MatMulPackedF32Into inner dimension mismatch %v x [%d,%d]", a.Shape, pb.K, pb.N))
+	}
+	n := pb.N
+	dst = ensureDst("MatMulPackedF32Into", dst, m, n)
+	mustNotAlias("MatMulPackedF32Into", dst, a)
+	if k == 0 {
+		dst.Zero()
+		return dst
+	}
+	if serialDispatch(m, m*k*n) {
+		gemmRowsF32(dst.Data, a.Data, nil, pb, 0, m, k, n, k, n, false, false, false)
+		return dst
+	}
+	parallelOverRows(m, m*k*n, func(lo, hi int) {
+		gemmRowsF32(dst.Data, a.Data, nil, pb, lo, hi, k, n, k, n, false, false, false)
+	})
+	return dst
+}
+
+// MatMulF32Into computes dst = a@b in float32 arithmetic with float64
+// operands and destination, packing b on the fly: a is [M,K], b is [K,N],
+// dst is [M,N]. It returns dst.
+//
+// dchag:hotpath — with a non-nil dst it performs no heap allocation.
+func MatMulF32Into(dst, a, b *Tensor) *Tensor {
+	if len(a.Shape) != 2 || len(b.Shape) != 2 {
+		panic(fmt.Sprintf("tensor: MatMulF32Into requires rank-2 operands, got %v x %v", a.Shape, b.Shape))
+	}
+	m, k := a.Shape[0], a.Shape[1]
+	k2, n := b.Shape[0], b.Shape[1]
+	if k != k2 {
+		panic(fmt.Sprintf("tensor: MatMulF32Into inner dimension mismatch %v x %v", a.Shape, b.Shape))
+	}
+	dst = ensureDst("MatMulF32Into", dst, m, n)
+	mustNotAlias("MatMulF32Into", dst, a, b)
+	if k == 0 {
+		dst.Zero()
+		return dst
+	}
+	if serialDispatch(m, m*k*n) {
+		gemmRowsF32(dst.Data, a.Data, b.Data, nil, 0, m, k, n, k, n, false, false, false)
+		return dst
+	}
+	parallelOverRows(m, m*k*n, func(lo, hi int) {
+		gemmRowsF32(dst.Data, a.Data, b.Data, nil, lo, hi, k, n, k, n, false, false, false)
+	})
+	return dst
+}
+
+// BatchedMatMulTF32Into is BatchedMatMulTInto in float32 arithmetic — the
+// attention score product Q @ K^T on the f32 inference path. It returns dst.
+//
+// dchag:hotpath — with a non-nil dst it performs no heap allocation.
+func BatchedMatMulTF32Into(dst, a, b *Tensor) *Tensor {
+	batch, lead := batchedShapes("BatchedMatMulTF32", a, b)
+	ra := len(a.Shape)
+	m, k := a.Shape[ra-2], a.Shape[ra-1]
+	n, k2 := b.Shape[ra-2], b.Shape[ra-1]
+	if k != k2 {
+		panic(fmt.Sprintf("tensor: BatchedMatMulTF32 inner mismatch %v x %v^T", a.Shape, b.Shape))
+	}
+	dst = ensureDstBatched("BatchedMatMulTF32Into", dst, lead, m, n)
+	mustNotAlias("BatchedMatMulTF32Into", dst, a, b)
+	if k == 0 {
+		dst.Zero()
+		return dst
+	}
+	if serialDispatch(batch, batch*m*k*n) {
+		for bi := 0; bi < batch; bi++ {
+			gemmRowsF32(dst.Data[bi*m*n:(bi+1)*m*n], a.Data[bi*m*k:(bi+1)*m*k], b.Data[bi*n*k:(bi+1)*n*k], nil, 0, m, k, n, k, k, false, true, false)
+		}
+		return dst
+	}
+	parallelOverRows(batch, batch*m*k*n, func(lo, hi int) {
+		for bi := lo; bi < hi; bi++ {
+			gemmRowsF32(dst.Data[bi*m*n:(bi+1)*m*n], a.Data[bi*m*k:(bi+1)*m*k], b.Data[bi*n*k:(bi+1)*n*k], nil, 0, m, k, n, k, k, false, true, false)
+		}
+	})
+	return dst
+}
+
+// BatchedMatMulF32Into is BatchedMatMulInto in float32 arithmetic — the
+// attention context product scores @ V on the f32 inference path. It returns
+// dst.
+//
+// dchag:hotpath — with a non-nil dst it performs no heap allocation.
+func BatchedMatMulF32Into(dst, a, b *Tensor) *Tensor {
+	batch, lead := batchedShapes("BatchedMatMulF32", a, b)
+	ra := len(a.Shape)
+	m, k := a.Shape[ra-2], a.Shape[ra-1]
+	k2, n := b.Shape[ra-2], b.Shape[ra-1]
+	if k != k2 {
+		panic(fmt.Sprintf("tensor: BatchedMatMulF32 inner mismatch %v x %v", a.Shape, b.Shape))
+	}
+	dst = ensureDstBatched("BatchedMatMulF32Into", dst, lead, m, n)
+	mustNotAlias("BatchedMatMulF32Into", dst, a, b)
+	if k == 0 {
+		dst.Zero()
+		return dst
+	}
+	if serialDispatch(batch, batch*m*k*n) {
+		for bi := 0; bi < batch; bi++ {
+			gemmRowsF32(dst.Data[bi*m*n:(bi+1)*m*n], a.Data[bi*m*k:(bi+1)*m*k], b.Data[bi*k*n:(bi+1)*k*n], nil, 0, m, k, n, k, n, false, false, false)
+		}
+		return dst
+	}
+	parallelOverRows(batch, batch*m*k*n, func(lo, hi int) {
+		for bi := lo; bi < hi; bi++ {
+			gemmRowsF32(dst.Data[bi*m*n:(bi+1)*m*n], a.Data[bi*m*k:(bi+1)*m*k], b.Data[bi*k*n:(bi+1)*k*n], nil, 0, m, k, n, k, n, false, false, false)
+		}
+	})
+	return dst
+}

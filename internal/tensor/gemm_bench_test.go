@@ -1,0 +1,96 @@
+package tensor
+
+import (
+	"fmt"
+	"testing"
+)
+
+// Kernel benchmarks: `go test -bench GEMM ./internal/tensor` is the smoke
+// run wired into the bench CI job; `make bench-compute` writes the committed
+// BENCH_compute.json from the same kernels via internal/experiments.
+
+func benchSizes() []int { return []int{64, 128, 256, 512} }
+
+func BenchmarkGEMM(b *testing.B) {
+	for _, s := range benchSizes() {
+		a := New(s, s)
+		bb := New(s, s)
+		fill(a, 1.0)
+		fill(bb, 2.0)
+		dst := New(s, s)
+		flops := 2 * int64(s) * int64(s) * int64(s)
+		b.Run(fmt.Sprintf("naive/%d", s), func(b *testing.B) {
+			b.SetBytes(flops) // report "MB/s" as 2mnk bytes == FLOP/s*2e-6
+			for i := 0; i < b.N; i++ {
+				MatMulNaiveInto(dst, a, bb)
+			}
+		})
+		b.Run(fmt.Sprintf("blocked-f64/%d", s), func(b *testing.B) {
+			b.SetBytes(flops)
+			for i := 0; i < b.N; i++ {
+				MatMulInto(dst, a, bb)
+			}
+		})
+		b.Run(fmt.Sprintf("blocked-f32/%d", s), func(b *testing.B) {
+			b.SetBytes(flops)
+			for i := 0; i < b.N; i++ {
+				MatMulF32Into(dst, a, bb)
+			}
+		})
+		pb := PackB32(bb)
+		b.Run(fmt.Sprintf("packed-f32/%d", s), func(b *testing.B) {
+			b.SetBytes(flops)
+			for i := 0; i < b.N; i++ {
+				MatMulPackedF32Into(dst, a, pb)
+			}
+		})
+	}
+}
+
+func BenchmarkGEMMTransposed(b *testing.B) {
+	const s = 256
+	a := New(s, s)
+	bb := New(s, s)
+	fill(a, 1.0)
+	fill(bb, 2.0)
+	dst := New(s, s)
+	flops := 2 * int64(s) * int64(s) * int64(s)
+	b.Run("MatMulTInto", func(b *testing.B) {
+		b.SetBytes(flops)
+		for i := 0; i < b.N; i++ {
+			MatMulTInto(dst, a, bb)
+		}
+	})
+	b.Run("TMatMulInto", func(b *testing.B) {
+		b.SetBytes(flops)
+		for i := 0; i < b.N; i++ {
+			TMatMulInto(dst, a, bb)
+		}
+	})
+	b.Run("TMatMulAccInto", func(b *testing.B) {
+		b.SetBytes(flops)
+		for i := 0; i < b.N; i++ {
+			TMatMulAccInto(dst, a, bb)
+		}
+	})
+}
+
+func BenchmarkAttentionShapedBatched(b *testing.B) {
+	// [B,H,T,D] shapes from the serving model.
+	const B, H, T, D = 4, 4, 64, 32
+	q := New(B, H, T, D)
+	k := New(B, H, T, D)
+	fill(q, 1.0)
+	fill(k, 2.0)
+	scores := New(B, H, T, T)
+	b.Run("BatchedMatMulTInto", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			BatchedMatMulTInto(scores, q, k)
+		}
+	})
+	b.Run("BatchedMatMulTF32Into", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			BatchedMatMulTF32Into(scores, q, k)
+		}
+	})
+}

@@ -5,63 +5,100 @@ import (
 	"math"
 )
 
-// Add returns a + b elementwise. Shapes must match.
-func Add(a, b *Tensor) *Tensor {
+// Elementwise and reduction ops in destination-passing form. Every
+// XInto(dst, ...) accepts dst == nil (allocate) or a tensor of the result
+// shape (reuse; prior contents overwritten). Unlike the matrix products,
+// elementwise Into kernels MAY alias dst with an operand — they process
+// strictly element by element — so AddInto(a, a, b) is a valid in-place add.
+// The allocating forms remain as thin wrappers.
+
+// AddInto computes dst = a + b elementwise and returns dst.
+//
+// dchag:hotpath — residual adds run per block per step; with a non-nil dst
+// it performs no heap allocation.
+func AddInto(dst, a, b *Tensor) *Tensor {
 	mustSameShape("Add", a, b)
-	out := New(a.Shape...)
+	dst = ensureDst("AddInto", dst, a.Shape...)
 	for i := range a.Data {
-		out.Data[i] = a.Data[i] + b.Data[i]
+		dst.Data[i] = a.Data[i] + b.Data[i]
 	}
-	return out
+	return dst
 }
 
-// Sub returns a - b elementwise. Shapes must match.
-func Sub(a, b *Tensor) *Tensor {
+// Add returns a + b elementwise; the allocating wrapper over AddInto.
+func Add(a, b *Tensor) *Tensor { return AddInto(nil, a, b) }
+
+// SubInto computes dst = a - b elementwise and returns dst.
+//
+// dchag:hotpath — with a non-nil dst it performs no heap allocation.
+func SubInto(dst, a, b *Tensor) *Tensor {
 	mustSameShape("Sub", a, b)
-	out := New(a.Shape...)
+	dst = ensureDst("SubInto", dst, a.Shape...)
 	for i := range a.Data {
-		out.Data[i] = a.Data[i] - b.Data[i]
+		dst.Data[i] = a.Data[i] - b.Data[i]
 	}
-	return out
+	return dst
 }
 
-// Mul returns the elementwise (Hadamard) product a * b. Shapes must match.
-func Mul(a, b *Tensor) *Tensor {
+// Sub returns a - b elementwise; the allocating wrapper over SubInto.
+func Sub(a, b *Tensor) *Tensor { return SubInto(nil, a, b) }
+
+// MulInto computes the elementwise (Hadamard) product dst = a * b and
+// returns dst.
+//
+// dchag:hotpath — with a non-nil dst it performs no heap allocation.
+func MulInto(dst, a, b *Tensor) *Tensor {
 	mustSameShape("Mul", a, b)
-	out := New(a.Shape...)
+	dst = ensureDst("MulInto", dst, a.Shape...)
 	for i := range a.Data {
-		out.Data[i] = a.Data[i] * b.Data[i]
+		dst.Data[i] = a.Data[i] * b.Data[i]
 	}
-	return out
+	return dst
 }
 
-// Div returns a / b elementwise. Shapes must match.
-func Div(a, b *Tensor) *Tensor {
+// Mul returns the elementwise product a * b; the allocating wrapper over
+// MulInto.
+func Mul(a, b *Tensor) *Tensor { return MulInto(nil, a, b) }
+
+// DivInto computes dst = a / b elementwise and returns dst.
+func DivInto(dst, a, b *Tensor) *Tensor {
 	mustSameShape("Div", a, b)
-	out := New(a.Shape...)
+	dst = ensureDst("DivInto", dst, a.Shape...)
 	for i := range a.Data {
-		out.Data[i] = a.Data[i] / b.Data[i]
+		dst.Data[i] = a.Data[i] / b.Data[i]
 	}
-	return out
+	return dst
 }
 
-// Scale returns a * s for scalar s.
-func Scale(a *Tensor, s float64) *Tensor {
-	out := New(a.Shape...)
+// Div returns a / b elementwise; the allocating wrapper over DivInto.
+func Div(a, b *Tensor) *Tensor { return DivInto(nil, a, b) }
+
+// ScaleInto computes dst = a * s for scalar s and returns dst.
+//
+// dchag:hotpath — with a non-nil dst it performs no heap allocation.
+func ScaleInto(dst, a *Tensor, s float64) *Tensor {
+	dst = ensureDst("ScaleInto", dst, a.Shape...)
 	for i := range a.Data {
-		out.Data[i] = a.Data[i] * s
+		dst.Data[i] = a.Data[i] * s
 	}
-	return out
+	return dst
 }
 
-// AddScalar returns a + s for scalar s.
-func AddScalar(a *Tensor, s float64) *Tensor {
-	out := New(a.Shape...)
+// Scale returns a * s for scalar s; the allocating wrapper over ScaleInto.
+func Scale(a *Tensor, s float64) *Tensor { return ScaleInto(nil, a, s) }
+
+// AddScalarInto computes dst = a + s for scalar s and returns dst.
+func AddScalarInto(dst, a *Tensor, s float64) *Tensor {
+	dst = ensureDst("AddScalarInto", dst, a.Shape...)
 	for i := range a.Data {
-		out.Data[i] = a.Data[i] + s
+		dst.Data[i] = a.Data[i] + s
 	}
-	return out
+	return dst
 }
+
+// AddScalar returns a + s for scalar s; the allocating wrapper over
+// AddScalarInto.
+func AddScalar(a *Tensor, s float64) *Tensor { return AddScalarInto(nil, a, s) }
 
 // AddInPlace accumulates b into a (a += b). Shapes must match.
 //
@@ -94,14 +131,21 @@ func AXPY(alpha float64, b, a *Tensor) {
 	}
 }
 
-// Apply returns a new tensor with f applied to every element.
-func Apply(a *Tensor, f func(float64) float64) *Tensor {
-	out := New(a.Shape...)
+// ApplyInto computes dst[i] = f(a[i]) for every element and returns dst.
+//
+// dchag:hotpath — activations run this per layer per step; with a non-nil
+// dst it performs no heap allocation (f itself must not allocate).
+func ApplyInto(dst, a *Tensor, f func(float64) float64) *Tensor {
+	dst = ensureDst("ApplyInto", dst, a.Shape...)
 	for i := range a.Data {
-		out.Data[i] = f(a.Data[i])
+		dst.Data[i] = f(a.Data[i])
 	}
-	return out
+	return dst
 }
+
+// Apply returns a new tensor with f applied to every element; the allocating
+// wrapper over ApplyInto.
+func Apply(a *Tensor, f func(float64) float64) *Tensor { return ApplyInto(nil, a, f) }
 
 // Sum returns the sum of all elements.
 func (t *Tensor) Sum() float64 {
@@ -158,15 +202,33 @@ func (t *Tensor) Norm2() float64 {
 	return math.Sqrt(s)
 }
 
-// SumAxis reduces over one axis, returning a tensor whose rank is one less.
-// axis may be negative (counted from the end).
-func SumAxis(t *Tensor, axis int) *Tensor {
+// sumAxisShape computes the result shape of a one-axis reduction.
+func sumAxisShape(op string, t *Tensor, axis int) (int, []int) {
 	if axis < 0 {
 		axis += len(t.Shape)
 	}
 	if axis < 0 || axis >= len(t.Shape) {
-		panic(fmt.Sprintf("tensor: SumAxis axis out of range for shape %v", t.Shape))
+		panic(fmt.Sprintf("tensor: %s axis out of range for shape %v", op, t.Shape))
 	}
+	outShape := make([]int, 0, len(t.Shape)-1)
+	outShape = append(outShape, t.Shape[:axis]...)
+	outShape = append(outShape, t.Shape[axis+1:]...)
+	if len(outShape) == 0 {
+		outShape = []int{1}
+	}
+	return axis, outShape
+}
+
+// SumAxisInto reduces over one axis (negative axes count from the end) into
+// dst, whose rank is one less, and returns dst. dst must not alias t.
+//
+// dchag:hotpath — with a non-nil dst it allocates only the result-shape
+// header on first use.
+func SumAxisInto(dst, t *Tensor, axis int) *Tensor {
+	axis, outShape := sumAxisShape("SumAxis", t, axis)
+	dst = ensureDst("SumAxisInto", dst, outShape...)
+	mustNotAlias("SumAxisInto", dst, t)
+	dst.Zero()
 	outer := 1
 	for _, d := range t.Shape[:axis] {
 		outer *= d
@@ -176,44 +238,51 @@ func SumAxis(t *Tensor, axis int) *Tensor {
 	for _, d := range t.Shape[axis+1:] {
 		inner *= d
 	}
-	outShape := make([]int, 0, len(t.Shape)-1)
-	outShape = append(outShape, t.Shape[:axis]...)
-	outShape = append(outShape, t.Shape[axis+1:]...)
-	if len(outShape) == 0 {
-		outShape = []int{1}
-	}
-	out := New(outShape...)
 	for o := 0; o < outer; o++ {
 		for k := 0; k < n; k++ {
 			src := (o*n + k) * inner
-			dst := o * inner
+			d := o * inner
 			for i := 0; i < inner; i++ {
-				out.Data[dst+i] += t.Data[src+i]
+				dst.Data[d+i] += t.Data[src+i]
 			}
 		}
 	}
-	return out
+	return dst
 }
 
-// MeanAxis reduces over one axis by averaging.
-func MeanAxis(t *Tensor, axis int) *Tensor {
+// SumAxis reduces over one axis, returning a tensor whose rank is one less;
+// the allocating wrapper over SumAxisInto.
+func SumAxis(t *Tensor, axis int) *Tensor { return SumAxisInto(nil, t, axis) }
+
+// MeanAxisInto reduces over one axis by averaging into dst and returns dst.
+//
+// dchag:hotpath — with a non-nil dst it performs no heap allocation.
+func MeanAxisInto(dst, t *Tensor, axis int) *Tensor {
 	if axis < 0 {
 		axis += len(t.Shape)
 	}
-	out := SumAxis(t, axis)
-	ScaleInPlace(out, 1/float64(t.Shape[axis]))
-	return out
+	dst = SumAxisInto(dst, t, axis)
+	ScaleInPlace(dst, 1/float64(t.Shape[axis]))
+	return dst
 }
 
-// SoftmaxLastDim returns softmax applied along the final dimension, computed
-// with the usual max-subtraction for numerical stability.
-func SoftmaxLastDim(t *Tensor) *Tensor {
+// MeanAxis reduces over one axis by averaging; the allocating wrapper over
+// MeanAxisInto.
+func MeanAxis(t *Tensor, axis int) *Tensor { return MeanAxisInto(nil, t, axis) }
+
+// SoftmaxLastDimInto computes softmax along the final dimension into dst
+// (with the usual max-subtraction for numerical stability) and returns dst.
+// dst may alias t for an in-place softmax.
+//
+// dchag:hotpath — attention runs this per head per step; with a non-nil dst
+// it performs no heap allocation.
+func SoftmaxLastDimInto(dst, t *Tensor) *Tensor {
+	dst = ensureDst("SoftmaxLastDimInto", dst, t.Shape...)
 	n := t.Shape[len(t.Shape)-1]
 	rows := t.Numel() / n
-	out := New(t.Shape...)
 	for r := 0; r < rows; r++ {
 		row := t.Data[r*n : (r+1)*n]
-		dst := out.Data[r*n : (r+1)*n]
+		d := dst.Data[r*n : (r+1)*n]
 		m := row[0]
 		for _, v := range row[1:] {
 			if v > m {
@@ -223,43 +292,55 @@ func SoftmaxLastDim(t *Tensor) *Tensor {
 		s := 0.0
 		for i, v := range row {
 			e := math.Exp(v - m)
-			dst[i] = e
+			d[i] = e
 			s += e
 		}
 		inv := 1 / s
-		for i := range dst {
-			dst[i] *= inv
+		for i := range d {
+			d[i] *= inv
 		}
 	}
-	return out
+	return dst
 }
 
-// SoftmaxBackwardLastDim computes the gradient of a softmax (applied along
-// the last dimension) given the softmax output y and upstream gradient gy:
-// dx_i = y_i * (gy_i - sum_j gy_j y_j).
-func SoftmaxBackwardLastDim(y, gy *Tensor) *Tensor {
+// SoftmaxLastDim returns softmax applied along the final dimension; the
+// allocating wrapper over SoftmaxLastDimInto.
+func SoftmaxLastDim(t *Tensor) *Tensor { return SoftmaxLastDimInto(nil, t) }
+
+// SoftmaxBackwardLastDimInto computes the gradient of a softmax (applied
+// along the last dimension) given the softmax output y and upstream gradient
+// gy: dx_i = y_i * (gy_i - sum_j gy_j y_j). dst may alias y or gy. It
+// returns dst.
+//
+// dchag:hotpath — with a non-nil dst it performs no heap allocation.
+func SoftmaxBackwardLastDimInto(dst, y, gy *Tensor) *Tensor {
 	mustSameShape("SoftmaxBackwardLastDim", y, gy)
+	dst = ensureDst("SoftmaxBackwardLastDimInto", dst, y.Shape...)
 	n := y.Shape[len(y.Shape)-1]
 	rows := y.Numel() / n
-	out := New(y.Shape...)
 	for r := 0; r < rows; r++ {
 		yr := y.Data[r*n : (r+1)*n]
 		gr := gy.Data[r*n : (r+1)*n]
-		dst := out.Data[r*n : (r+1)*n]
+		d := dst.Data[r*n : (r+1)*n]
 		dot := 0.0
 		for i := range yr {
 			dot += yr[i] * gr[i]
 		}
 		for i := range yr {
-			dst[i] = yr[i] * (gr[i] - dot)
+			d[i] = yr[i] * (gr[i] - dot)
 		}
 	}
-	return out
+	return dst
 }
 
-// Concat joins tensors along the given axis. All inputs must agree on every
-// other dimension.
-func Concat(axis int, ts ...*Tensor) *Tensor {
+// SoftmaxBackwardLastDim computes the softmax gradient; the allocating
+// wrapper over SoftmaxBackwardLastDimInto.
+func SoftmaxBackwardLastDim(y, gy *Tensor) *Tensor {
+	return SoftmaxBackwardLastDimInto(nil, y, gy)
+}
+
+// concatShape validates Concat operands and returns (axis, result shape).
+func concatShape(axis int, ts []*Tensor) (int, []int) {
 	if len(ts) == 0 {
 		panic("tensor: Concat of zero tensors")
 	}
@@ -284,8 +365,20 @@ func Concat(axis int, ts ...*Tensor) *Tensor {
 	}
 	outShape := append([]int(nil), first.Shape...)
 	outShape[axis] = total
-	out := New(outShape...)
+	return axis, outShape
+}
 
+// ConcatInto joins tensors along the given axis into dst and returns dst.
+// All inputs must agree on every other dimension; dst must not alias any
+// input. Reshard and micro-batch assembly paths pass pooled destinations so
+// steady-state assembly stops allocating.
+//
+// dchag:hotpath — with a non-nil dst it allocates only the shape header.
+func ConcatInto(dst *Tensor, axis int, ts ...*Tensor) *Tensor {
+	axis, outShape := concatShape(axis, ts)
+	dst = ensureDst("ConcatInto", dst, outShape...)
+	mustNotAlias("ConcatInto", dst, ts...)
+	first := ts[0]
 	outer := 1
 	for _, d := range first.Shape[:axis] {
 		outer *= d
@@ -294,17 +387,21 @@ func Concat(axis int, ts ...*Tensor) *Tensor {
 	for _, d := range first.Shape[axis+1:] {
 		inner *= d
 	}
-	outRow := total * inner
+	outRow := outShape[axis] * inner
 	off := 0
 	for _, t := range ts {
 		rows := t.Shape[axis] * inner
 		for o := 0; o < outer; o++ {
-			copy(out.Data[o*outRow+off:o*outRow+off+rows], t.Data[o*rows:(o+1)*rows])
+			copy(dst.Data[o*outRow+off:o*outRow+off+rows], t.Data[o*rows:(o+1)*rows])
 		}
 		off += rows
 	}
-	return out
+	return dst
 }
+
+// Concat joins tensors along the given axis; the allocating wrapper over
+// ConcatInto.
+func Concat(axis int, ts ...*Tensor) *Tensor { return ConcatInto(nil, axis, ts...) }
 
 // Split partitions t into parts of the given sizes along axis. The sizes
 // must sum to the axis extent. Each part is a fresh copy.
@@ -325,27 +422,11 @@ func Split(t *Tensor, axis int, sizes []int) []*Tensor {
 	if sum != t.Shape[axis] {
 		panic(fmt.Sprintf("tensor: Split sizes %v do not sum to axis extent %d", sizes, t.Shape[axis]))
 	}
-	outer := 1
-	for _, d := range t.Shape[:axis] {
-		outer *= d
-	}
-	inner := 1
-	for _, d := range t.Shape[axis+1:] {
-		inner *= d
-	}
-	srcRow := t.Shape[axis] * inner
 	parts := make([]*Tensor, len(sizes))
 	off := 0
 	for p, s := range sizes {
-		shape := append([]int(nil), t.Shape...)
-		shape[axis] = s
-		part := New(shape...)
-		rows := s * inner
-		for o := 0; o < outer; o++ {
-			copy(part.Data[o*rows:(o+1)*rows], t.Data[o*srcRow+off:o*srcRow+off+rows])
-		}
-		parts[p] = part
-		off += rows
+		parts[p] = SliceAxisInto(nil, t, axis, off, off+s)
+		off += s
 	}
 	return parts
 }
@@ -366,9 +447,12 @@ func SplitEqual(t *Tensor, axis, n int) []*Tensor {
 	return Split(t, axis, sizes)
 }
 
-// Stack joins rank-k tensors of identical shape into one rank-(k+1) tensor
-// along a new leading axis.
-func Stack(ts ...*Tensor) *Tensor {
+// StackInto joins rank-k tensors of identical shape into dst, a rank-(k+1)
+// tensor with a new leading axis, and returns dst. dst must not alias any
+// input.
+//
+// dchag:hotpath — with a non-nil dst it allocates only the shape header.
+func StackInto(dst *Tensor, ts ...*Tensor) *Tensor {
 	if len(ts) == 0 {
 		panic("tensor: Stack of zero tensors")
 	}
@@ -378,17 +462,24 @@ func Stack(ts ...*Tensor) *Tensor {
 		}
 	}
 	shape := append([]int{len(ts)}, ts[0].Shape...)
-	out := New(shape...)
+	dst = ensureDst("StackInto", dst, shape...)
+	mustNotAlias("StackInto", dst, ts...)
 	n := ts[0].Numel()
 	for i, t := range ts {
-		copy(out.Data[i*n:(i+1)*n], t.Data)
+		copy(dst.Data[i*n:(i+1)*n], t.Data)
 	}
-	return out
+	return dst
 }
 
-// SliceAxis returns a copy of the [from, to) range of t along the given
-// axis.
-func SliceAxis(t *Tensor, axis, from, to int) *Tensor {
+// Stack joins rank-k tensors of identical shape into one rank-(k+1) tensor
+// along a new leading axis; the allocating wrapper over StackInto.
+func Stack(ts ...*Tensor) *Tensor { return StackInto(nil, ts...) }
+
+// SliceAxisInto copies the [from, to) range of t along the given axis into
+// dst and returns dst. dst must not alias t.
+//
+// dchag:hotpath — with a non-nil dst it allocates only the shape header.
+func SliceAxisInto(dst, t *Tensor, axis, from, to int) *Tensor {
 	if axis < 0 {
 		axis += len(t.Shape)
 	}
@@ -408,18 +499,27 @@ func SliceAxis(t *Tensor, axis, from, to int) *Tensor {
 	}
 	shape := append([]int(nil), t.Shape...)
 	shape[axis] = to - from
-	out := New(shape...)
+	dst = ensureDst("SliceAxisInto", dst, shape...)
+	mustNotAlias("SliceAxisInto", dst, t)
 	srcRow := t.Shape[axis] * inner
 	rows := (to - from) * inner
 	for o := 0; o < outer; o++ {
-		copy(out.Data[o*rows:(o+1)*rows], t.Data[o*srcRow+from*inner:o*srcRow+from*inner+rows])
+		copy(dst.Data[o*rows:(o+1)*rows], t.Data[o*srcRow+from*inner:o*srcRow+from*inner+rows])
 	}
-	return out
+	return dst
+}
+
+// SliceAxis returns a copy of the [from, to) range of t along the given
+// axis; the allocating wrapper over SliceAxisInto.
+func SliceAxis(t *Tensor, axis, from, to int) *Tensor {
+	return SliceAxisInto(nil, t, axis, from, to)
 }
 
 // SetSliceAxis writes src into the [from, from+src.Shape[axis]) range of dst
 // along the given axis; the inverse of SliceAxis. All other dimensions of src
 // must match dst.
+//
+// dchag:hotpath — scatter into a caller-owned buffer; it must not allocate.
 func SetSliceAxis(dst *Tensor, axis, from int, src *Tensor) {
 	if axis < 0 {
 		axis += len(dst.Shape)

@@ -1,0 +1,47 @@
+//go:build amd64
+
+package tensor
+
+// SIMD micro-kernel bindings for amd64. The blocked driver in gemm.go
+// dispatches to these AVX2+FMA kernels when the CPU supports them (and the
+// OS has enabled YMM state), and to the pure-Go kernels in gemm.go
+// otherwise. Kernel availability is probed once at init via CPUID/XGETBV so
+// no external cpu-feature dependency is needed.
+
+//go:noescape
+func kern4x8F64(k int, a, b, c *float64)
+
+//go:noescape
+func kern4x16F32(k int, a, b, c *float32)
+
+func cpuidRaw(eaxIn, ecxIn uint32) (eax, ebx, ecx, edx uint32)
+
+func xgetbvRaw() (eax, edx uint32)
+
+// simdGEMM reports whether the AVX2+FMA micro-kernels are usable on this
+// machine. Tests may flip it to force the generic path.
+var simdGEMM = detectAVX2FMA()
+
+func detectAVX2FMA() bool {
+	maxID, _, _, _ := cpuidRaw(0, 0)
+	if maxID < 7 {
+		return false
+	}
+	_, _, c1, _ := cpuidRaw(1, 0)
+	const (
+		fmaBit     = 1 << 12
+		osxsaveBit = 1 << 27
+		avxBit     = 1 << 28
+	)
+	if c1&fmaBit == 0 || c1&osxsaveBit == 0 || c1&avxBit == 0 {
+		return false
+	}
+	// XCR0 must have XMM (bit 1) and YMM (bit 2) state enabled by the OS.
+	xcr0, _ := xgetbvRaw()
+	if xcr0&0x6 != 0x6 {
+		return false
+	}
+	_, b7, _, _ := cpuidRaw(7, 0)
+	const avx2Bit = 1 << 5
+	return b7&avx2Bit != 0
+}

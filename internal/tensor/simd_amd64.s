@@ -1,0 +1,119 @@
+#include "textflag.h"
+
+// GEBP micro-kernels for the blocked matmul driver in gemm.go. Each computes
+// one register tile C = A_panel @ B_panel over a full kb-deep strip of packed
+// panels and stores the tile CONTIGUOUSLY to c; the Go driver adds the valid
+// region of the tile into the (strided, possibly edge-clipped) destination.
+//
+// Panel layouts (produced by packA*/packB* in gemm.go):
+//   a: kb groups of mr=4 values, a[p*4+i]  = A[i0+i, p0+p]
+//   b: kb groups of nr   values, b[p*nr+j] = B[p0+p, j0+j]
+
+// func kern4x8F64(k int, a, b, c *float64)
+// c[0:32] = sum_p a[p*4+i] * b[p*8+j], c row-major 4x8.
+TEXT ·kern4x8F64(SB), NOSPLIT, $0-32
+	MOVQ k+0(FP), CX
+	MOVQ a+8(FP), AX
+	MOVQ b+16(FP), BX
+	MOVQ c+24(FP), DX
+	VXORPD Y0, Y0, Y0
+	VXORPD Y1, Y1, Y1
+	VXORPD Y2, Y2, Y2
+	VXORPD Y3, Y3, Y3
+	VXORPD Y4, Y4, Y4
+	VXORPD Y5, Y5, Y5
+	VXORPD Y6, Y6, Y6
+	VXORPD Y7, Y7, Y7
+loop64:
+	VMOVUPD (BX), Y12
+	VMOVUPD 32(BX), Y13
+	VBROADCASTSD (AX), Y14
+	VBROADCASTSD 8(AX), Y15
+	VFMADD231PD Y12, Y14, Y0
+	VFMADD231PD Y13, Y14, Y1
+	VFMADD231PD Y12, Y15, Y2
+	VFMADD231PD Y13, Y15, Y3
+	VBROADCASTSD 16(AX), Y14
+	VBROADCASTSD 24(AX), Y15
+	VFMADD231PD Y12, Y14, Y4
+	VFMADD231PD Y13, Y14, Y5
+	VFMADD231PD Y12, Y15, Y6
+	VFMADD231PD Y13, Y15, Y7
+	ADDQ $32, AX
+	ADDQ $64, BX
+	DECQ CX
+	JNZ  loop64
+	VMOVUPD Y0, (DX)
+	VMOVUPD Y1, 32(DX)
+	VMOVUPD Y2, 64(DX)
+	VMOVUPD Y3, 96(DX)
+	VMOVUPD Y4, 128(DX)
+	VMOVUPD Y5, 160(DX)
+	VMOVUPD Y6, 192(DX)
+	VMOVUPD Y7, 224(DX)
+	VZEROUPPER
+	RET
+
+// func kern4x16F32(k int, a, b, c *float32)
+// c[0:64] = sum_p a[p*4+i] * b[p*16+j], c row-major 4x16.
+TEXT ·kern4x16F32(SB), NOSPLIT, $0-32
+	MOVQ k+0(FP), CX
+	MOVQ a+8(FP), AX
+	MOVQ b+16(FP), BX
+	MOVQ c+24(FP), DX
+	VXORPS Y0, Y0, Y0
+	VXORPS Y1, Y1, Y1
+	VXORPS Y2, Y2, Y2
+	VXORPS Y3, Y3, Y3
+	VXORPS Y4, Y4, Y4
+	VXORPS Y5, Y5, Y5
+	VXORPS Y6, Y6, Y6
+	VXORPS Y7, Y7, Y7
+loop32:
+	VMOVUPS (BX), Y12
+	VMOVUPS 32(BX), Y13
+	VBROADCASTSS (AX), Y14
+	VBROADCASTSS 4(AX), Y15
+	VFMADD231PS Y12, Y14, Y0
+	VFMADD231PS Y13, Y14, Y1
+	VFMADD231PS Y12, Y15, Y2
+	VFMADD231PS Y13, Y15, Y3
+	VBROADCASTSS 8(AX), Y14
+	VBROADCASTSS 12(AX), Y15
+	VFMADD231PS Y12, Y14, Y4
+	VFMADD231PS Y13, Y14, Y5
+	VFMADD231PS Y12, Y15, Y6
+	VFMADD231PS Y13, Y15, Y7
+	ADDQ $16, AX
+	ADDQ $64, BX
+	DECQ CX
+	JNZ  loop32
+	VMOVUPS Y0, (DX)
+	VMOVUPS Y1, 32(DX)
+	VMOVUPS Y2, 64(DX)
+	VMOVUPS Y3, 96(DX)
+	VMOVUPS Y4, 128(DX)
+	VMOVUPS Y5, 160(DX)
+	VMOVUPS Y6, 192(DX)
+	VMOVUPS Y7, 224(DX)
+	VZEROUPPER
+	RET
+
+// func cpuidRaw(eaxIn, ecxIn uint32) (eax, ebx, ecx, edx uint32)
+TEXT ·cpuidRaw(SB), NOSPLIT, $0-24
+	MOVL eaxIn+0(FP), AX
+	MOVL ecxIn+4(FP), CX
+	CPUID
+	MOVL AX, eax+8(FP)
+	MOVL BX, ebx+12(FP)
+	MOVL CX, ecx+16(FP)
+	MOVL DX, edx+20(FP)
+	RET
+
+// func xgetbvRaw() (eax, edx uint32)
+TEXT ·xgetbvRaw(SB), NOSPLIT, $0-8
+	XORL CX, CX
+	XGETBV
+	MOVL AX, eax+0(FP)
+	MOVL DX, edx+4(FP)
+	RET

@@ -1,0 +1,9 @@
+//go:build !amd64
+
+package tensor
+
+// Non-amd64 builds always use the pure-Go micro-kernels in gemm.go.
+var simdGEMM = false
+
+func kern4x8F64(k int, a, b, c *float64)  { panic("tensor: SIMD kernel unavailable") }
+func kern4x16F32(k int, a, b, c *float32) { panic("tensor: SIMD kernel unavailable") }

@@ -57,7 +57,7 @@ func Full(v float64, shape ...int) *Tensor {
 func FromSlice(data []float64, shape ...int) *Tensor {
 	n := checkShape(shape)
 	if len(data) != n {
-		panic(fmt.Sprintf("tensor: FromSlice data length %d does not match shape %v (want %d)", len(data), shape, n))
+		panic(fmt.Sprintf("tensor: FromSlice data length %d does not match shape %v (want %d)", len(data), append([]int(nil), shape...), n))
 	}
 	return &Tensor{Shape: append([]int(nil), shape...), Data: data}
 }
@@ -70,7 +70,9 @@ func checkShape(shape []int) int {
 	n := 1
 	for _, d := range shape {
 		if d < 0 {
-			panic(fmt.Sprintf("tensor: negative dimension in shape %v", shape))
+			// Copy shape into the panic message so the parameter does not
+			// escape (which would heap-allocate callers' variadic slices).
+			panic(fmt.Sprintf("tensor: negative dimension in shape %v", append([]int(nil), shape...)))
 		}
 		n *= d
 	}

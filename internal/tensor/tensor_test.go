@@ -2,6 +2,7 @@ package tensor
 
 import (
 	"math"
+	"runtime"
 	"testing"
 	"testing/quick"
 )
@@ -196,10 +197,19 @@ func TestMatMulParallelMatchesSerial(t *testing.T) {
 	a := Randn(rng, 128, 96)
 	b := Randn(rng, 96, 64)
 	got := MatMul(a, b)
-	want := New(128, 64)
-	matmulRows(want.Data, a.Data, b.Data, 0, 128, 96, 64)
-	if MaxAbsDiff(got, want) != 0 {
+	// The blocked kernel's per-element summation order is independent of the
+	// worker split, so the product must be bitwise stable across GOMAXPROCS.
+	prev := runtime.GOMAXPROCS(1)
+	serial := MatMul(a, b)
+	runtime.GOMAXPROCS(prev)
+	if MaxAbsDiff(got, serial) != 0 {
 		t.Fatal("parallel MatMul differs from serial")
+	}
+	// And it must agree with the naive reference kernel to rounding error
+	// (bitwise equality is NOT expected: the blocked kernel uses FMA).
+	naive := MatMulNaiveInto(nil, a, b)
+	if MaxAbsDiff(got, naive) > 1e-9 {
+		t.Fatalf("blocked MatMul differs from naive reference by %g", MaxAbsDiff(got, naive))
 	}
 }
 
