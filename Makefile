@@ -40,14 +40,20 @@ bench-compute:
 	$(GO) run ./cmd/dchag-bench -compute BENCH_compute.json
 	BENCH_COMPUTE_JSON=BENCH_compute.json $(GO) test -run TestComputeJSONArtifact .
 
-# serve-smoke is the hermetic serving gate CI runs: self-train a tiny
-# checkpoint at 4 ranks, serve it resharded at 2 ranks x 2 replicas over
-# HTTP, drive a few hundred requests through the queue/batcher/mesh path,
-# and fail on any request error or a total-latency p99 above the limit.
+# serve-smoke is the hermetic serving gate CI runs. First leg: self-train
+# a tiny checkpoint at 4 ranks, serve it resharded at 2 ranks x 2 replicas
+# over HTTP with the response cache on, drive a few hundred requests
+# through the cache/queue/batcher/mesh path, and fail on any request error
+# or a total-latency p99 above the limit. Second leg: self-train two
+# checkpoints and hot swap between them under sustained load — zero
+# dropped requests, exactly one swap.
 serve-smoke:
 	$(GO) run ./cmd/dchag-serve -loadgen -listen 127.0.0.1:0 \
 		-train-ranks 4 -ranks 2 -replicas 2 -batch 8 -deadline 50ms \
-		-requests 300 -concurrency 12 -p99-limit 5s
+		-cache-mb 16 -requests 300 -concurrency 12 -p99-limit 5s
+	$(GO) run ./cmd/dchag-serve -swap-smoke \
+		-train-ranks 4 -ranks 2 -replicas 2 -batch 8 -deadline 50ms \
+		-requests 400 -concurrency 12
 
 # race runs the whole module under the race detector — the
 # rendezvous/abort paths in comm, the mesh teardown in dist, the

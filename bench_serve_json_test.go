@@ -97,4 +97,65 @@ func TestServeJSONArtifact(t *testing.T) {
 	if best, ok := rep.Best(); !ok || best.MaxBatch <= 1 {
 		t.Fatalf("best point %+v should be a batched configuration", func() any { b, _ := rep.Best(); return b }())
 	}
+
+	// Cache sweep (additive within serve/v1): the committed artifact must
+	// carry the full hit-ratio sweep, healthy at every point.
+	if len(rep.CachePoints) == 0 {
+		t.Fatal("artifact carries no cache_points")
+	}
+	if rep.CacheBytes <= 0 {
+		t.Fatalf("cache sweep measured with implausible cache_bytes %d", rep.CacheBytes)
+	}
+	cp := generic["cache_points"].([]any)[0].(map[string]any)
+	for _, key := range []string{"hit_ratio", "requests", "errors", "retries", "wall_seconds",
+		"throughput_rps", "cache_hits", "cache_misses", "coalesced",
+		"hit_p50_ms", "hit_p99_ms", "total_p50_ms", "total_p99_ms"} {
+		if _, ok := cp[key]; !ok {
+			t.Fatalf("cache point missing key %q", key)
+		}
+	}
+	for _, want := range []float64{0, 0.5, 0.9} {
+		p, ok := rep.CachePointAt(want)
+		if !ok {
+			t.Fatalf("cache sweep missing the %.1f hit-ratio point", want)
+		}
+		if p.Errors != 0 || p.Requests != rep.Requests || p.ThroughputRPS <= 0 {
+			t.Fatalf("implausible cache point %+v", p)
+		}
+		if served := p.CacheHits + p.CacheMisses + p.Coalesced; served != uint64(p.Requests) {
+			t.Fatalf("cache point %.1f: hits+misses+coalesced = %d, want every one of %d requests accounted", want, served, p.Requests)
+		}
+	}
+	// The cache claims: a hot request stream out-serves the all-miss baseline
+	// by at least 5x, and a cache hit's p99 sits well under the batched
+	// forward's p99 on the same engine shape.
+	cold, _ := rep.CachePointAt(0)
+	hot, _ := rep.CachePointAt(0.9)
+	if hot.ThroughputRPS < 5*cold.ThroughputRPS {
+		t.Fatalf("0.9 hit-ratio throughput %.0f is under 5x the all-miss %.0f", hot.ThroughputRPS, cold.ThroughputRPS)
+	}
+	if hot.HitP99Ms <= 0 || hot.HitP99Ms >= cold.TotalP99Ms {
+		t.Fatalf("cache-hit p99 %.3fms does not undercut the batched-forward p99 %.3fms", hot.HitP99Ms, cold.TotalP99Ms)
+	}
+
+	// Swap under load (additive within serve/v1): exactly one hot swap with
+	// zero client errors and zero engine-side failures.
+	if rep.Swap == nil {
+		t.Fatal("artifact carries no swap measurement")
+	}
+	sw := generic["swap"].(map[string]any)
+	for _, key := range []string{"requests", "errors", "retries", "failed", "swaps", "wall_seconds", "throughput_rps"} {
+		if _, ok := sw[key]; !ok {
+			t.Fatalf("swap measurement missing key %q", key)
+		}
+	}
+	if rep.Swap.Swaps != 1 {
+		t.Fatalf("swap bench recorded %d swaps, want exactly 1", rep.Swap.Swaps)
+	}
+	if rep.Swap.Errors != 0 || rep.Swap.Failed != 0 {
+		t.Fatalf("swap bench dropped requests: %d client errors, %d engine-side failures", rep.Swap.Errors, rep.Swap.Failed)
+	}
+	if rep.Swap.Requests != rep.Requests || rep.Swap.ThroughputRPS <= 0 {
+		t.Fatalf("implausible swap measurement %+v", *rep.Swap)
+	}
 }

@@ -6,9 +6,19 @@
 // resharding the checkpoint to the serving topology on load (save at p
 // ranks, serve at any q dividing the logical partition count).
 //
+// Because the no-grad forward is bitwise deterministic, responses are
+// content-addressable: -cache-mb puts a sharded, byte-bounded LRU response
+// cache in front of the micro-batcher, keyed by (checkpoint instance, dtype,
+// input grid, channel set, input bytes). A hit returns without queuing;
+// identical concurrent misses coalesce onto a single forward. -watch polls
+// the -ckpt directory for newer committed checkpoints (the manifest is
+// written last, so partial saves are never picked up) and hot swaps them in
+// without dropping in-flight requests; the swap invalidates only the
+// replaced model's cache entries.
+//
 // Modes:
 //
-//	dchag-serve -ckpt ckpt/ -listen :8080
+//	dchag-serve -ckpt ckpt/ -listen :8080 [-cache-mb M] [-watch]
 //	    Serve HTTP until interrupted. Endpoints:
 //	      POST /v1/predict  {"id","shape":[c,h,w],"values":[...],"channels":[...]}
 //	                        -> {"id","shape":[C,H,W],"values":[...],
@@ -30,10 +40,18 @@
 //	    request error or when the server-side total-latency p99 exceeds
 //	    -p99-limit. This is what `make serve-smoke` runs in CI.
 //
+//	dchag-serve -swap-smoke [-requests N] [-concurrency K]
+//	    Hermetic hot-swap smoke: self-train two checkpoints of the same
+//	    architecture to different steps, serve the first under sustained
+//	    in-process load with the response cache on, hot swap to the second
+//	    mid-stream. Exits 1 on any dropped request or if the swap count is
+//	    not exactly 1. `make serve-smoke` runs this after the loadgen smoke.
+//
 //	dchag-serve -bench [-json BENCH_serve.json] [-quick]
-//	    Measure the batch-size x deadline sweep and write the machine-
-//	    readable report (the first serving point of the perf trajectory,
-//	    committed as BENCH_serve.json).
+//	    Measure the batch-size x deadline sweep, the cache hit-ratio sweep,
+//	    and the swap-under-load run, and write the machine-readable report
+//	    (the serving point of the perf trajectory, committed as
+//	    BENCH_serve.json).
 //
 // # Schema dchag-bench/serve/v1
 //
@@ -68,13 +86,42 @@
 //	      "max_queue_depth": deepest queue observed,
 //	      "best":           true on the highest-throughput point
 //	    }, ...
-//	  ]
+//	  ],
+//	  "cache_bytes":        response-cache byte bound the cache sweep and the
+//	                        swap bench ran with (additive within v1),
+//	  "cache_points": [     hit-ratio sweep with the cache on (additive):
+//	    {
+//	      "hit_ratio":      targeted repeat fraction of the request stream
+//	                        (0 = every request unique, the all-miss baseline),
+//	      "requests", "errors", "retries", "wall_seconds", "throughput_rps":
+//	                        loadgen outcome as in points,
+//	      "cache_hits":     requests answered from the cache,
+//	      "cache_misses":   requests that owned a forward,
+//	      "coalesced":      requests that joined an in-flight forward,
+//	      "hit_p50_ms", "hit_p99_ms":
+//	                        cache-hit latency quantiles (no queue, no forward),
+//	      "total_p50_ms", "total_p99_ms":
+//	                        forward-served latency quantiles of the same run
+//	    }, ...
+//	  ],
+//	  "swap": {             swap-under-load measurement (additive):
+//	    "requests", "errors", "retries", "wall_seconds", "throughput_rps":
+//	                        loadgen outcome across the swap,
+//	    "failed":           engine-side failures (0 = no request dropped),
+//	    "swaps":            hot swaps performed (exactly 1)
+//	  }
 //	}
+//
+// The cache_points/cache_bytes/swap fields are additive within serve/v1:
+// artifacts written before they existed decode without them and mean "not
+// measured".
 //
 // Unlike dchag-bench/sweep/v2 (an analytic simulation, byte-stable across
 // runs), serve/v1 points are wall-clock measurements: trajectory tooling
 // should gate on the qualitative claims — zero errors, batching-on
-// throughput exceeding the max_batch=1 baseline at the same deadline — not
-// on exact magnitudes. TestServeJSONArtifact enforces exactly that on the
-// committed artifact.
+// throughput exceeding the max_batch=1 baseline at the same deadline, the
+// 0.9-hit-ratio stream out-serving the all-miss baseline by at least 5x
+// with hit p99 under the batched-forward p99, the swap run dropping zero
+// requests across exactly one swap — not on exact magnitudes.
+// TestServeJSONArtifact enforces exactly that on the committed artifact.
 package main

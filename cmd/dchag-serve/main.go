@@ -15,6 +15,7 @@ import (
 	"syscall"
 	"time"
 
+	"repro/internal/ckpt"
 	"repro/internal/core"
 	"repro/internal/data"
 	"repro/internal/experiments"
@@ -34,6 +35,8 @@ func main() {
 		batch    = flag.Int("batch", 8, "micro-batch size cap (1 disables batching)")
 		deadline = flag.Duration("deadline", 10*time.Millisecond, "micro-batch flush deadline")
 		queue    = flag.Int("queue", 0, "request queue depth (admission control; 0: 4*batch*replicas)")
+		cacheMB  = flag.Int64("cache-mb", 0, "content-addressable response cache size in MiB (0 disables)")
+		watch    = flag.Bool("watch", false, "poll -ckpt for newer committed checkpoints and hot swap them in")
 		listen   = flag.String("listen", "", "HTTP listen address (e.g. :8080 or 127.0.0.1:0); empty with -loadgen serves in-process")
 
 		loadgen  = flag.Bool("loadgen", false, "drive the server with a self-generated load, print metrics, exit")
@@ -42,6 +45,7 @@ func main() {
 		p99Limit = flag.Duration("p99-limit", 0, "loadgen: fail (exit 1) when the server-side total-latency p99 exceeds this (0: no check)")
 
 		bench     = flag.Bool("bench", false, "run the batch-size x deadline serving sweep and exit (see -json)")
+		swapSmoke = flag.Bool("swap-smoke", false, "hermetic: self-train two checkpoints, serve one under load with the cache on, hot swap to the other; exit 1 on any dropped request")
 		jsonPath  = flag.String("json", "BENCH_serve.json", "bench: write the dchag-bench/serve/v1 report here")
 		quick     = flag.Bool("quick", false, "bench: reduced sweep (batching off vs on at one deadline)")
 		trainRank = flag.Int("train-ranks", 4, "self-train: D-CHAG ranks the demo checkpoint is saved at (reshards to -ranks at serve time)")
@@ -56,11 +60,14 @@ func main() {
 		runBench(*jsonPath, *quick)
 		return
 	}
+	if *swapSmoke {
+		os.Exit(runSwapSmoke(*ranks, *replicas, *batch, *deadline, *trainRank, *trainStep, *requests, *clients))
+	}
 
 	dir := *ckptDir
 	if dir == "" {
 		if !*loadgen && *listen == "" {
-			log.Fatal("nothing to do: pass -ckpt (and -listen), or -loadgen, or -bench")
+			log.Fatal("nothing to do: pass -ckpt (and -listen), or -loadgen, -bench, or -swap-smoke")
 		}
 		dir = selfTrain(*trainRank, *trainStep)
 	}
@@ -75,6 +82,7 @@ func main() {
 	engine, err := serve.Start(serve.Config{
 		Ranks: *ranks, Replicas: *replicas,
 		MaxBatch: *batch, MaxWait: *deadline, QueueDepth: *queue,
+		CacheBytes: *cacheMB << 20,
 	}, src)
 	if err != nil {
 		log.Fatal(err)
@@ -84,6 +92,17 @@ func main() {
 			log.Printf("engine close: %v", err)
 		}
 	}()
+	if *watch {
+		stop := engine.AutoSwap(dir, ckpt.WatchOptions{}, func(u ckpt.Update, err error) {
+			if err != nil {
+				log.Printf("hot swap to step %d failed: %v", u.Step, err)
+				return
+			}
+			fmt.Printf("hot swapped to checkpoint step %d (%s)\n", u.Step, u.Dir)
+		})
+		defer stop()
+		fmt.Printf("watching %s for newer committed checkpoints\n", dir)
+	}
 
 	var baseURL string
 	if *listen != "" {
@@ -269,4 +288,89 @@ func runBench(path string, quick bool) {
 	if haveBase && base.ThroughputRPS > 0 {
 		fmt.Printf("batching speedup over batch-1 at the same deadline: %.2fx\n", best.ThroughputRPS/base.ThroughputRPS)
 	}
+	for _, p := range rep.CachePoints {
+		fmt.Printf("cache %.1f hit ratio: %.0f req/s (%d hits, %d misses, %d coalesced; hit p99 %.3fms, total p99 %.2fms)\n",
+			p.HitRatio, p.ThroughputRPS, p.CacheHits, p.CacheMisses, p.Coalesced, p.HitP99Ms, p.TotalP99Ms)
+	}
+	if cold, okc := rep.CachePointAt(0); okc {
+		if hot, okh := rep.CachePointAt(0.9); okh && cold.ThroughputRPS > 0 {
+			fmt.Printf("cache speedup at 0.9 hit ratio over all-miss: %.2fx\n", hot.ThroughputRPS/cold.ThroughputRPS)
+		}
+	}
+	if sw := rep.Swap; sw != nil {
+		fmt.Printf("swap under load: %d requests, %d errors, %d failed, %d swap(s), %.0f req/s\n",
+			sw.Requests, sw.Errors, sw.Failed, sw.Swaps, sw.ThroughputRPS)
+	}
+}
+
+// runSwapSmoke is the hermetic hot-swap smoke `make serve-smoke` runs: train
+// two checkpoints of the same architecture to different steps, serve the
+// first under sustained in-process load with the response cache on, hot swap
+// to the second mid-stream, and require zero dropped requests and exactly
+// one swap. Returns the process exit code.
+func runSwapSmoke(ranks, replicas, batch int, deadline time.Duration, trainRanks, trainSteps, requests, clients int) int {
+	dir1 := selfTrain(trainRanks, trainSteps)
+	dir2 := selfTrain(trainRanks, trainSteps+2) // same geometry, further-trained weights
+	src1, err := serve.FromCheckpoint(dir1)
+	if err != nil {
+		log.Fatal(err)
+	}
+	src2, err := serve.FromCheckpoint(dir2)
+	if err != nil {
+		log.Fatal(err)
+	}
+	engine, err := serve.Start(serve.Config{
+		Ranks: ranks, Replicas: replicas,
+		MaxBatch: batch, MaxWait: deadline,
+		CacheBytes: 16 << 20,
+	}, src1)
+	if err != nil {
+		log.Fatal(err)
+	}
+	arch := engine.Arch()
+	const pool = 8 // small pool: the stream repeats, so the swap also exercises cache invalidation
+	inputs := make([]*tensor.Tensor, pool)
+	for i := range inputs {
+		inputs[i] = tensor.Randn(tensor.NewRNG(int64(4000+i)), arch.Channels, arch.ImgH, arch.ImgW)
+	}
+	fmt.Printf("swap smoke: %d requests @ %d clients across one hot swap (%s -> %s)\n", requests, clients, dir1, dir2)
+	done := make(chan serve.LoadgenResult, 1)
+	go func() {
+		done <- serve.RunLoadgen(engine, serve.LoadgenOptions{
+			Requests:    requests,
+			Concurrency: clients,
+			NewRequest: func(i int) *serve.Request {
+				return &serve.Request{ID: fmt.Sprint(i), Input: inputs[i%pool]}
+			},
+		})
+	}()
+	for {
+		s := engine.Metrics().Snapshot()
+		if s.Completed+s.CacheHits > 0 {
+			break
+		}
+		time.Sleep(time.Millisecond)
+	}
+	if err := engine.Swap(src2); err != nil {
+		log.Fatalf("hot swap under load: %v", err)
+	}
+	res := <-done
+	snap := engine.Metrics().Snapshot()
+	if err := engine.Close(); err != nil {
+		log.Printf("engine close: %v", err)
+	}
+	fmt.Printf("loadgen: %d requests, %d errors, %d retries, %.1f req/s over %v\n",
+		res.Requests, res.Errors, res.Retries, res.ThroughputRPS(), res.Wall.Round(time.Millisecond))
+	fmt.Printf("server:  %d forwards, %d cache hits, %d failed, %d swap(s)\n",
+		snap.Completed, snap.CacheHits, snap.Failed, snap.Swaps)
+	if res.Errors != 0 || snap.Failed != 0 {
+		log.Printf("FAIL: %d client errors, %d server-side failures across the swap", res.Errors, snap.Failed)
+		return 1
+	}
+	if snap.Swaps != 1 {
+		log.Printf("FAIL: %d swaps recorded, want exactly 1", snap.Swaps)
+		return 1
+	}
+	fmt.Println("swap smoke passed: zero dropped requests across the hot swap")
+	return 0
 }

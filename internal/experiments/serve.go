@@ -53,6 +53,51 @@ type ServePoint struct {
 	Best bool `json:"best"`
 }
 
+// CachePoint is one measured cache hit-ratio configuration: the same
+// engine shape under a request stream whose repetition rate targets
+// HitRatio, with the content-addressable response cache on.
+type CachePoint struct {
+	// HitRatio is the targeted fraction of repeated requests in the stream
+	// (0 = every request unique, the cache-cold baseline).
+	HitRatio float64 `json:"hit_ratio"`
+	// Requests/Errors/Retries are the loadgen outcome.
+	Requests int `json:"requests"`
+	Errors   int `json:"errors"`
+	Retries  int `json:"retries"`
+	// WallSeconds and ThroughputRPS are client-side wall-clock measures
+	// over the whole stream, hits and forwards together.
+	WallSeconds   float64 `json:"wall_seconds"`
+	ThroughputRPS float64 `json:"throughput_rps"`
+	// CacheHits/CacheMisses/Coalesced are the engine's cache counters:
+	// answered from cache, owned a forward, joined an in-flight forward.
+	CacheHits   uint64 `json:"cache_hits"`
+	CacheMisses uint64 `json:"cache_misses"`
+	Coalesced   uint64 `json:"coalesced"`
+	// HitP50Ms/HitP99Ms are cache-hit latencies (no queue, no forward);
+	// TotalP50Ms/TotalP99Ms the forward-served latencies of the same run.
+	HitP50Ms   float64 `json:"hit_p50_ms"`
+	HitP99Ms   float64 `json:"hit_p99_ms"`
+	TotalP50Ms float64 `json:"total_p50_ms"`
+	TotalP99Ms float64 `json:"total_p99_ms"`
+}
+
+// SwapBench is the swap-under-load measurement: a loadgen stream across
+// one hot checkpoint swap.
+type SwapBench struct {
+	// Requests/Errors/Retries are the loadgen outcome across the swap;
+	// Failed is the engine-side failure count — both must be zero for the
+	// "no request dropped" claim.
+	Requests int    `json:"requests"`
+	Errors   int    `json:"errors"`
+	Retries  int    `json:"retries"`
+	Failed   uint64 `json:"failed"`
+	// Swaps is the engine's swap counter (exactly 1 for this bench).
+	Swaps uint64 `json:"swaps"`
+	// WallSeconds and ThroughputRPS measure the stream including the swap.
+	WallSeconds   float64 `json:"wall_seconds"`
+	ThroughputRPS float64 `json:"throughput_rps"`
+}
+
 // ServeReport is the machine-readable serving benchmark — the payload
 // behind `dchag-serve -bench -json`.
 type ServeReport struct {
@@ -72,6 +117,24 @@ type ServeReport struct {
 	Concurrency int          `json:"concurrency"`
 	Requests    int          `json:"requests_per_point"`
 	Points      []ServePoint `json:"points"`
+	// CacheBytes is the response-cache bound the cache sweep and swap bench
+	// ran with; CachePoints the hit-ratio sweep and Swap the under-load
+	// swap measurement. All additive within serve/v1: artifacts written
+	// before these fields exist decode to zero values and mean "not
+	// measured".
+	CacheBytes  int64        `json:"cache_bytes,omitempty"`
+	CachePoints []CachePoint `json:"cache_points,omitempty"`
+	Swap        *SwapBench   `json:"swap,omitempty"`
+}
+
+// CachePointAt returns the cache point measured at the given hit ratio.
+func (r ServeReport) CachePointAt(ratio float64) (CachePoint, bool) {
+	for _, p := range r.CachePoints {
+		if p.HitRatio == ratio {
+			return p, true
+		}
+	}
+	return CachePoint{}, false
 }
 
 // PointAt returns the point measured at (maxBatch, deadlineMs).
@@ -109,6 +172,13 @@ type ServeBenchConfig struct {
 	// Requests per point at the given client Concurrency.
 	Requests    int
 	Concurrency int
+	// CacheHitRatios are the repetition rates of the cache sweep (empty
+	// disables it); CacheBytes bounds the response cache for the sweep and
+	// the swap bench.
+	CacheHitRatios []float64
+	CacheBytes     int64
+	// SwapUnderLoad adds the hot-swap-under-load measurement.
+	SwapUnderLoad bool
 }
 
 // serveBenchArch is the sweep workload: a deliberately small D-CHAG model
@@ -139,6 +209,9 @@ func DefaultServeBench() ServeBenchConfig {
 		Batches:     []int{1, 2, 4, 8, 16},
 		DeadlinesMs: []float64{2, 10},
 		Requests:    4000, Concurrency: 24,
+		CacheHitRatios: []float64{0, 0.5, 0.9},
+		CacheBytes:     64 << 20,
+		SwapUnderLoad:  true,
 	}
 }
 
@@ -150,6 +223,7 @@ func QuickServeBench() ServeBenchConfig {
 	cfg.DeadlinesMs = []float64{2}
 	cfg.Requests = 300
 	cfg.Concurrency = 16
+	cfg.CacheHitRatios = []float64{0, 0.9}
 	return cfg
 }
 
@@ -235,7 +309,135 @@ func RunServeBench(cfg ServeBenchConfig) (ServeReport, error) {
 	if best >= 0 {
 		rep.Points[best].Best = true
 	}
+	// The cache sweep and the swap bench run at the batched engine shape:
+	// largest batch cap, tightest deadline — the configuration whose forward
+	// throughput the cache must beat.
+	benchCfg := serve.Config{
+		Ranks:      cfg.Ranks,
+		Replicas:   cfg.Replicas,
+		MaxBatch:   maxBatch,
+		MaxWait:    time.Duration(cfg.DeadlinesMs[0] * float64(time.Millisecond)),
+		QueueDepth: queueDepth,
+		DType:      cfg.DType,
+		CacheBytes: cfg.CacheBytes,
+	}
+	if len(cfg.CacheHitRatios) > 0 {
+		if benchCfg.CacheBytes <= 0 {
+			benchCfg.CacheBytes = 64 << 20
+			rep.CacheBytes = benchCfg.CacheBytes
+		} else {
+			rep.CacheBytes = cfg.CacheBytes
+		}
+		for _, ratio := range cfg.CacheHitRatios {
+			p, err := runCachePoint(cfg, benchCfg, ratio)
+			if err != nil {
+				return rep, err
+			}
+			rep.CachePoints = append(rep.CachePoints, p)
+		}
+	}
+	if cfg.SwapUnderLoad {
+		sw, err := runSwapBench(cfg, benchCfg, inputs)
+		if err != nil {
+			return rep, err
+		}
+		rep.Swap = &sw
+	}
 	return rep, nil
+}
+
+// runCachePoint measures one hit-ratio configuration: a request stream over
+// ceil(Requests*(1-ratio)) distinct inputs cycled in order, so the repeat
+// fraction — and with the cache sized to hold every distinct response, the
+// hit fraction — converges to ratio.
+func runCachePoint(cfg ServeBenchConfig, ecfg serve.Config, ratio float64) (CachePoint, error) {
+	uniques := cfg.Requests - int(float64(cfg.Requests)*ratio)
+	if uniques < 1 {
+		uniques = 1
+	}
+	inputs := make([]*tensor.Tensor, uniques)
+	for i := range inputs {
+		inputs[i] = tensor.Randn(tensor.NewRNG(int64(5000+i)), cfg.Arch.Channels, cfg.Arch.ImgH, cfg.Arch.ImgW)
+	}
+	e, err := serve.Start(ecfg, serve.FromArch(cfg.Arch))
+	if err != nil {
+		return CachePoint{}, fmt.Errorf("experiments: starting cached serve engine (ratio %.1f): %w", ratio, err)
+	}
+	res := serve.RunLoadgen(e, serve.LoadgenOptions{
+		Requests:    cfg.Requests,
+		Concurrency: cfg.Concurrency,
+		NewRequest: func(i int) *serve.Request {
+			return &serve.Request{ID: fmt.Sprint(i), Input: inputs[i%uniques]}
+		},
+	})
+	if err := e.Close(); err != nil {
+		return CachePoint{}, fmt.Errorf("experiments: closing cached serve engine (ratio %.1f): %w", ratio, err)
+	}
+	s := res.Snapshot
+	return CachePoint{
+		HitRatio:      ratio,
+		Requests:      res.Requests,
+		Errors:        res.Errors,
+		Retries:       res.Retries,
+		WallSeconds:   res.Wall.Seconds(),
+		ThroughputRPS: res.ThroughputRPS(),
+		CacheHits:     s.CacheHits,
+		CacheMisses:   s.CacheMisses,
+		Coalesced:     s.CacheCoalesced,
+		HitP50Ms:      s.HitP50Ms,
+		HitP99Ms:      s.HitP99Ms,
+		TotalP50Ms:    s.TotalP50Ms,
+		TotalP99Ms:    s.TotalP99Ms,
+	}, nil
+}
+
+// runSwapBench runs a loadgen stream and hot-swaps the model once traffic
+// is flowing: the claim measured is zero failed requests and exactly one
+// swap while throughput holds.
+func runSwapBench(cfg ServeBenchConfig, ecfg serve.Config, inputs []*tensor.Tensor) (SwapBench, error) {
+	e, err := serve.Start(ecfg, serve.FromArch(cfg.Arch))
+	if err != nil {
+		return SwapBench{}, fmt.Errorf("experiments: starting swap-bench engine: %w", err)
+	}
+	next := cfg.Arch
+	next.Seed++ // same geometry, different weights: a real model change
+	done := make(chan serve.LoadgenResult, 1)
+	go func() {
+		done <- serve.RunLoadgen(e, serve.LoadgenOptions{
+			Requests:    cfg.Requests,
+			Concurrency: cfg.Concurrency,
+			NewRequest: func(i int) *serve.Request {
+				return &serve.Request{ID: fmt.Sprint(i), Input: inputs[i%len(inputs)]}
+			},
+		})
+	}()
+	for {
+		s := e.Metrics().Snapshot()
+		if s.Completed+s.CacheHits > 0 {
+			break
+		}
+		time.Sleep(time.Millisecond)
+	}
+	if err := e.Swap(serve.FromArch(next)); err != nil {
+		//lint:ignore commerr the swap error is the root cause; Close only tears down
+		e.Close()
+		<-done
+		return SwapBench{}, fmt.Errorf("experiments: hot swap under load: %w", err)
+	}
+	res := <-done
+	snap := e.Metrics().Snapshot()
+	if err := e.Close(); err != nil {
+		return SwapBench{}, fmt.Errorf("experiments: closing swap-bench engine: %w", err)
+	}
+	return SwapBench{
+		Requests:      res.Requests,
+		Errors:        res.Errors,
+		Retries:       res.Retries,
+		Failed:        snap.Failed,
+		Swaps:         snap.Swaps,
+		WallSeconds:   res.Wall.Seconds(),
+		ThroughputRPS: res.ThroughputRPS(),
+	}, nil
 }
 
 // runServe renders the quick serving sweep as the registered experiment.
@@ -257,5 +459,31 @@ func runServe() Result {
 			fmt.Sprint(p.Retries))
 	}
 	tab.Note("wall-clock measurement (not simulated): micro-batching amortizes per-batch dispatch and the replica group's rendezvous collectives across requests")
-	return Result{ID: "serve", Title: "Async batched serving", Tables: []*Table{tab}}
+	tables := []*Table{tab}
+
+	if len(rep.CachePoints) > 0 {
+		ct := &Table{
+			Title:   fmt.Sprintf("Response cache hit-ratio sweep (%d MiB cache)", rep.CacheBytes>>20),
+			Headers: []string{"hit ratio", "throughput req/s", "hits", "misses", "coalesced", "hit p99 ms", "total p99 ms"},
+		}
+		for _, p := range rep.CachePoints {
+			ct.Add(fmt.Sprintf("%.1f", p.HitRatio), fmt.Sprintf("%.0f", p.ThroughputRPS),
+				fmt.Sprint(p.CacheHits), fmt.Sprint(p.CacheMisses), fmt.Sprint(p.Coalesced),
+				fmt.Sprintf("%.3f", p.HitP99Ms), fmt.Sprintf("%.2f", p.TotalP99Ms))
+		}
+		ct.Note("forward is bitwise deterministic, so responses are content-addressable: a hit skips the queue and the forward entirely")
+		tables = append(tables, ct)
+	}
+	if rep.Swap != nil {
+		st := &Table{
+			Title:   "Hot checkpoint swap under load",
+			Headers: []string{"requests", "errors", "failed", "swaps", "throughput req/s"},
+		}
+		st.Add(fmt.Sprint(rep.Swap.Requests), fmt.Sprint(rep.Swap.Errors),
+			fmt.Sprint(rep.Swap.Failed), fmt.Sprint(rep.Swap.Swaps),
+			fmt.Sprintf("%.0f", rep.Swap.ThroughputRPS))
+		st.Note("routing flips atomically to the new model while in-flight batches drain against the old one — no request is dropped")
+		tables = append(tables, st)
+	}
+	return Result{ID: "serve", Title: "Async batched serving", Tables: tables}
 }

@@ -1,0 +1,310 @@
+package serve
+
+import (
+	"math"
+	"sync"
+	"time"
+
+	"repro/internal/tensor"
+)
+
+// The response cache exploits the property the whole substrate is built
+// around: the no-grad forward is bitwise deterministic, so a response is
+// fully determined by (model instance, dtype, input grid, channel set,
+// input bytes) and therefore content-addressable. The cache sits in front
+// of the micro-batcher — a hit returns without ever queuing, a miss
+// registers an in-flight entry so identical concurrent requests (a
+// thundering herd on one hot input) coalesce onto a single forward.
+//
+// Shape: a fixed array of independently locked shards, each a
+// map + intrusive doubly-linked LRU list bounded by bytes. The lookup
+// path (fingerprint + shard get) is allocation-free and on the
+// dchag:hotpath; allocation (response channels, flight registration)
+// happens only on the miss path.
+
+// fingerprint is a 128-bit content address for a request against one
+// model instance. Two independent FNV-1a-style lanes with different odd
+// multipliers keep the lanes decorrelated (two FNV runs differing only in
+// offset basis collide together, so the second lane uses a distinct
+// multiplier, not just a distinct seed).
+type fingerprint struct {
+	hi, lo uint64
+}
+
+const (
+	fnvOffset64 = 14695981039346656037
+	fnvPrime64  = 1099511628211
+	// Golden-ratio odd multiplier for the second lane (splitmix64's
+	// increment constant) — coprime to 2^64 and unrelated to the FNV prime.
+	goldenMult64 = 0x9E3779B97F4A7C15
+	goldenSeed64 = 0x8E5D5D5D27D3C713
+)
+
+// digest accumulates the two fingerprint lanes 64 bits at a time.
+type digest struct {
+	hi, lo uint64
+}
+
+func (d *digest) word(v uint64) {
+	for i := 0; i < 8; i++ {
+		b := v & 0xff
+		d.lo = (d.lo ^ b) * fnvPrime64
+		d.hi = (d.hi ^ b) * goldenMult64
+		v >>= 8
+	}
+}
+
+// fingerprintOf addresses req's response content: the serving instance
+// (checkpoint identity), forward dtype, input grid (the pre-regrid shape —
+// a regridded request is a different input), the explicit channel set, and
+// every input value bitwise. Called once per Submit when the cache is on.
+//
+// dchag:hotpath — runs per request in front of the queue; must not allocate.
+func fingerprintOf(instID int64, dt tensor.DType, req *Request) fingerprint {
+	d := digest{hi: goldenSeed64, lo: fnvOffset64}
+	d.word(uint64(instID))
+	d.word(uint64(dt))
+	d.word(uint64(len(req.Input.Shape)))
+	for _, s := range req.Input.Shape {
+		d.word(uint64(s))
+	}
+	// A nil channel set (full input) hashes as length 0, distinct from any
+	// explicit subset: lengths and indices both feed the digest, so a
+	// partial-channel request can never alias the full-channel one.
+	d.word(uint64(len(req.Channels)))
+	for _, c := range req.Channels {
+		d.word(uint64(c))
+	}
+	for _, v := range req.Input.Data {
+		d.word(math.Float64bits(v))
+	}
+	return fingerprint{hi: d.hi, lo: d.lo}
+}
+
+// waiter is one coalesced request parked on an in-flight forward.
+type waiter struct {
+	id  string
+	enq time.Time
+	ch  chan Response
+}
+
+// flight is one in-progress forward for a fingerprint; identical requests
+// arriving while it runs join waiters instead of queuing their own.
+type flight struct {
+	waiters []waiter
+}
+
+// centry is one cached response, a node in its shard's intrusive LRU list.
+type centry struct {
+	key        fingerprint
+	inst       int64
+	out        *tensor.Tensor
+	bytes      int64
+	prev, next *centry
+}
+
+const cacheShardCount = 8 // power of two: shard selection is a mask
+
+// cache is the sharded, byte-bounded response cache.
+type cache struct {
+	shards [cacheShardCount]cacheShard
+}
+
+// cacheShard is one independently locked slice of the cache.
+type cacheShard struct {
+	mu       sync.Mutex
+	capBytes int64
+	entries  map[fingerprint]*centry // guarded by mu
+	flights  map[fingerprint]*flight // guarded by mu
+	bytes    int64                   // guarded by mu
+	head     *centry                 // guarded by mu — most recently used
+	tail     *centry                 // guarded by mu — eviction candidate
+}
+
+// newCache builds a cache bounded by capBytes across all shards.
+func newCache(capBytes int64) *cache {
+	c := &cache{}
+	per := capBytes / cacheShardCount
+	if per < 1 {
+		per = 1
+	}
+	for i := range c.shards {
+		s := &c.shards[i]
+		s.mu.Lock()
+		s.capBytes = per
+		s.entries = make(map[fingerprint]*centry)
+		s.flights = make(map[fingerprint]*flight)
+		s.mu.Unlock()
+	}
+	return c
+}
+
+func (c *cache) shard(key fingerprint) *cacheShard {
+	return &c.shards[key.lo&(cacheShardCount-1)]
+}
+
+// get returns the cached response tensor for key, or nil. A hit is
+// refreshed to the front of its shard's LRU list. The returned tensor is
+// shared and must be treated as immutable by callers (responses already
+// are: clients receive output tensors they do not own).
+//
+// dchag:hotpath — the cache hit path; map read + pointer splice only.
+func (c *cache) get(key fingerprint) *tensor.Tensor {
+	s := c.shard(key)
+	s.mu.Lock()
+	e := s.entries[key]
+	if e == nil {
+		s.mu.Unlock()
+		return nil
+	}
+	s.moveToFrontLocked(e)
+	out := e.out
+	s.mu.Unlock()
+	return out
+}
+
+// joinOrOwn resolves a miss: if a flight for key is already in progress the
+// request joins it (returns the channel its coalesced response will arrive
+// on); otherwise the caller becomes the flight owner (returns nil) and must
+// eventually fill or abort. The re-check of entries closes the race where
+// the flight completed between the caller's get miss and this call; the
+// symmetric race (entry filled after a fresh flight registers) merely runs
+// one redundant forward whose fill overwrites bitwise-identical bytes.
+func (c *cache) joinOrOwn(key fingerprint, id string, enq time.Time) (*tensor.Tensor, <-chan Response) {
+	s := c.shard(key)
+	s.mu.Lock()
+	if e := s.entries[key]; e != nil {
+		s.moveToFrontLocked(e)
+		out := e.out
+		s.mu.Unlock()
+		return out, nil
+	}
+	if f := s.flights[key]; f != nil {
+		ch := make(chan Response, 1)
+		f.waiters = append(f.waiters, waiter{id: id, enq: enq, ch: ch})
+		s.mu.Unlock()
+		return nil, ch
+	}
+	s.flights[key] = &flight{}
+	s.mu.Unlock()
+	return nil, nil
+}
+
+// fill completes key's flight with the computed response, inserts it into
+// the cache (evicting from the LRU tail to fit), and returns the coalesced
+// waiters for the caller to fan the response out to.
+func (c *cache) fill(key fingerprint, inst int64, out *tensor.Tensor) []waiter {
+	bytes := int64(len(out.Data)) * 8
+	s := c.shard(key)
+	s.mu.Lock()
+	var ws []waiter
+	if f := s.flights[key]; f != nil {
+		ws = f.waiters
+		delete(s.flights, key)
+	}
+	if e := s.entries[key]; e != nil {
+		// A redundant forward raced an existing fill; the bytes are
+		// identical by determinism, keep the incumbent.
+		s.moveToFrontLocked(e)
+		s.mu.Unlock()
+		return ws
+	}
+	if bytes <= s.capBytes {
+		for s.bytes+bytes > s.capBytes && s.tail != nil {
+			s.evictTailLocked()
+		}
+		e := &centry{key: key, inst: inst, out: out, bytes: bytes}
+		s.entries[key] = e
+		s.pushFrontLocked(e)
+		s.bytes += bytes
+	}
+	s.mu.Unlock()
+	return ws
+}
+
+// abort abandons key's flight (owner rejected or failed before a fill) and
+// returns its waiters so the caller can fail them the same way.
+func (c *cache) abort(key fingerprint) []waiter {
+	s := c.shard(key)
+	s.mu.Lock()
+	var ws []waiter
+	if f := s.flights[key]; f != nil {
+		ws = f.waiters
+		delete(s.flights, key)
+	}
+	s.mu.Unlock()
+	return ws
+}
+
+// invalidate drops every cached entry belonging to the given model
+// instance — called after a hot swap has drained the old instance, so no
+// late fill can repopulate it.
+func (c *cache) invalidate(inst int64) {
+	for i := range c.shards {
+		s := &c.shards[i]
+		s.mu.Lock()
+		for key, e := range s.entries {
+			if e.inst == inst {
+				delete(s.entries, key)
+				s.unlinkLocked(e)
+				s.bytes -= e.bytes
+			}
+		}
+		s.mu.Unlock()
+	}
+}
+
+// len reports the number of cached entries (tests and stats).
+func (c *cache) len() int {
+	n := 0
+	for i := range c.shards {
+		s := &c.shards[i]
+		s.mu.Lock()
+		n += len(s.entries)
+		s.mu.Unlock()
+	}
+	return n
+}
+
+// LRU list splicing. All callers hold s.mu.
+
+func (s *cacheShard) pushFrontLocked(e *centry) {
+	e.prev = nil
+	e.next = s.head
+	if s.head != nil {
+		s.head.prev = e
+	}
+	s.head = e
+	if s.tail == nil {
+		s.tail = e
+	}
+}
+
+func (s *cacheShard) unlinkLocked(e *centry) {
+	if e.prev != nil {
+		e.prev.next = e.next
+	} else {
+		s.head = e.next
+	}
+	if e.next != nil {
+		e.next.prev = e.prev
+	} else {
+		s.tail = e.prev
+	}
+	e.prev, e.next = nil, nil
+}
+
+func (s *cacheShard) moveToFrontLocked(e *centry) {
+	if s.head == e {
+		return
+	}
+	s.unlinkLocked(e)
+	s.pushFrontLocked(e)
+}
+
+func (s *cacheShard) evictTailLocked() {
+	e := s.tail
+	delete(s.entries, e.key)
+	s.unlinkLocked(e)
+	s.bytes -= e.bytes
+}

@@ -6,9 +6,7 @@ import (
 	"sync"
 	"time"
 
-	"repro/internal/comm"
 	"repro/internal/data"
-	"repro/internal/dist"
 	"repro/internal/model"
 	"repro/internal/tensor"
 )
@@ -18,117 +16,149 @@ type job struct {
 	req  *Request
 	enq  time.Time
 	done chan Response // buffered 1: the responder never blocks
+	// key is the request's cache fingerprint when the cache is enabled
+	// (keyed); the job owns an in-flight cache entry that a completion
+	// fills and a failure aborts.
+	key   fingerprint
+	keyed bool
 }
 
-// batchJob is one assembled micro-batch headed for a replica.
+// batchJob is one assembled micro-batch headed for a replica, tagged with
+// the engine it answers to and the model instance it must run on.
 type batchJob struct {
+	e      *Engine
+	inst   *instance
 	jobs   []*job
 	x      *tensor.Tensor // [B, C, H, W] on the model grid
 	formed time.Time
 }
 
-// Engine is a running serving instance: the bounded queue, the
-// micro-batcher, and Ranks*Replicas mesh rank goroutines. Create one with
-// Start and stop it with Close.
-type Engine struct {
-	cfg  Config
-	src  Source
-	arch model.Arch
+// fail answers every job in the batch with ErrClosed and releases the
+// batch's resources (teardown paths).
+func (bj *batchJob) fail() {
+	bj.e.failJobs(bj.jobs)
+	bj.release()
+}
 
-	metrics     *Metrics
+// release returns the pooled batch tensor and retires the batch from its
+// instance's in-flight count. Called exactly once per dispatched batch.
+func (bj *batchJob) release() {
+	if bj.x != nil {
+		tensor.DefaultPool.PutTensor(bj.x)
+		bj.x = nil
+	}
+	bj.inst.wg.Done()
+}
+
+// Engine is one served model behind a bounded queue, a dynamic
+// micro-batcher, and (optionally) a content-addressable response cache. The
+// compute lives in a Host — Start builds a private one, StartOn attaches to
+// a shared one so several engines (multi-tenant routing) multiplex the same
+// mesh. Stop an engine with Close; hot-swap its model with Swap.
+type Engine struct {
+	cfg     Config
+	arch    model.Arch // request geometry; invariant across swaps
+	host    *Host
+	owns    bool // Close tears the host down too
+	metrics *Metrics
+	cache   *cache // nil when Config.CacheBytes == 0
+
 	queue       chan *job
-	work        chan *batchJob
 	quit        chan struct{} // closed by Close: stop admission, wind down
-	failed      chan struct{} // closed on the first worker failure
 	batcherDone chan struct{} // closed when batchLoop has exited
 	dead        chan struct{} // closed when the engine has fully stopped
 
 	closeOnce sync.Once
-	failOnce  sync.Once
 	runErr    error // written before dead closes
+
+	// instMu orders request routing against hot swap: the batcher acquires
+	// the current instance (and bumps its in-flight count) under the read
+	// lock, Swap replaces the pointer under the write lock, so after Swap
+	// returns the lock no new batch can target the old instance.
+	instMu sync.RWMutex
+	inst   *instance // guarded by instMu
+
+	// swapMu serializes Swap calls against each other.
+	swapMu sync.Mutex
 }
 
-// Start builds the mesh (TP=cfg.Ranks per replica, DP=cfg.Replicas), has
-// every rank construct — and, for checkpoint sources, restore — its model
-// slice, and begins serving. It returns only after every rank is ready, so
-// a checkpoint/topology mismatch surfaces here rather than on the first
-// request.
+// Start builds a private Host (TP=cfg.Ranks per replica, DP=cfg.Replicas),
+// loads the model onto every rank — for checkpoint sources, restores it —
+// and begins serving. It returns only after the model is loaded, so a
+// checkpoint/topology mismatch surfaces here rather than on the first
+// request. Close tears down the engine and its host.
 func Start(cfg Config, src Source) (*Engine, error) {
 	cfg = cfg.withDefaults()
 	if err := cfg.validate(); err != nil {
 		return nil, err
 	}
-	e := &Engine{
-		cfg:         cfg,
-		src:         src,
-		arch:        src.Arch(),
-		metrics:     NewMetrics(),
-		queue:       make(chan *job, cfg.QueueDepth),
-		work:        make(chan *batchJob, cfg.Replicas),
-		quit:        make(chan struct{}),
-		failed:      make(chan struct{}),
-		batcherDone: make(chan struct{}),
-		dead:        make(chan struct{}),
+	h, err := NewHost(cfg.Ranks, cfg.Replicas)
+	if err != nil {
+		return nil, err
 	}
-	spec := dist.MeshSpec{TP: cfg.Ranks, FSDP: 1, DP: cfg.Replicas}
-	topo := dist.Topology{Nodes: 1, GPUsPerNode: spec.World()}
-	if spec.World() > 8 && spec.World()%8 == 0 {
-		topo = dist.Frontier(spec.World() / 8)
-	}
-	ready := make(chan error, spec.World())
-	go func() {
-		_, err := dist.RunMesh(spec, topo, func(rank int, m *dist.Mesh) error {
-			return e.worker(rank, m, ready)
-		})
-		// Every worker has exited. Unblock the batcher if it is still
-		// running (a worker failure means nobody will read work again),
-		// wait for it, then fail any micro-batches stranded in the work
-		// buffer — with both sides gone this drain has no concurrent
-		// sender or receiver. On a clean Close the batcher exited first
-		// and the workers drained the channel, so this finds nothing.
-		e.fail()
-		<-e.batcherDone
-		for {
-			bj, ok := e.takeWork()
-			if !ok {
-				break
-			}
-			e.failJobs(bj.jobs)
-			tensor.DefaultPool.PutTensor(bj.x)
-		}
-		e.runErr = err
-		close(e.dead)
-	}()
-	go e.batchLoop()
-	for i := 0; i < spec.World(); i++ {
-		select {
-		case err := <-ready:
-			if err != nil {
-				//lint:ignore commerr the rank's own startup error is the root cause; Close here only tears down
-				e.Close()
-				return nil, err
-			}
-		case <-e.dead:
-			//lint:ignore commerr runErr is read explicitly below; Close here only synchronizes the teardown
-			e.Close()
-			if e.runErr != nil {
-				return nil, e.runErr
-			}
-			return nil, ErrClosed
-		}
+	e, err := startOn(h, cfg, src, true)
+	if err != nil {
+		//lint:ignore commerr the load error is the root cause; Close here only tears down the fresh host
+		h.Close()
+		return nil, err
 	}
 	return e, nil
 }
 
+// StartOn attaches a new engine to an existing Host, loading src beside
+// whatever the host already serves. The engine adopts the host's topology
+// (Config.Ranks/Replicas are overridden); Close stops the engine but leaves
+// the host running.
+func StartOn(h *Host, cfg Config, src Source) (*Engine, error) {
+	return startOn(h, cfg, src, false)
+}
+
+func startOn(h *Host, cfg Config, src Source, owns bool) (*Engine, error) {
+	cfg.Ranks, cfg.Replicas = h.ranks, h.replicas
+	cfg = cfg.withDefaults()
+	if err := cfg.validate(); err != nil {
+		return nil, err
+	}
+	inst, err := h.load(src, cfg.DType)
+	if err != nil {
+		return nil, err
+	}
+	e := &Engine{
+		cfg:         cfg,
+		arch:        inst.arch,
+		host:        h,
+		owns:        owns,
+		metrics:     NewMetrics(),
+		queue:       make(chan *job, cfg.QueueDepth),
+		quit:        make(chan struct{}),
+		batcherDone: make(chan struct{}),
+		dead:        make(chan struct{}),
+		inst:        inst,
+	}
+	if cfg.CacheBytes > 0 {
+		e.cache = newCache(cfg.CacheBytes)
+	}
+	if !h.addSender() {
+		h.unload(inst)
+		return nil, ErrClosed
+	}
+	go e.batchLoop()
+	go e.supervise()
+	return e, nil
+}
+
 // Arch returns the served architecture (request geometry: Channels x ImgH x
-// ImgW).
+// ImgW). It is invariant across hot swaps — Swap enforces it.
 func (e *Engine) Arch() model.Arch { return e.arch }
 
 // Metrics returns the engine's metrics aggregator.
 func (e *Engine) Metrics() *Metrics { return e.metrics }
 
-// Done is closed when the engine has fully stopped (Close finished or a
-// worker failed); Err then reports why.
+// Host returns the compute host this engine dispatches to.
+func (e *Engine) Host() *Host { return e.host }
+
+// Done is closed when the engine has fully stopped (Close finished or the
+// host failed); Err then reports why.
 func (e *Engine) Done() <-chan struct{} { return e.dead }
 
 // Err returns the terminal error once Done is closed (nil for a clean
@@ -143,54 +173,135 @@ func (e *Engine) Err() error {
 }
 
 // Close stops admission, fails requests still waiting in the queue, lets
-// in-flight batches finish, and tears down the mesh. It is idempotent and
-// returns the engine's terminal error.
+// in-flight batches finish, and detaches from the host — tearing the host
+// down too if this engine owns it (Start) rather than shares it (StartOn).
+// It is idempotent and returns the engine's terminal error.
 func (e *Engine) Close() error {
 	e.closeOnce.Do(func() { close(e.quit) })
 	<-e.dead
 	return e.runErr
 }
 
-// fail marks the engine failed (first worker error wins).
-func (e *Engine) fail() {
-	e.failOnce.Do(func() { close(e.failed) })
+// supervise is the engine's teardown path: it waits for a close or a host
+// end, retires the batcher and queue, drains the current instance, and
+// settles the terminal error.
+func (e *Engine) supervise() {
+	select {
+	case <-e.quit:
+	case <-e.host.quit:
+	case <-e.host.failed:
+	}
+	// The batcher exits on the same signals; after it no new batch can be
+	// assembled, so the queue drain below is final.
+	<-e.batcherDone
+	e.drainQueue()
+	// Dispatched batches finish normally (clean close: workers still
+	// serving) or are failed by the worker/host teardown (host end); either
+	// way each calls release exactly once and the in-flight count drains.
+	e.instMu.RLock()
+	inst := e.inst
+	e.instMu.RUnlock()
+	inst.wg.Wait()
+	e.host.unload(inst)
+	if e.owns {
+		e.runErr = e.host.Close()
+	} else {
+		// A shared host that ended under us carries the root cause; a
+		// healthy shared host stays untouched.
+		select {
+		case <-e.host.quit:
+			e.runErr = e.host.Close()
+		case <-e.host.failed:
+			<-e.host.dead
+			e.runErr = e.host.runErr
+		default:
+		}
+	}
+	close(e.dead)
+}
+
+// closedForSubmit reports whether admission is shut.
+func (e *Engine) closedForSubmit() bool {
+	select {
+	case <-e.quit:
+		return true
+	case <-e.dead:
+		return true
+	case <-e.host.quit:
+		return true
+	case <-e.host.failed:
+		return true
+	default:
+		return false
+	}
 }
 
 // Submit validates and enqueues a request, returning the channel its
 // Response will arrive on. It never blocks: a full queue is an ErrQueueFull
-// rejection (admission control), a closed engine an ErrClosed. Callers
-// waiting on the returned channel should also select on Done in case the
-// engine stops first; Do wraps exactly that.
+// rejection (admission control), a closed engine an ErrClosed. With the
+// cache enabled, a content hit answers immediately without queuing
+// (Response.Cached) and identical in-flight requests coalesce onto one
+// forward. Callers waiting on the returned channel should also select on
+// Done in case the engine stops first; Do wraps exactly that.
 func (e *Engine) Submit(req *Request) (<-chan Response, error) {
 	if err := e.validateRequest(req); err != nil {
 		return nil, err
 	}
-	select {
-	case <-e.quit:
+	if e.closedForSubmit() {
 		return nil, ErrClosed
-	case <-e.dead:
-		return nil, ErrClosed
-	default:
 	}
-	j := &job{req: req, enq: time.Now(), done: make(chan Response, 1)}
+	enq := time.Now()
+	var key fingerprint
+	keyed := false
+	if e.cache != nil {
+		e.instMu.RLock()
+		instID := e.inst.id
+		e.instMu.RUnlock()
+		key = fingerprintOf(instID, e.cfg.DType, req)
+		keyed = true
+		if out := e.cache.get(key); out != nil {
+			e.metrics.noteHit(time.Since(enq))
+			ch := make(chan Response, 1)
+			ch <- Response{ID: req.ID, Output: out, Cached: true, Total: time.Since(enq)}
+			return ch, nil
+		}
+		if hit, ch := e.cache.joinOrOwn(key, req.ID, enq); hit != nil {
+			e.metrics.noteHit(time.Since(enq))
+			rch := make(chan Response, 1)
+			rch <- Response{ID: req.ID, Output: hit, Cached: true, Total: time.Since(enq)}
+			return rch, nil
+		} else if ch != nil {
+			e.metrics.noteCoalesced()
+			return ch, nil
+		}
+		e.metrics.noteMiss()
+	}
+	j := &job{req: req, enq: enq, done: make(chan Response, 1), key: key, keyed: keyed}
 	select {
 	case e.queue <- j:
 		// Close may have raced in between the admission check and the
 		// enqueue — after the batcher's final drain, nothing would ever
 		// serve or fail this job. Re-check and rescue: draining here fails
 		// every stranded job (ours included) with ErrClosed.
-		select {
-		case <-e.quit:
+		if e.closedForSubmit() {
 			e.drainQueue()
-		case <-e.dead:
-			e.drainQueue()
-		default:
 		}
 		e.metrics.noteDepth(len(e.queue))
 		return j.done, nil
 	default:
+		if keyed {
+			e.failFlight(key, ErrQueueFull)
+		}
 		e.metrics.noteRejected()
 		return nil, ErrQueueFull
+	}
+}
+
+// failFlight abandons a job's in-flight cache entry and fails any requests
+// that coalesced onto it with the same error, so they retry like the owner.
+func (e *Engine) failFlight(key fingerprint, err error) {
+	for _, w := range e.cache.abort(key) {
+		w.ch <- Response{ID: w.id, Err: err}
 	}
 }
 
@@ -253,10 +364,10 @@ func (e *Engine) validateRequest(req *Request) error {
 
 // batchLoop is the dynamic micro-batcher: it blocks for the first request,
 // then accumulates until the batch is full or the oldest request has waited
-// MaxWait, then hands the assembled batch to the replicas.
+// MaxWait, then hands the assembled batch to the host's replicas.
 func (e *Engine) batchLoop() {
 	defer close(e.batcherDone)
-	defer close(e.work)
+	defer e.host.senders.Done()
 	for {
 		var first *job
 		select {
@@ -264,7 +375,10 @@ func (e *Engine) batchLoop() {
 		case <-e.quit:
 			e.drainQueue()
 			return
-		case <-e.failed:
+		case <-e.host.quit:
+			e.drainQueue()
+			return
+		case <-e.host.failed:
 			e.drainQueue()
 			return
 		}
@@ -274,7 +388,11 @@ func (e *Engine) batchLoop() {
 			e.failJobs(batch)
 			e.drainQueue()
 			return
-		case <-e.failed:
+		case <-e.host.quit:
+			e.failJobs(batch)
+			e.drainQueue()
+			return
+		case <-e.host.failed:
 			e.failJobs(batch)
 			e.drainQueue()
 			return
@@ -282,9 +400,9 @@ func (e *Engine) batchLoop() {
 		}
 		bj := e.assemble(batch)
 		select {
-		case e.work <- bj:
-		case <-e.failed:
-			e.failJobs(batch)
+		case e.host.work <- bj:
+		case <-e.host.failed:
+			bj.fail()
 			e.drainQueue()
 			return
 		}
@@ -315,7 +433,7 @@ func (e *Engine) collect(first *job) []*job {
 		default:
 		}
 		// Queue momentarily empty: flush now if a dispatch slot is free.
-		if len(e.work) < cap(e.work) {
+		if len(e.host.work) < cap(e.host.work) {
 			return batch
 		}
 		select {
@@ -325,7 +443,9 @@ func (e *Engine) collect(first *job) []*job {
 			return batch
 		case <-e.quit:
 			return batch
-		case <-e.failed:
+		case <-e.host.quit:
+			return batch
+		case <-e.host.failed:
 			return batch
 		}
 	}
@@ -336,10 +456,17 @@ func (e *Engine) collect(first *job) []*job {
 // the model grid and scattered onto its channel rows (partial channel sets
 // leave the others zero — the normalized-data mean). The tensor comes from
 // the process-wide pool and is returned to it by complete (or by the
-// shutdown drain), so steady-state batch assembly allocates nothing.
+// teardown drain), so steady-state batch assembly allocates nothing beyond
+// the batch descriptor. The batch acquires the engine's current instance
+// under the routing read lock — the swap ordering hinges on the Add
+// happening before the lock is released.
 //
 // dchag:hotpath — the serve dispatch loop runs this once per micro-batch.
 func (e *Engine) assemble(jobs []*job) *batchJob {
+	e.instMu.RLock()
+	inst := e.inst
+	inst.wg.Add(1)
+	e.instMu.RUnlock()
 	a := e.arch
 	hw := a.ImgH * a.ImgW
 	x := tensor.DefaultPool.GetTensor(len(jobs), a.Channels, a.ImgH, a.ImgW)
@@ -357,21 +484,10 @@ func (e *Engine) assemble(jobs []*job) *batchJob {
 			copy(x.Data[(i*a.Channels+ch)*hw:(i*a.Channels+ch+1)*hw], in.Data[r*hw:(r+1)*hw])
 		}
 	}
-	return &batchJob{jobs: jobs, x: x, formed: time.Now()}
+	return &batchJob{e: e, inst: inst, jobs: jobs, x: x, formed: time.Now()}
 }
 
-// takeWork non-blockingly receives one stranded micro-batch from the work
-// channel (shutdown path; the channel may or may not be closed yet).
-func (e *Engine) takeWork() (*batchJob, bool) {
-	select {
-	case bj, ok := <-e.work:
-		return bj, ok && bj != nil
-	default:
-		return nil, false
-	}
-}
-
-// drainQueue fails every job still waiting in the queue (shutdown path).
+// drainQueue fails every job still waiting in the queue (teardown path).
 func (e *Engine) drainQueue() {
 	for {
 		select {
@@ -391,116 +507,16 @@ func (e *Engine) failJobs(jobs []*job) {
 
 func (e *Engine) failJob(j *job) {
 	e.metrics.noteFailed()
+	if j.keyed {
+		e.failFlight(j.key, ErrClosed)
+	}
 	j.done <- Response{ID: j.req.ID, Err: ErrClosed}
 }
 
-// worker is one mesh rank's serving loop. Rank tp=0 of each TP group is the
-// replica leader: it pulls assembled batches from the shared work channel,
-// broadcasts them over its group, and answers once the group's forward
-// completes. Every rank runs the no-grad forward on its channel shard; for
-// D-CHAG stages the in-forward AllGather is the only communication, exactly
-// as in training.
-func (e *Engine) worker(rank int, m *dist.Mesh, ready chan<- error) (err error) {
-	// inflight is the micro-batch this leader has pulled but not yet
-	// answered; if the worker dies holding one (its own panic, or an abort
-	// cascade from another rank), the exit path fails it so its clients
-	// get ErrClosed instead of silence.
-	var inflight *batchJob
-	defer func() {
-		if rec := recover(); rec != nil {
-			err = comm.RankPanicError("serve", rank, rec)
-		}
-		if err != nil {
-			e.fail()
-		}
-		if inflight != nil {
-			e.failJobs(inflight.jobs)
-		}
-	}()
-	tpc := m.TPComm(rank)
-	mdl, err := e.src.Build(tpc)
-	ready <- err
-	if err != nil {
-		return err
-	}
-	if e.cfg.DType != tensor.F64 {
-		// Serving weights are frozen after restore, so the one-time f32
-		// panel prepack stays valid for the engine's lifetime.
-		mdl.SetInferDType(e.cfg.DType)
-	}
-
-	if tpc.Size() == 1 {
-		// Single-rank replica: no group coordination needed.
-		for {
-			select {
-			case bj, ok := <-e.work:
-				if !ok {
-					return nil
-				}
-				inflight = bj
-				e.complete(bj, mdl.Infer(bj.x, nil))
-				inflight = nil
-			case <-e.failed:
-				return nil
-			}
-		}
-	}
-
-	lo, hi := 0, e.arch.Channels
-	if ds, ok := mdl.Stage.(*model.DCHAGStage); ok {
-		lo, hi = ds.ChannelBounds()
-	}
-	lead := m.Spec.CoordOf(rank).TP == 0
-	stop := tensor.FromSlice([]float64{0}, 1)
-	cont := tensor.FromSlice([]float64{1}, 1)
-	var shard *tensor.Tensor // per-worker channel-slice scratch
-	for {
-		var bj *batchJob
-		var ctrl *tensor.Tensor
-		if lead {
-			select {
-			case b, ok := <-e.work:
-				if !ok {
-					// Deliberately leader-only: the followers' matching
-					// collective is the control Broadcast they are already
-					// blocked in below; the stop sentinel pairs with it.
-					//lint:ignore collectivesym pairs with the followers' control Broadcast in their loop head
-					tpc.Broadcast(stop, 0)
-					return nil
-				}
-				bj = b
-				inflight = bj
-				ctrl = cont
-			case <-e.failed:
-				// The failing rank's return aborts every mesh group, which
-				// releases this replica's peers from their pending
-				// Broadcast; no farewell needed (or possible).
-				return nil
-			}
-		}
-		if tpc.Broadcast(ctrl, 0).Data[0] == 0 {
-			return nil
-		}
-		var x *tensor.Tensor
-		if lead {
-			x = bj.x
-		}
-		x = tpc.Broadcast(x, 0)
-		in := x
-		if lo != 0 || hi != e.arch.Channels {
-			shard = tensor.EnsureShape(shard, x.Shape[0], hi-lo, x.Shape[2], x.Shape[3])
-			in = tensor.SliceAxisInto(shard, x, 1, lo, hi)
-		}
-		pred := mdl.Infer(in, nil)
-		if lead {
-			e.complete(bj, pred)
-			inflight = nil
-		}
-	}
-}
-
-// complete unpatchifies a replica's prediction and fans the per-request
-// responses back out.
+// complete unpatchifies a replica's prediction, fans the per-request
+// responses back out, and — when the cache is on — fills each request's
+// in-flight cache entry, answering every coalesced waiter with the shared
+// output.
 func (e *Engine) complete(bj *batchJob, pred *tensor.Tensor) {
 	a := e.arch
 	imgs := model.Unpatchify(pred, a.Channels, a.ImgH, a.ImgW, a.Patch)
@@ -520,5 +536,17 @@ func (e *Engine) complete(bj *batchJob, pred *tensor.Tensor) {
 		}
 		e.metrics.observe(resp)
 		j.done <- resp
+		if j.keyed {
+			for _, w := range e.cache.fill(j.key, bj.inst.id, out) {
+				w.ch <- Response{
+					ID:        w.id,
+					Output:    out,
+					BatchSize: b,
+					Cached:    true,
+					Total:     now.Sub(w.enq),
+				}
+			}
+		}
 	}
+	bj.release()
 }

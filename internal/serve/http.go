@@ -1,6 +1,7 @@
 package serve
 
 import (
+	"context"
 	"encoding/json"
 	"errors"
 	"fmt"
@@ -37,6 +38,9 @@ type PredictResponse struct {
 	BatchSize int     `json:"batch_size"`
 	QueuedMs  float64 `json:"queued_ms"`
 	TotalMs   float64 `json:"total_ms"`
+	// Cached marks a response answered from the content-addressable cache
+	// (Response.Cached).
+	Cached bool `json:"cached,omitempty"`
 }
 
 // Handler returns the engine's HTTP surface:
@@ -73,6 +77,13 @@ func (e *Engine) closed() bool {
 }
 
 func (e *Engine) handlePredict(w http.ResponseWriter, r *http.Request) {
+	servePredict(w, r, e.Do)
+}
+
+// servePredict decodes one PredictRequest, runs it through do (an engine's
+// Do, or a router's tenant-scoped Do), and writes the answer — shared by
+// the single-engine and router HTTP surfaces.
+func servePredict(w http.ResponseWriter, r *http.Request, do func(context.Context, *Request) (Response, error)) {
 	var preq PredictRequest
 	dec := json.NewDecoder(http.MaxBytesReader(w, r.Body, maxRequestBytes))
 	if err := dec.Decode(&preq); err != nil {
@@ -100,12 +111,15 @@ func (e *Engine) handlePredict(w http.ResponseWriter, r *http.Request) {
 		Input:    tensor.FromSlice(preq.Values, preq.Shape...),
 		Channels: preq.Channels,
 	}
-	resp, err := e.Do(r.Context(), req)
+	resp, err := do(r.Context(), req)
 	switch {
 	case err == nil:
-	case errors.Is(err, ErrQueueFull):
+	case errors.Is(err, ErrQueueFull) || errors.Is(err, ErrTenantBusy):
 		w.Header().Set("Retry-After", "1")
 		http.Error(w, err.Error(), http.StatusTooManyRequests)
+		return
+	case errors.Is(err, ErrUnknownModel):
+		http.Error(w, err.Error(), http.StatusNotFound)
 		return
 	case errors.Is(err, ErrClosed):
 		http.Error(w, err.Error(), http.StatusServiceUnavailable)
@@ -124,6 +138,7 @@ func (e *Engine) handlePredict(w http.ResponseWriter, r *http.Request) {
 		BatchSize: resp.BatchSize,
 		QueuedMs:  float64(resp.Queued) / float64(time.Millisecond),
 		TotalMs:   float64(resp.Total) / float64(time.Millisecond),
+		Cached:    resp.Cached,
 	})
 }
 

@@ -24,8 +24,13 @@ type Metrics struct {
 	batches   uint64    // guarded by mu
 	sumBatch  uint64    // guarded by mu
 	maxDepth  int       // guarded by mu
+	hits      uint64    // guarded by mu
+	misses    uint64    // guarded by mu
+	coalesced uint64    // guarded by mu
+	swaps     uint64    // guarded by mu
 	queuedMs  []float64 // guarded by mu
 	totalMs   []float64 // guarded by mu
+	hitMs     []float64 // guarded by mu
 }
 
 // NewMetrics returns a Metrics with the throughput clock started.
@@ -67,6 +72,41 @@ func (m *Metrics) observe(r Response) {
 	m.mu.Unlock()
 }
 
+// noteHit records one response answered straight from the cache, with its
+// submit-to-answer latency. Hit latencies are sampled separately from
+// forward latencies: the whole point of the cache is that the two
+// distributions are far apart.
+func (m *Metrics) noteHit(d time.Duration) {
+	m.mu.Lock()
+	m.hits++
+	if len(m.hitMs) < maxLatencySamples {
+		m.hitMs = append(m.hitMs, float64(d)/float64(time.Millisecond))
+	}
+	m.mu.Unlock()
+}
+
+// noteMiss counts a cache miss that became the owner of its forward.
+func (m *Metrics) noteMiss() {
+	m.mu.Lock()
+	m.misses++
+	m.mu.Unlock()
+}
+
+// noteCoalesced counts a request that joined an identical in-flight
+// forward instead of queuing its own.
+func (m *Metrics) noteCoalesced() {
+	m.mu.Lock()
+	m.coalesced++
+	m.mu.Unlock()
+}
+
+// noteSwap counts one completed hot checkpoint swap.
+func (m *Metrics) noteSwap() {
+	m.mu.Lock()
+	m.swaps++
+	m.mu.Unlock()
+}
+
 // noteBatch records one dispatched micro-batch.
 func (m *Metrics) noteBatch(size int) {
 	m.mu.Lock()
@@ -86,6 +126,14 @@ type Snapshot struct {
 	MeanBatch float64
 	// MaxQueueDepth is the deepest queue observed at submission.
 	MaxQueueDepth int
+	// CacheHits, CacheMisses, CacheCoalesced count content-addressable
+	// cache outcomes: answered from cache, owned a forward, joined an
+	// identical in-flight forward. All zero when the cache is disabled.
+	// Completed counts forward-served requests only — cache hits are
+	// answered without a forward and counted here instead.
+	CacheHits, CacheMisses, CacheCoalesced uint64
+	// Swaps counts completed hot checkpoint swaps.
+	Swaps uint64
 	// ElapsedSeconds is the time since the engine started; ThroughputRPS is
 	// Completed over that window.
 	ElapsedSeconds float64
@@ -94,6 +142,9 @@ type Snapshot struct {
 	// micro-batch to form; Total is enqueue-to-response.
 	QueuedP50Ms, QueuedP99Ms           float64
 	TotalP50Ms, TotalP95Ms, TotalP99Ms float64
+	// Cache-hit latency quantiles in milliseconds (submit to answer; no
+	// queue, no batch, no forward).
+	HitP50Ms, HitP99Ms float64
 }
 
 // Snapshot computes the current statistics. Only the counter reads and
@@ -102,11 +153,15 @@ type Snapshot struct {
 func (m *Metrics) Snapshot() Snapshot {
 	m.mu.Lock()
 	s := Snapshot{
-		Completed:     m.completed,
-		Rejected:      m.rejected,
-		Failed:        m.failed,
-		Batches:       m.batches,
-		MaxQueueDepth: m.maxDepth,
+		Completed:      m.completed,
+		Rejected:       m.rejected,
+		Failed:         m.failed,
+		Batches:        m.batches,
+		MaxQueueDepth:  m.maxDepth,
+		CacheHits:      m.hits,
+		CacheMisses:    m.misses,
+		CacheCoalesced: m.coalesced,
+		Swaps:          m.swaps,
 	}
 	if m.batches > 0 {
 		s.MeanBatch = float64(m.sumBatch) / float64(m.batches)
@@ -117,14 +172,18 @@ func (m *Metrics) Snapshot() Snapshot {
 	}
 	queued := append([]float64(nil), m.queuedMs...)
 	total := append([]float64(nil), m.totalMs...)
+	hit := append([]float64(nil), m.hitMs...)
 	m.mu.Unlock()
 	sort.Float64s(queued)
 	sort.Float64s(total)
+	sort.Float64s(hit)
 	s.QueuedP50Ms = Quantile(queued, 0.50)
 	s.QueuedP99Ms = Quantile(queued, 0.99)
 	s.TotalP50Ms = Quantile(total, 0.50)
 	s.TotalP95Ms = Quantile(total, 0.95)
 	s.TotalP99Ms = Quantile(total, 0.99)
+	s.HitP50Ms = Quantile(hit, 0.50)
+	s.HitP99Ms = Quantile(hit, 0.99)
 	return s
 }
 

@@ -1,0 +1,182 @@
+package serve
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"net/http/httptest"
+	"strings"
+	"testing"
+	"time"
+
+	"repro/internal/leakcheck"
+	"repro/internal/tensor"
+)
+
+// startRouter builds a leak-checked router over a shared host.
+func startRouter(t *testing.T, cfg RouterConfig) *Router {
+	t.Helper()
+	leakcheck.Check(t)
+	r, err := NewRouter(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() {
+		if err := r.Close(); err != nil {
+			t.Errorf("router did not close cleanly: %v", err)
+		}
+	})
+	return r
+}
+
+// TestRouterMultiModelSharedHost pins instance multiplexing: two models
+// with different weights served over one mesh, each answering bitwise for
+// its own weights — the control broadcast routes every batch to the right
+// instance on every rank.
+func TestRouterMultiModelSharedHost(t *testing.T) {
+	a := testArch()
+	b := a
+	b.Seed = 7
+	r := startRouter(t, RouterConfig{Ranks: 2, Replicas: 1})
+	cfg := Config{MaxBatch: 4, MaxWait: time.Millisecond}
+	if _, err := r.AddModel("alpha", cfg, FromArch(a)); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := r.AddModel("beta", cfg, FromArch(b)); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := r.AddModel("alpha", cfg, FromArch(a)); err == nil {
+		t.Fatal("duplicate model name accepted")
+	}
+
+	x := testInput(a, 80, a.ImgH, a.ImgW)
+	wantA, wantB := reference(t, a, x), reference(t, b, x)
+	if tensor.MaxAbsDiff(wantA, wantB) == 0 {
+		t.Fatal("test models answer identically; routing proves nothing")
+	}
+	for i := 0; i < 4; i++ {
+		ra, err := r.Do(context.Background(), "tenant", "alpha", &Request{Input: x})
+		if err != nil {
+			t.Fatal(err)
+		}
+		rb, err := r.Do(context.Background(), "tenant", "beta", &Request{Input: x})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if d := tensor.MaxAbsDiff(ra.Output, wantA); d != 0 {
+			t.Fatalf("alpha answer differs from alpha's model by %g", d)
+		}
+		if d := tensor.MaxAbsDiff(rb.Output, wantB); d != 0 {
+			t.Fatalf("beta answer differs from beta's model by %g", d)
+		}
+	}
+	if _, err := r.Do(context.Background(), "tenant", "gamma", &Request{Input: x}); !errors.Is(err, ErrUnknownModel) {
+		t.Fatalf("unknown model returned %v, want ErrUnknownModel", err)
+	}
+}
+
+// TestRouterTenantIsolation pins the per-tenant bound: a tenant at its
+// in-flight limit is rejected with ErrTenantBusy while another tenant's
+// traffic flows untouched — one tenant's burst cannot starve another.
+func TestRouterTenantIsolation(t *testing.T) {
+	a := testArch()
+	r := startRouter(t, RouterConfig{Ranks: 1, Replicas: 1})
+	if _, err := r.AddModel("m", Config{MaxBatch: 4, MaxWait: time.Millisecond}, FromArch(a)); err != nil {
+		t.Fatal(err)
+	}
+	r.SetTenantSlots("burst", 1)
+	x := testInput(a, 81, a.ImgH, a.ImgW)
+
+	// Occupy burst's only slot, then its next request must bounce while the
+	// steady tenant keeps completing against the same engine.
+	bt := r.tenantFor("burst")
+	bt.slots <- struct{}{}
+	if _, err := r.Do(context.Background(), "burst", "m", &Request{Input: x}); !errors.Is(err, ErrTenantBusy) {
+		t.Fatalf("saturated tenant got %v, want ErrTenantBusy", err)
+	}
+	const steady = 8
+	for i := 0; i < steady; i++ {
+		if _, err := r.Do(context.Background(), "steady", "m", &Request{Input: x}); err != nil {
+			t.Fatalf("steady tenant blocked by another tenant's burst: %v", err)
+		}
+	}
+	<-bt.slots
+	if _, err := r.Do(context.Background(), "burst", "m", &Request{Input: x}); err != nil {
+		t.Fatalf("tenant still rejected after its slot freed: %v", err)
+	}
+
+	stats := r.TenantStats()
+	if stats["burst"].Rejected != 1 || stats["burst"].Completed != 1 {
+		t.Fatalf("burst stats %+v, want 1 rejected / 1 completed", stats["burst"])
+	}
+	if s := stats["steady"]; s.Rejected != 0 || s.Completed != steady {
+		t.Fatalf("steady stats %+v, want 0 rejected / %d completed", s, steady)
+	}
+}
+
+// TestRouterHTTP smokes the routed HTTP surface: model in the path, tenant
+// in the header, per-model stats and tenant counters readable.
+func TestRouterHTTP(t *testing.T) {
+	a := testArch()
+	r := startRouter(t, RouterConfig{Ranks: 1, Replicas: 1})
+	cfg := Config{MaxBatch: 2, MaxWait: time.Millisecond, CacheBytes: 1 << 20}
+	if _, err := r.AddModel("m", cfg, FromArch(a)); err != nil {
+		t.Fatal(err)
+	}
+	srv := httptest.NewServer(r.Handler())
+	defer srv.Close()
+	// The keep-alive loops of the test client's pooled connections would
+	// otherwise outlive the test and trip every later leak check.
+	defer srv.Client().CloseIdleConnections()
+
+	x := testInput(a, 82, a.ImgH, a.ImgW)
+	body, err := json.Marshal(PredictRequest{ID: "h1", Shape: x.Shape, Values: x.Data})
+	if err != nil {
+		t.Fatal(err)
+	}
+	post := func() PredictResponse {
+		t.Helper()
+		resp, err := srv.Client().Post(srv.URL+"/v1/models/m/predict", "application/json", strings.NewReader(string(body)))
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer resp.Body.Close()
+		if resp.StatusCode != 200 {
+			t.Fatalf("predict status %d", resp.StatusCode)
+		}
+		var pr PredictResponse
+		if err := json.NewDecoder(resp.Body).Decode(&pr); err != nil {
+			t.Fatal(err)
+		}
+		return pr
+	}
+	first, second := post(), post()
+	if first.Cached || !second.Cached {
+		t.Fatalf("cache flags wrong across resubmission: first %v, second %v", first.Cached, second.Cached)
+	}
+	want := reference(t, a, x)
+	if d := tensor.MaxAbsDiff(tensor.FromSlice(second.Values, second.Shape...), want); d != 0 {
+		t.Fatalf("routed HTTP answer differs from direct inference by %g", d)
+	}
+
+	sresp, err := srv.Client().Get(srv.URL + "/v1/models/m/stats")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var snap Snapshot
+	if err := json.NewDecoder(sresp.Body).Decode(&snap); err != nil {
+		t.Fatal(err)
+	}
+	sresp.Body.Close()
+	if snap.CacheHits != 1 || snap.CacheMisses != 1 {
+		t.Fatalf("routed stats %+v, want 1 hit / 1 miss", snap)
+	}
+	resp, err := srv.Client().Get(srv.URL + "/v1/models/none/stats")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != 404 {
+		t.Fatalf("unknown model stats: status %d, want 404", resp.StatusCode)
+	}
+}

@@ -7,10 +7,19 @@
 //
 // The pipeline, front to back:
 //
-//	Submit/Do ──▶ bounded queue ──▶ micro-batcher ──▶ work channel ──▶ mesh replicas
-//	 (admission     (backpressure)    (flush on max       (one reader      (TP groups of
-//	  control:                         batch or max        per replica      q ranks; rank 0
-//	  ErrQueueFull)                    wait deadline)      leader)          answers)
+//	Submit/Do ──▶ response cache ──▶ bounded queue ──▶ micro-batcher ──▶ work channel ──▶ host replicas
+//	 (admission     (content hit:      (backpressure)    (flush on max       (one reader      (TP groups of
+//	  control:       answer now;                          batch or max        per replica      q ranks; rank 0
+//	  ErrQueueFull)  miss: coalesce)                      wait deadline)      leader)          answers)
+//
+// The compute tier is a Host: one dist.Mesh whose rank goroutines multiplex
+// any number of loaded model instances, so several engines (multi-tenant
+// routing, see Router) share the same mesh and a running engine hot-swaps
+// to a newly committed checkpoint (Engine.Swap, AutoSwap) without dropping
+// a request. The forward is bitwise deterministic and no-grad, which makes
+// responses content-addressable: Config.CacheBytes enables a sharded LRU
+// keyed by (instance, dtype, grid, channel set, input bytes) in front of
+// the batcher.
 //
 // Requests carry a single [c, h, w] snapshot on any spatial grid and any
 // subset of the model's channels: the batcher regrids each input to the
@@ -76,6 +85,12 @@ type Response struct {
 	// Queued is the time spent waiting for the micro-batch to form; Total
 	// is enqueue-to-response latency (queueing + batching + forward).
 	Queued, Total time.Duration
+	// Cached marks a response answered from the content-addressable cache —
+	// either an immediate hit (BatchSize 0, Queued 0) or a request that
+	// coalesced onto an identical in-flight forward (BatchSize of that
+	// forward's micro-batch). Cached outputs are shared tensors: treat them
+	// as read-only, exactly like any other Response.Output.
+	Cached bool
 	// Err is set when the engine shut down before the request was served.
 	Err error
 }
@@ -104,6 +119,13 @@ type Config struct {
 	// panels — faster, with outputs within the tolerance contract documented
 	// in DESIGN.md ("Compute substrate").
 	DType tensor.DType
+	// CacheBytes bounds the content-addressable response cache (0 disables
+	// it, the default). The forward is bitwise deterministic, so a response
+	// is fully determined by (model instance, dtype, input grid, channel
+	// set, input bytes): a repeated request is answered from the cache
+	// without queuing, and identical concurrent requests coalesce onto a
+	// single forward. Eviction is sharded LRU at this byte bound.
+	CacheBytes int64
 }
 
 // withDefaults normalizes zero fields.
@@ -128,7 +150,7 @@ func (c Config) withDefaults() Config {
 
 // validate rejects nonsensical configurations before any goroutine starts.
 func (c Config) validate() error {
-	if c.Ranks < 1 || c.Replicas < 1 || c.MaxBatch < 1 || c.QueueDepth < 1 {
+	if c.Ranks < 1 || c.Replicas < 1 || c.MaxBatch < 1 || c.QueueDepth < 1 || c.CacheBytes < 0 {
 		return fmt.Errorf("serve: invalid config %+v", c)
 	}
 	return nil
