@@ -1,10 +1,11 @@
 GO ?= go
 
-.PHONY: verify fmt-check vet vet-custom build test fmt bench bench-diff bench-serve bench-compute serve-smoke race
+.PHONY: verify fmt-check vet vet-custom build test fmt bench bench-diff bench-serve bench-compute serve-smoke elastic-smoke race
 
 # verify is the tier-1 gate: formatting, vet (standard and project
-# analyzers), full build, full test run.
-verify: fmt-check vet vet-custom build test
+# analyzers), full build, full test run, and the hermetic elastic
+# fault-tolerance smoke.
+verify: fmt-check vet vet-custom build test elastic-smoke
 
 # bench runs every benchmark once, writes the topology-aware sweep as the
 # BENCH_sweep.json artifact, and re-parses the artifact through the tier-1
@@ -54,6 +55,15 @@ serve-smoke:
 	$(GO) run ./cmd/dchag-serve -swap-smoke \
 		-train-ranks 4 -ranks 2 -replicas 2 -batch 8 -deadline 50ms \
 		-requests 400 -concurrency 12
+
+# elastic-smoke is the hermetic elastic-training gate CI runs: self-train
+# a tiny model at 8 ranks under a deterministic fault plan that kills rank
+# 5 at step 7, let the supervisor re-rendezvous the survivors at 4 ranks
+# from the last committed checkpoint, then cold-restore the same commit
+# independently and require the continued loss trajectory to be bitwise
+# identical. Everything runs in a temp directory.
+elastic-smoke:
+	$(GO) run ./cmd/dchag-train -elastic-smoke
 
 # race runs the whole module under the race detector — the
 # rendezvous/abort paths in comm, the mesh teardown in dist, the

@@ -38,6 +38,8 @@ import (
 	"repro/internal/ckpt"
 	"repro/internal/core"
 	"repro/internal/data"
+	"repro/internal/elastic"
+	"repro/internal/faultinject"
 	"repro/internal/model"
 	"repro/internal/tensor"
 	"repro/internal/train"
@@ -66,8 +68,18 @@ func main() {
 		load     = flag.String("load", "", "warm-start weights from this checkpoint directory (resharding as needed)")
 		resume   = flag.String("resume", "", "resume exactly from this checkpoint directory (weights, optimizer moments, step)")
 		parts    = flag.Int("partitions", 0, "logical D-CHAG partition count (0: one per rank; -load/-resume read it from the manifest)")
+		elast    = flag.Bool("elastic", false, "run under the elastic fault-tolerant supervisor (requires -ranks > 1 and -save for recovery across rank loss)")
+		minRanks = flag.Int("min-ranks", 1, "smallest world size the elastic supervisor will re-rendezvous at")
+		failRank = flag.Int("fail-rank", -1, "inject a deterministic rank failure: kill this rank (elastic mode only)")
+		failStep = flag.Int("fail-step", -1, "inject the failure at the top of this global step (elastic mode only)")
+		smoke    = flag.Bool("elastic-smoke", false, "run the hermetic elastic smoke check (train, kill a rank, shrink, verify the trajectory) and exit")
 	)
 	flag.Parse()
+
+	if *smoke {
+		runElasticSmoke()
+		return
+	}
 
 	var kind core.LayerKind
 	switch *kindFlag {
@@ -174,6 +186,31 @@ func main() {
 	fmt.Printf("task=%s ranks=%d kind=%s tree=%d partitions=%d params(serial)=%d\n",
 		*task, *ranks, kind, *tree, partitions, arch.ParamCount())
 
+	if *elast {
+		if *ranks <= 1 {
+			log.Fatal("-elastic requires -ranks > 1")
+		}
+		eo := elastic.Options{TP: *ranks, DP: *dp, MinWorld: *minRanks, TPViT: *tpvit}
+		if *failRank >= 0 || *failStep >= 0 {
+			if *failRank < 0 || *failStep < 0 {
+				log.Fatal("-fail-rank and -fail-step must be set together")
+			}
+			eo.Plan = faultinject.NewPlan().KillAtStep(*failRank, *failStep)
+		}
+		rep, err := elastic.Run(arch, opts, eo, batchFn)
+		for _, g := range rep.Generations {
+			line := fmt.Sprintf("generation %d: %dx%d from %s at step %d", g.Gen, g.TP, g.DP, g.Source, g.Start)
+			if len(g.Failed) > 0 {
+				line += fmt.Sprintf(" (failed ranks %v)", g.Failed)
+			}
+			fmt.Println(line)
+		}
+		if err != nil {
+			log.Fatal(err)
+		}
+		printHistory(train.History{Loss: rep.Loss})
+		return
+	}
 	if *ranks <= 1 {
 		// A fresh serial run without -partitions is the plain baseline
 		// stage; anything partitioned (or restored from a partitioned
@@ -235,4 +272,97 @@ func printHistory(h train.History) {
 			fmt.Printf("step %4d  loss %.6f\n", h.Start+s, l)
 		}
 	}
+}
+
+// runElasticSmoke is the hermetic CI check for elastic training: train a
+// tiny model at 8 ranks with a deterministic fault plan that kills rank 5
+// at step 7, let the supervisor shrink to the survivors from the last
+// committed checkpoint, then independently cold-restore that same commit at
+// the recovery shape and verify the supervisor's continued trajectory is
+// bitwise identical. Everything runs in a temp directory; exit status is
+// the verdict.
+func runElasticSmoke() {
+	const (
+		world    = 8
+		steps    = 12
+		batchSz  = 4
+		killRank = 5
+		killStep = 7
+	)
+	dir, err := os.MkdirTemp("", "elastic-smoke-*")
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer os.RemoveAll(dir)
+
+	arch := model.Arch{
+		Config: core.Config{
+			Channels: world, ImgH: 4, ImgW: 4, Patch: 2,
+			Embed: 8, Heads: 2, Kind: core.KindLinear, Seed: 99,
+		},
+		Depth: 1, MetaTokens: 1,
+	}
+	opts := train.Options{
+		Steps: steps, Batch: batchSz, LR: 1e-2, MaskRatio: 0.5, Seed: 5, ClipNorm: 1,
+		CheckpointDir: dir, CheckpointEvery: 3, CheckpointKeep: 16,
+	}
+	gen := data.NewHyperspectral(data.HyperspectralConfig{
+		Images: steps * batchSz, Channels: world, ImgH: 4, ImgW: 4,
+		Endmembers: 2, Noise: 0.01, Seed: 42,
+	})
+	xs := make([]*tensor.Tensor, steps)
+	for s := 0; s < steps; s++ {
+		xs[s] = gen.Batch(s*batchSz, batchSz)
+	}
+	batchFn := func(s int) (*tensor.Tensor, *tensor.Tensor) { return xs[s], xs[s] }
+
+	plan := faultinject.NewPlan().KillAtStep(killRank, killStep)
+	rep, err := elastic.Run(arch, opts, elastic.Options{TP: world, DP: 1, MinWorld: 1, Plan: plan}, batchFn)
+	if err != nil {
+		log.Fatalf("elastic run: %v", err)
+	}
+	var rec *elastic.Generation
+	for i := range rep.Generations {
+		g := &rep.Generations[i]
+		fmt.Printf("generation %d: %dx%d from %s at step %d (failed ranks %v)\n",
+			g.Gen, g.TP, g.DP, g.Source, g.Start, g.Failed)
+		if g.Source == elastic.SourceCheckpoint {
+			rec = g
+		}
+	}
+	if rec == nil {
+		log.Fatalf("no checkpoint-sourced recovery generation in %+v", rep.Generations)
+	}
+	if rec.TP*rec.DP >= world {
+		log.Fatalf("recovery world %d did not shrink below %d", rec.TP*rec.DP, world)
+	}
+
+	// Independent cold restore of the same commit at the recovery shape;
+	// its trajectory over the same step range is the oracle.
+	ck, err := ckpt.Open(ckpt.StepDir(dir, rec.Start))
+	if err != nil {
+		log.Fatalf("open recovery commit: %v", err)
+	}
+	coldDir, err := os.MkdirTemp("", "elastic-smoke-cold-*")
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer os.RemoveAll(coldDir)
+	coldOpts := opts
+	coldOpts.CheckpointDir = coldDir
+	arch.Partitions = world
+	res := train.RunGeneration(arch, coldOpts, train.GenSpec{
+		TP: rec.TP, DP: rec.DP, Start: rec.Start, End: steps, From: ck,
+	}, batchFn)
+	if res.Err != nil {
+		log.Fatalf("cold restore run: %v", res.Err)
+	}
+	for i, l := range res.Hist.Loss {
+		s := rec.Start + i
+		if rep.Loss[s] != l {
+			log.Fatalf("step %d: elastic loss %v != cold-restore loss %v", s, rep.Loss[s], l)
+		}
+	}
+	fmt.Printf("elastic-smoke: OK — killed rank %d at step %d, recovered at %dx%d from the step-%d commit, %d continued steps bitwise identical to cold restore\n",
+		killRank, killStep, rec.TP, rec.DP, rec.Start, len(res.Hist.Loss))
 }

@@ -86,3 +86,30 @@ func suppressed(c *comm.Communicator) {
 		c.Broadcast(nil, 0)
 	}
 }
+
+// survivorGuard models the elastic-training bug class: gating a collective
+// on "did my rank survive" is still a rank-derived condition — the dead
+// rank's peers would rendezvous without it and hang. Generation membership
+// must be rebuilt by re-rendezvous, never by skipping collectives.
+func survivorGuard(c *comm.Communicator, failedRank int) {
+	survivor := c.Rank() != failedRank
+	if survivor {
+		c.AllReduceSum(nil) // want `rank-conditional if`
+	}
+}
+
+// generationLoop is the symmetric shape the elastic supervisor actually
+// uses: every rank of the generation runs the same step range and the same
+// collectives; boundaries and step counts are rank-independent, so the
+// barriers and reductions sit outside any rank conditional.
+func generationLoop(c *comm.Communicator, start, end int, checkpointEvery int) {
+	for s := start; s < end; s++ {
+		c.AllReduceSum(nil)
+		if checkpointEvery > 0 && (s+1)%checkpointEvery == 0 {
+			if c.Rank() == 0 {
+				_ = s // leader-only bookkeeping, no collective
+			}
+			c.Barrier()
+		}
+	}
+}

@@ -44,6 +44,28 @@ func Open(dir string) (*Checkpoint, error) {
 	if err != nil {
 		return nil, err
 	}
+	trees := make([]Tree, 0, len(m.Shards))
+	for _, shard := range m.Shards {
+		tree, err := readShard(filepath.Join(dir, shard))
+		if err != nil {
+			return nil, err
+		}
+		trees = append(trees, tree)
+	}
+	return Assemble(m, trees)
+}
+
+// Assemble builds a Checkpoint from already-loaded shard trees under the
+// given manifest — the in-memory path behind elastic resharding, where the
+// surviving ranks' state trees become the restore source without touching
+// disk. Open is Assemble over the trees read from a committed directory.
+// The trees must jointly tile every logical tensor; incomplete tilings,
+// conflicting replica shapes, and malformed leaves are all reported
+// (joined into one error).
+func Assemble(m Manifest, trees []Tree) (*Checkpoint, error) {
+	if len(trees) == 0 {
+		return nil, fmt.Errorf("ckpt: assemble with no shard trees")
+	}
 	c := &Checkpoint{Manifest: m, logical: make(map[string]*logicalTensor)}
 
 	type assembly struct {
@@ -55,13 +77,9 @@ func Open(dir string) (*Checkpoint, error) {
 	byKey := make(map[string]*assembly)
 	var order []string
 	var errs []error
-	for _, shard := range m.Shards {
-		tree, err := readShard(filepath.Join(dir, shard))
-		if err != nil {
-			return nil, err
-		}
+	for i, tree := range trees {
 		if tree.OptAlgo != m.OptAlgo {
-			errs = append(errs, fmt.Errorf("ckpt: shard %s optimizer %q does not match manifest %q", shard, tree.OptAlgo, m.OptAlgo))
+			errs = append(errs, fmt.Errorf("ckpt: shard %d optimizer %q does not match manifest %q", i, tree.OptAlgo, m.OptAlgo))
 			continue
 		}
 		for _, leaf := range tree.Leaves {

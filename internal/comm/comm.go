@@ -97,8 +97,14 @@ var ErrAborted = fmt.Errorf("comm: group aborted")
 // identifies them as cascades; anything else is reported as a panic. Shared
 // by Run and dist.RunMesh so both classify failures identically.
 func RankPanicError(scope string, rank int, rec any) error {
-	if err, ok := rec.(error); ok && errors.Is(err, ErrAborted) {
-		return fmt.Errorf("%s: rank %d released from aborted collective: %w", scope, rank, ErrAborted)
+	if err, ok := rec.(error); ok {
+		if errors.Is(err, ErrAborted) {
+			return fmt.Errorf("%s: rank %d released from aborted collective: %w", scope, rank, ErrAborted)
+		}
+		// Wrap rather than format so typed panic values — e.g.
+		// *faultinject.Killed — stay reachable via errors.As through the
+		// per-rank error chain.
+		return fmt.Errorf("%s: rank %d panicked: %w", scope, rank, err)
 	}
 	return fmt.Errorf("%s: rank %d panicked: %v", scope, rank, rec)
 }
@@ -156,7 +162,12 @@ func (g *Group) exchange(rank int, val any) []any {
 		for g.phase == gen && !g.aborted {
 			g.cond.Wait()
 		}
-		if g.aborted {
+		// Panic only when the rendezvous cannot complete. A rank whose
+		// phase already advanced holds the exchanged data; releasing it
+		// with ErrAborted anyway would make the set of "failed" ranks
+		// depend on wake-up order — nondeterminism the fault-injection
+		// harness cannot tolerate.
+		if g.phase == gen && g.aborted {
 			panic(ErrAborted)
 		}
 	}
@@ -193,12 +204,41 @@ func Run(size int, fn func(c *Communicator) error) (*Group, error) {
 	return g, RootCause(errs)
 }
 
+// FaultInjector observes every base collective and point-to-point operation
+// a communicator executes, immediately before (pre=true) and after
+// (pre=false) the rendezvous. id names the calling rank in the injector's
+// own namespace — dist.Mesh wires it to the world rank, so one injector
+// sees a single per-rank operation sequence across all axis groups. An
+// injector kills a rank by panicking from Point; the panic propagates
+// exactly like any other rank failure (group abort, ErrAborted cascades).
+type FaultInjector interface {
+	Point(id int, op Op, pre bool)
+}
+
 // Communicator is a single rank's handle on its group. It is not safe for
 // concurrent use by multiple goroutines; each rank goroutine owns one.
 type Communicator struct {
 	group      *Group
 	rank       int
 	phaseLabel string
+	fault      FaultInjector
+	faultID    int
+}
+
+// SetFaultInjector installs f on this communicator under the given injector
+// id. Must be called before the communicator is used; convenience wrappers
+// (AllGatherConcat, AllReduceMean, AllReduceScalarSum, RingAllReduceSum)
+// instrument only the base operations they are built from, so each
+// wire-level rendezvous is exactly one injection point.
+func (c *Communicator) SetFaultInjector(f FaultInjector, id int) {
+	c.fault = f
+	c.faultID = id
+}
+
+func (c *Communicator) faultPoint(op Op, pre bool) {
+	if c.fault != nil {
+		c.fault.Point(c.faultID, op, pre)
+	}
 }
 
 // Rank returns this communicator's rank within the group.
@@ -223,13 +263,16 @@ func (c *Communicator) record(op Op, elems int) {
 
 // Barrier blocks until every rank has reached it.
 func (c *Communicator) Barrier() {
+	c.faultPoint(OpBarrier, true)
 	c.record(OpBarrier, 0)
 	c.group.exchange(c.rank, nil)
+	c.faultPoint(OpBarrier, false)
 }
 
 // AllGather exchanges each rank's tensor and returns fresh copies of all of
 // them, indexed by rank. Contributions may differ in shape.
 func (c *Communicator) AllGather(x *tensor.Tensor) []*tensor.Tensor {
+	c.faultPoint(OpAllGather, true)
 	vals := c.group.exchangeTensor(c.rank, x)
 	out := make([]*tensor.Tensor, len(vals))
 	total := 0
@@ -241,6 +284,7 @@ func (c *Communicator) AllGather(x *tensor.Tensor) []*tensor.Tensor {
 	// Ring all-gather wire volume per rank: every element that is not
 	// already local transits this rank once.
 	c.record(OpAllGather, total-x.Numel())
+	c.faultPoint(OpAllGather, false)
 	return out
 }
 
@@ -254,6 +298,7 @@ func (c *Communicator) AllGatherConcat(x *tensor.Tensor, axis int) *tensor.Tenso
 // AllReduceSum returns the elementwise sum of every rank's tensor. All
 // contributions must share a shape.
 func (c *Communicator) AllReduceSum(x *tensor.Tensor) *tensor.Tensor {
+	c.faultPoint(OpAllReduce, true)
 	vals := c.group.exchangeTensor(c.rank, x)
 	out := vals[0].(*tensor.Tensor).Clone()
 	for _, v := range vals[1:] {
@@ -265,6 +310,7 @@ func (c *Communicator) AllReduceSum(x *tensor.Tensor) *tensor.Tensor {
 	}
 	// Ring all-reduce wire volume per rank: 2*(n-1)/n elements.
 	c.record(OpAllReduce, 2*(c.Size()-1)*x.Numel()/c.Size())
+	c.faultPoint(OpAllReduce, false)
 	return out
 }
 
@@ -277,6 +323,7 @@ func (c *Communicator) AllReduceMean(x *tensor.Tensor) *tensor.Tensor {
 
 // AllReduceMax returns the elementwise maximum of every rank's tensor.
 func (c *Communicator) AllReduceMax(x *tensor.Tensor) *tensor.Tensor {
+	c.faultPoint(OpAllReduce, true)
 	vals := c.group.exchangeTensor(c.rank, x)
 	out := vals[0].(*tensor.Tensor).Clone()
 	for _, v := range vals[1:] {
@@ -288,6 +335,7 @@ func (c *Communicator) AllReduceMax(x *tensor.Tensor) *tensor.Tensor {
 		}
 	}
 	c.record(OpAllReduce, 2*(c.Size()-1)*x.Numel()/c.Size())
+	c.faultPoint(OpAllReduce, false)
 	return out
 }
 
@@ -302,6 +350,7 @@ func (c *Communicator) AllReduceScalarSum(v float64) float64 {
 // axis, sums chunk r across ranks, and returns chunk r to rank r. The axis
 // extent must be divisible by the group size.
 func (c *Communicator) ReduceScatterSum(x *tensor.Tensor, axis int) *tensor.Tensor {
+	c.faultPoint(OpReduceScatter, true)
 	vals := c.group.exchangeTensor(c.rank, x)
 	var out *tensor.Tensor
 	for _, v := range vals {
@@ -315,6 +364,7 @@ func (c *Communicator) ReduceScatterSum(x *tensor.Tensor, axis int) *tensor.Tens
 	}
 	// Ring reduce-scatter wire volume per rank: (n-1)/n elements.
 	c.record(OpReduceScatter, (c.Size()-1)*x.Numel()/c.Size())
+	c.faultPoint(OpReduceScatter, false)
 	return out
 }
 
@@ -324,18 +374,22 @@ func (c *Communicator) Broadcast(x *tensor.Tensor, root int) *tensor.Tensor {
 	if root < 0 || root >= c.Size() {
 		panic(fmt.Sprintf("comm: Broadcast root %d out of range", root))
 	}
+	c.faultPoint(OpBroadcast, true)
 	vals := c.group.exchangeTensor(c.rank, x)
 	src := vals[root].(*tensor.Tensor)
 	c.record(OpBroadcast, src.Numel())
+	c.faultPoint(OpBroadcast, false)
 	return src.Clone()
 }
 
 // Gather returns all ranks' tensors (in rank order) on root and nil on every
 // other rank.
 func (c *Communicator) Gather(x *tensor.Tensor, root int) []*tensor.Tensor {
+	c.faultPoint(OpGather, true)
 	vals := c.group.exchangeTensor(c.rank, x)
 	if c.rank != root {
 		c.record(OpGather, x.Numel())
+		c.faultPoint(OpGather, false)
 		return nil
 	}
 	out := make([]*tensor.Tensor, len(vals))
@@ -343,5 +397,6 @@ func (c *Communicator) Gather(x *tensor.Tensor, root int) []*tensor.Tensor {
 		out[i] = v.(*tensor.Tensor).Clone()
 	}
 	c.record(OpGather, x.Numel())
+	c.faultPoint(OpGather, false)
 	return out
 }

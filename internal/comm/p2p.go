@@ -42,6 +42,7 @@ func (c *Communicator) Send(to int, x *tensor.Tensor) {
 	if to < 0 || to >= c.Size() || to == c.rank {
 		panic(fmt.Sprintf("comm: Send to invalid rank %d from %d", to, c.rank))
 	}
+	c.faultPoint(OpSend, true)
 	select {
 	case c.group.pairChan(c.rank, to) <- x.Clone():
 		// Recorded only on success so a Send released by Abort does not
@@ -50,6 +51,7 @@ func (c *Communicator) Send(to int, x *tensor.Tensor) {
 	case <-c.group.done:
 		panic(ErrAborted)
 	}
+	c.faultPoint(OpSend, false)
 }
 
 // Recv blocks until a message from the source rank arrives and returns it.
@@ -59,8 +61,10 @@ func (c *Communicator) Recv(from int) *tensor.Tensor {
 	if from < 0 || from >= c.Size() || from == c.rank {
 		panic(fmt.Sprintf("comm: Recv from invalid rank %d on %d", from, c.rank))
 	}
+	c.faultPoint(OpRecv, true)
 	select {
 	case t := <-c.group.pairChan(from, c.rank):
+		c.faultPoint(OpRecv, false)
 		return t
 	case <-c.group.done:
 		panic(ErrAborted)

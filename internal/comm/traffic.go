@@ -18,6 +18,7 @@ const (
 	OpBroadcast     Op = "broadcast"
 	OpGather        Op = "gather"
 	OpSend          Op = "send"
+	OpRecv          Op = "recv" // fault-injection points only; Recv moves no bytes of its own
 	OpBarrier       Op = "barrier"
 )
 

@@ -1,0 +1,121 @@
+package dist
+
+import (
+	"errors"
+	"fmt"
+	"testing"
+
+	"repro/internal/comm"
+	"repro/internal/faultinject"
+	"repro/internal/leakcheck"
+)
+
+// TestRunMeshSurfacesFailedRankSet: when several ranks fail on their own,
+// the error must carry exactly that set — not just the first root cause —
+// so the elastic supervisor can decide who died.
+func TestRunMeshSurfacesFailedRankSet(t *testing.T) {
+	leakcheck.Check(t)
+	spec := MeshSpec{TP: 2, FSDP: 1, DP: 2}
+	errOne := errors.New("rank one failure")
+	errThree := errors.New("rank three failure")
+	_, err := RunMesh(spec, Topology{Nodes: 1, GPUsPerNode: spec.World()}, func(rank int, m *Mesh) error {
+		switch rank {
+		case 1:
+			return errOne
+		case 3:
+			return errThree
+		}
+		// Survivors strand at the barrier; the abort releases them and the
+		// ErrAborted panic propagates into Run's classifier.
+		m.TPComm(rank).Barrier()
+		return nil
+	})
+	got := FailedRanks(err)
+	if len(got) != 2 || got[0] != 1 || got[1] != 3 {
+		t.Fatalf("FailedRanks = %v, want [1 3] (err: %v)", got, err)
+	}
+	if !errors.Is(err, errOne) || !errors.Is(err, errThree) {
+		t.Fatalf("err = %v must wrap both rank causes", err)
+	}
+	if errors.Is(err, comm.ErrAborted) {
+		t.Fatalf("err = %v exposes the abort cascade as a cause", err)
+	}
+	var me *MeshError
+	if !errors.As(err, &me) {
+		t.Fatalf("err = %v, want *MeshError", err)
+	}
+	if len(me.Released) != 2 {
+		t.Fatalf("Released = %v, want the two surviving ranks", me.Released)
+	}
+}
+
+// TestFailedRanksNonMeshErrors: helpers must degrade to nil on plain errors
+// and on nil.
+func TestFailedRanksNonMeshErrors(t *testing.T) {
+	if got := FailedRanks(nil); got != nil {
+		t.Fatalf("FailedRanks(nil) = %v", got)
+	}
+	if got := FailedRanks(errors.New("plain")); got != nil {
+		t.Fatalf("FailedRanks(plain) = %v", got)
+	}
+}
+
+// TestMeshFaultInjectorKillsWorldRank: SetFaultInjector must name each
+// communicator by its world rank — not its axis coordinate — so a plan
+// targeting world rank 2 kills exactly that rank, and the typed *Killed
+// survives the panic/recover/wrap pipeline for the supervisor to inspect.
+func TestMeshFaultInjectorKillsWorldRank(t *testing.T) {
+	leakcheck.Check(t)
+	spec := MeshSpec{TP: 2, FSDP: 1, DP: 2}
+	plan := faultinject.NewPlan().KillBeforeOp(2, 0)
+	m, err := NewMesh(spec, Topology{Nodes: 1, GPUsPerNode: spec.World()})
+	if err != nil {
+		t.Fatal(err)
+	}
+	m.SetFaultInjector(plan)
+	err = m.Run(func(rank int, m *Mesh) error {
+		// Every rank's first operation: a TP barrier. World rank 2 has TP
+		// coordinate 0 — if the injector id were the axis coordinate, rank
+		// 0 would die instead.
+		m.TPComm(rank).Barrier()
+		m.DPComm(rank).Barrier()
+		return nil
+	})
+	if got := FailedRanks(err); len(got) != 1 || got[0] != 2 {
+		t.Fatalf("FailedRanks = %v, want [2] (err: %v)", got, err)
+	}
+	var k *faultinject.Killed
+	if !errors.As(err, &k) {
+		t.Fatalf("err = %v, want *faultinject.Killed in chain", err)
+	}
+	if k.Fault.Rank != 2 {
+		t.Fatalf("killed rank %d, want 2", k.Fault.Rank)
+	}
+}
+
+// TestMeshErrorMessageListsRanks pins the operator-facing shape of the
+// multi-failure message.
+func TestMeshErrorMessageListsRanks(t *testing.T) {
+	e := &MeshError{
+		Failed: []RankError{
+			{Rank: 0, Err: fmt.Errorf("dist: rank 0: boom")},
+			{Rank: 2, Err: fmt.Errorf("dist: rank 2: bust")},
+		},
+		Released: []int{1, 3},
+	}
+	msg := e.Error()
+	for _, want := range []string{"2 rank(s) failed", "rank 0: boom", "rank 2: bust", "2 rank(s) released"} {
+		if !contains(msg, want) {
+			t.Fatalf("Error() = %q missing %q", msg, want)
+		}
+	}
+}
+
+func contains(s, sub string) bool {
+	for i := 0; i+len(sub) <= len(s); i++ {
+		if s[i:i+len(sub)] == sub {
+			return true
+		}
+	}
+	return false
+}

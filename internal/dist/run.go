@@ -1,11 +1,104 @@
 package dist
 
 import (
+	"errors"
 	"fmt"
+	"strings"
 	"sync"
 
 	"repro/internal/comm"
 )
+
+// RankError is one rank's own failure (error return or panic) inside a mesh
+// run — a root cause, as opposed to the ErrAborted cascades it triggers in
+// other ranks.
+type RankError struct {
+	Rank int
+	Err  error
+}
+
+// MeshError reports every rank that failed on its own during a mesh run,
+// separately from the ranks merely released from aborted collectives. The
+// elastic supervisor uses the failed set to decide who died; errors.Is and
+// errors.As see through to each failed rank's cause (and never to the
+// cascades, so errors.Is(err, comm.ErrAborted) stays false whenever a root
+// cause exists).
+type MeshError struct {
+	Failed   []RankError // at least one entry, in rank order
+	Released []int       // ranks released from aborted collectives, in rank order
+}
+
+func (e *MeshError) Error() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "dist: %d rank(s) failed: ", len(e.Failed))
+	for i, re := range e.Failed {
+		if i > 0 {
+			b.WriteString("; ")
+		}
+		b.WriteString(re.Err.Error())
+	}
+	if len(e.Released) > 0 {
+		fmt.Fprintf(&b, " (%d rank(s) released from aborted collectives)", len(e.Released))
+	}
+	return b.String()
+}
+
+// Unwrap exposes the failed ranks' errors — root causes only — to
+// errors.Is/errors.As.
+func (e *MeshError) Unwrap() []error {
+	out := make([]error, len(e.Failed))
+	for i, re := range e.Failed {
+		out[i] = re.Err
+	}
+	return out
+}
+
+// FailedRanks returns the set of ranks that failed on their own, in rank
+// order.
+func (e *MeshError) FailedRanks() []int {
+	out := make([]int, len(e.Failed))
+	for i, re := range e.Failed {
+		out[i] = re.Rank
+	}
+	return out
+}
+
+// FailedRanks extracts the set of root-cause failed ranks from a mesh run
+// error (possibly wrapped). It returns nil when err carries no MeshError —
+// e.g. a pure cascade or a pre-run validation failure.
+func FailedRanks(err error) []int {
+	var me *MeshError
+	if errors.As(err, &me) {
+		return me.FailedRanks()
+	}
+	return nil
+}
+
+// meshError classifies per-rank errors into root causes and cascades: a
+// MeshError when any rank failed on its own, the first cascade error when
+// the run only observed releases (surfacing the abort), nil when every rank
+// succeeded.
+func meshError(errs []error) error {
+	var failed []RankError
+	var released []int
+	var cascade error
+	for rank, err := range errs {
+		switch {
+		case err == nil:
+		case errors.Is(err, comm.ErrAborted):
+			released = append(released, rank)
+			if cascade == nil {
+				cascade = err
+			}
+		default:
+			failed = append(failed, RankError{Rank: rank, Err: err})
+		}
+	}
+	if len(failed) == 0 {
+		return cascade
+	}
+	return &MeshError{Failed: failed, Released: released}
+}
 
 // axisGroups holds one axis's comm groups and the per-world-rank wiring
 // into them. All fields are immutable after NewMesh.
@@ -90,31 +183,41 @@ func (m *Mesh) FSDPComm(rank int) *comm.Communicator { return m.Comm(AxisFSDP, r
 // DPComm returns the world rank's data-parallel communicator.
 func (m *Mesh) DPComm(rank int) *comm.Communicator { return m.Comm(AxisDP, rank) }
 
-// abortAll releases every rank blocked in any collective of any group of
-// the mesh, so one rank's failure cannot deadlock survivors that are
-// rendezvousing on a different axis.
-func (m *Mesh) abortAll() {
+// SetFaultInjector installs f on every communicator of the mesh, naming
+// each by its world rank. Call it after NewMesh and before Run: the
+// injector then observes one global per-rank operation sequence across all
+// axis groups, which is what makes faultinject plans deterministic.
+func (m *Mesh) SetFaultInjector(f comm.FaultInjector) {
 	for a := range m.axes {
-		for _, g := range m.axes[a].groups {
-			g.Abort()
+		for r, c := range m.axes[a].comms {
+			c.SetFaultInjector(f, r)
 		}
 	}
 }
 
-// RunMesh builds the mesh and runs fn once per world rank, each on its own
-// goroutine, then waits for all of them. When any rank's fn returns an
-// error or panics, every group of the mesh is aborted so ranks blocked in
-// collectives are released (they observe comm.ErrAborted) instead of
-// hanging at the rendezvous. The returned error is the root cause — a
-// rank's own error or panic — in preference to the ErrAborted cascades it
-// triggers in other ranks. The mesh is returned even on error so callers
-// can inspect traffic ledgers.
-func RunMesh(spec MeshSpec, topo Topology, fn func(rank int, m *Mesh) error) (*Mesh, error) {
-	m, err := NewMesh(spec, topo)
-	if err != nil {
-		return nil, err
+// abortGroupsOf releases the groups a departed rank belongs to, one per
+// axis. Aborting only those — not the whole mesh — keeps failure handling
+// deterministic: a group of pure survivors completes its in-flight
+// collective regardless of goroutine scheduling, and is torn down only when
+// one of its own members departs (directly, or released from another
+// group). The cascade reaches exactly the ranks whose collective graph
+// depends on a dead rank.
+func (m *Mesh) abortGroupsOf(rank int) {
+	for a := range m.axes {
+		m.axes[a].groups[m.axes[a].groupOf[rank]].Abort()
 	}
-	world := spec.World()
+}
+
+// Run drives fn once per world rank of an already-built mesh, each on its
+// own goroutine, and waits for all of them. When a rank's fn returns an
+// error or panics, the groups that rank belongs to are aborted so peers
+// blocked in its collectives are released (they observe comm.ErrAborted)
+// instead of hanging at the rendezvous; releases propagate group-by-group
+// as the released ranks depart in turn. The returned error is a *MeshError
+// carrying the full set of root-cause failed ranks (never the cascades),
+// or the first cascade error when no rank failed on its own.
+func (m *Mesh) Run(fn func(rank int, m *Mesh) error) error {
+	world := m.World()
 	errs := make([]error, world)
 	var wg sync.WaitGroup
 	for r := 0; r < world; r++ {
@@ -124,15 +227,26 @@ func RunMesh(spec MeshSpec, topo Topology, fn func(rank int, m *Mesh) error) (*M
 			defer func() {
 				if rec := recover(); rec != nil {
 					errs[rank] = comm.RankPanicError("dist", rank, rec)
-					m.abortAll()
+					m.abortGroupsOf(rank)
 				}
 			}()
 			if err := fn(rank, m); err != nil {
 				errs[rank] = fmt.Errorf("dist: rank %d: %w", rank, err)
-				m.abortAll()
+				m.abortGroupsOf(rank)
 			}
 		}(r)
 	}
 	wg.Wait()
-	return m, comm.RootCause(errs)
+	return meshError(errs)
+}
+
+// RunMesh builds the mesh and runs fn on it; see Mesh.Run for the failure
+// semantics. The mesh is returned even on error so callers can inspect
+// traffic ledgers.
+func RunMesh(spec MeshSpec, topo Topology, fn func(rank int, m *Mesh) error) (*Mesh, error) {
+	m, err := NewMesh(spec, topo)
+	if err != nil {
+		return nil, err
+	}
+	return m, m.Run(fn)
 }

@@ -116,8 +116,8 @@ func TestRunMeshRankErrorAbortsCollectives(t *testing.T) {
 			// a healthy DP group, complete both AllReduces together, then
 			// strand at the TP Barrier waiting on ranks 0 and 2 — a group
 			// the failed rank belongs to only transitively. All must be
-			// released.
-			defer func() { recover() }() // swallow the ErrAborted release
+			// released: the abort cascades group-by-group as each released
+			// rank's panic propagates (swallowing it would strand peers).
 			m.DPComm(rank).AllReduceScalarSum(1)
 			m.DPComm(rank).AllReduceScalarSum(1)
 			m.TPComm(rank).Barrier()

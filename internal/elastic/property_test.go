@@ -1,0 +1,61 @@
+package elastic
+
+import (
+	"math/rand"
+	"testing"
+
+	"repro/internal/faultinject"
+	"repro/internal/leakcheck"
+	"repro/internal/train"
+)
+
+// TestElasticPropertyRandomFailures is the property check behind the chaos
+// matrix: for random world sizes, random checkpoint cadences, and a random
+// victim killed at a random step, the supervisor's realized trajectory must
+// match the serial oracle step for step, and every recovery shape must be a
+// divisor of the logical partition count no larger than the survivor count.
+// The trials are seeded, so a failure reproduces deterministically.
+func TestElasticPropertyRandomFailures(t *testing.T) {
+	const steps = 6
+	worlds := []int{4, 8}
+	for trial := 0; trial < 5; trial++ {
+		rng := rand.New(rand.NewSource(int64(100 + trial)))
+		p := worlds[rng.Intn(len(worlds))]
+		every := 1 + rng.Intn(2)
+		// The earliest kill leaves at least one committed checkpoint, so
+		// recovery never needs state that was never made durable.
+		killStep := every + rng.Intn(steps-every)
+		victim := rng.Intn(p)
+		t.Run("", func(t *testing.T) {
+			leakcheck.Check(t)
+			a := tinyArch(p)
+			opts := train.Options{
+				Steps: steps, Batch: 4, LR: 1e-2, MaskRatio: 0.5, Seed: int64(7 + trial), ClipNorm: 1,
+				CheckpointDir: t.TempDir(), CheckpointEvery: every, CheckpointKeep: 16,
+			}
+			batch := fixedBatches(t, p, steps, opts.Batch)
+			plan := faultinject.NewPlan().KillAtStep(victim, killStep)
+			rep, err := Run(a, opts, Options{TP: p, DP: 1, MinWorld: 1, Plan: plan}, batch)
+			if err != nil {
+				t.Fatalf("p=%d every=%d kill rank %d at step %d: %v", p, every, victim, killStep, err)
+			}
+			if len(rep.Generations) < 2 {
+				t.Fatalf("generations = %+v, want a failure and a recovery", rep.Generations)
+			}
+			g0 := rep.Generations[0]
+			if len(g0.Failed) != 1 || g0.Failed[0] != victim {
+				t.Fatalf("generation 0 failed = %v, want [%d]", g0.Failed, victim)
+			}
+			for i, g := range rep.Generations {
+				if g.TP < 1 || p%g.TP != 0 {
+					t.Fatalf("generation %d TP %d does not divide partitions %d", i, g.TP, p)
+				}
+				if i > 0 && g.TP*g.DP > p-1 {
+					t.Fatalf("generation %d world %d exceeds %d survivors", i, g.TP*g.DP, p-1)
+				}
+			}
+			ref := serialReference(t, a, p, opts, batch)
+			nearLoss(t, "trajectory vs serial reference", ref, rep.Loss)
+		})
+	}
+}
