@@ -1,11 +1,11 @@
 GO ?= go
 
-.PHONY: verify fmt-check vet vet-custom build test fmt bench bench-diff bench-serve bench-compute serve-smoke elastic-smoke race
+.PHONY: verify fmt-check vet vet-custom build test fmt bench bench-diff bench-serve bench-compute bench-trace serve-smoke elastic-smoke trace-smoke race
 
 # verify is the tier-1 gate: formatting, vet (standard and project
-# analyzers), full build, full test run, and the hermetic elastic
-# fault-tolerance smoke.
-verify: fmt-check vet vet-custom build test elastic-smoke
+# analyzers), full build, full test run, and the hermetic elastic and
+# observability smokes.
+verify: fmt-check vet vet-custom build test elastic-smoke trace-smoke
 
 # bench runs every benchmark once, writes the topology-aware sweep as the
 # BENCH_sweep.json artifact, and re-parses the artifact through the tier-1
@@ -55,6 +55,23 @@ serve-smoke:
 	$(GO) run ./cmd/dchag-serve -swap-smoke \
 		-train-ranks 4 -ranks 2 -replicas 2 -batch 8 -deadline 50ms \
 		-requests 400 -concurrency 12
+
+# bench-trace regenerates the measured-vs-modeled step-attribution point
+# (BENCH_trace.json, schema dchag-bench/trace/v1: per-axis exposed comm
+# from a traced 2x2x2 RunMesh run diffed against perfmodel.AnalyzeOn) and
+# re-parses it through the tier-1 artifact gate. The report is
+# byte-deterministic, so CI can diff the committed artifact exactly.
+bench-trace:
+	$(GO) run ./cmd/dchag-trace -json BENCH_trace.json
+	BENCH_TRACE_JSON=BENCH_trace.json $(GO) test -run TestTraceJSONArtifact .
+
+# trace-smoke is the hermetic observability gate CI runs (dchag-trace
+# -smoke): a traced 4-rank hybrid training run exported and validated
+# against the Chrome trace-event schema, the measured-vs-modeled
+# attribution bench gated at 30%, and a traced serving engine's GET
+# /metrics scraped through the strict Prometheus text-format parser.
+trace-smoke:
+	$(GO) run ./cmd/dchag-trace -smoke
 
 # elastic-smoke is the hermetic elastic-training gate CI runs: self-train
 # a tiny model at 8 ranks under a deterministic fault plan that kills rank

@@ -6,6 +6,7 @@
 //	dchag-bench                 # run every experiment
 //	dchag-bench -fig fig09      # run one figure
 //	dchag-bench -fig sweep      # the 8-512 GCD step-time sweep
+//	dchag-bench -fig trace      # measured-vs-modeled step attribution
 //	dchag-bench -list           # list available experiments
 //	dchag-bench -json out.json  # write the sweep report as JSON (no tables)
 //	dchag-bench -json out.json -no-overlap  # serial (pre-overlap) pricing
@@ -115,6 +116,46 @@
 // least matches naive everywhere, the speedup gates hold where "simd" is
 // true, and every point ran allocation-free — not on exact rates.
 // Additive fields may appear within v1; readers must ignore unknown keys.
+//
+// # JSON schema (dchag-bench/trace/v1)
+//
+// `dchag-trace -json` (cmd/dchag-trace) writes one experiments.TraceReport
+// object — the measured-vs-modeled step-attribution point of the perf
+// trajectory (committed as BENCH_trace.json). The measured side replays
+// the analytic model's per-axis collective schedule on a real traced
+// 2x2x2 mesh, inverts the recorded wire volumes back to logical sizes,
+// and prices them with the same hw formulas perfmodel.AnalyzeOn uses; no
+// wall clock enters the report, so it is byte-deterministic and CI diffs
+// the committed artifact exactly:
+//
+//	{
+//	  "schema": "dchag-bench/trace/v1",   // bump on breaking change
+//	  "strategy": "D-CHAG-C-Tree0 TP=2 FSDP=2 DP=2",
+//	  "world": 8,                         // traced mesh world size
+//	  "topology": "2x4",                  // nodes x GPUs-per-node
+//	  "events": 120,                      // priced collective spans
+//	  "compute_seconds": 9.2e-4,          // modeled per-step compute
+//	  "axes": [                           // one entry per mesh axis
+//	    {
+//	      "axis": "tp",
+//	      "spans": 88,                    // traced collective spans
+//	      "wire_bytes": 92274688,         // recorded wire traffic
+//	      "measured_seconds": 1.1e-3,     // priced, pre-overlap
+//	      "modeled_seconds": 1.1e-3,      // perfmodel, pre-overlap
+//	      "measured_exposed_seconds": 1.1e-3,  // after shared overlap
+//	      "modeled_exposed_seconds": 1.1e-3,
+//	      "ratio": 1                      // measured/modeled exposed
+//	    }, ...
+//	  ],
+//	  "max_ratio_err": 0,                 // max |ratio-1| over axes
+//	  "agrees": true                      // gate: max_ratio_err <= 0.30
+//	}
+//
+// TestTraceJSONArtifact gates both a fresh report and the committed file
+// on the schema, per-axis coverage, and the 30% agreement band; the CI
+// trace job additionally requires the regenerated artifact to be
+// byte-identical to the committed one. Additive fields may appear within
+// v1; readers must ignore unknown keys.
 //
 // # Report diffing (-diff)
 //

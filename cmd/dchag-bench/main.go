@@ -6,10 +6,12 @@ import (
 	"fmt"
 	"os"
 
+	"repro/internal/buildinfo"
 	"repro/internal/experiments"
 )
 
 func main() {
+	version := flag.Bool("version", false, "print build information and exit")
 	fig := flag.String("fig", "", "experiment id to run (default: all)")
 	list := flag.Bool("list", false, "list available experiments")
 	format := flag.String("format", "text", "output format: text | markdown")
@@ -19,6 +21,10 @@ func main() {
 	diff := flag.Bool("diff", false, "compare two sweep reports: dchag-bench -diff old.json new.json; exits 1 on regressions")
 	diffTol := flag.Float64("diff-tol", 0.05, "fractional step-time regression tolerance for -diff (0.05 = 5%)")
 	flag.Parse()
+	if *version {
+		fmt.Println(buildinfo.Get())
+		return
+	}
 
 	if *diff {
 		if flag.NArg() != 2 {

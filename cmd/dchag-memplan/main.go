@@ -18,6 +18,7 @@ import (
 	"os"
 	"sort"
 
+	"repro/internal/buildinfo"
 	"repro/internal/core"
 	"repro/internal/hw"
 	"repro/internal/perfmodel"
@@ -37,8 +38,13 @@ func main() {
 		kindFlag  = flag.String("kind", "L", "D-CHAG partial-layer kind: L | C")
 		batch     = flag.Int("batch", 4, "micro-batch size")
 		sweep     = flag.Bool("sweep", false, "sweep TP degrees and print the feasibility frontier")
+		version   = flag.Bool("version", false, "print build information and exit")
 	)
 	flag.Parse()
+	if *version {
+		fmt.Println(buildinfo.Get())
+		return
+	}
 
 	shape, ok := perfmodel.Shapes[*modelName]
 	if !ok {

@@ -15,9 +15,11 @@ import (
 	"syscall"
 	"time"
 
+	"repro/internal/buildinfo"
 	"repro/internal/ckpt"
 	"repro/internal/core"
 	"repro/internal/data"
+	"repro/internal/debugserver"
 	"repro/internal/experiments"
 	"repro/internal/model"
 	"repro/internal/serve"
@@ -50,10 +52,20 @@ func main() {
 		quick     = flag.Bool("quick", false, "bench: reduced sweep (batching off vs on at one deadline)")
 		trainRank = flag.Int("train-ranks", 4, "self-train: D-CHAG ranks the demo checkpoint is saved at (reshards to -ranks at serve time)")
 		trainStep = flag.Int("train-steps", 6, "self-train: optimizer steps")
+
+		debugAddr = flag.String("debug-addr", "", "serve net/http/pprof profiling on this address (off by default; exposes runtime internals — never bind on an untrusted network)")
+		version   = flag.Bool("version", false, "print build information and exit")
 	)
 	flag.Parse()
+	if *version {
+		fmt.Println(buildinfo.Get())
+		return
+	}
 	if flag.NArg() != 0 {
 		log.Fatalf("unexpected arguments %v", flag.Args())
+	}
+	if *debugAddr != "" {
+		startDebugServer(*debugAddr)
 	}
 
 	if *bench {
@@ -135,6 +147,16 @@ func main() {
 	case <-engine.Done():
 		log.Fatalf("engine stopped: %v", engine.Err())
 	}
+}
+
+// startDebugServer brings up the opt-in pprof listener (see
+// internal/debugserver for the trust caveats) and announces it.
+func startDebugServer(addr string) {
+	bound, err := debugserver.Start(addr)
+	if err != nil {
+		log.Fatalf("debug listener: %v", err)
+	}
+	fmt.Printf("pprof debug server on http://%s/debug/pprof/ (do not expose on untrusted networks)\n", bound)
 }
 
 // selfTrain builds the hermetic demo checkpoint: a tiny MAE model trained

@@ -35,9 +35,11 @@ import (
 	"log"
 	"os"
 
+	"repro/internal/buildinfo"
 	"repro/internal/ckpt"
 	"repro/internal/core"
 	"repro/internal/data"
+	"repro/internal/debugserver"
 	"repro/internal/elastic"
 	"repro/internal/faultinject"
 	"repro/internal/model"
@@ -73,8 +75,22 @@ func main() {
 		failRank = flag.Int("fail-rank", -1, "inject a deterministic rank failure: kill this rank (elastic mode only)")
 		failStep = flag.Int("fail-step", -1, "inject the failure at the top of this global step (elastic mode only)")
 		smoke    = flag.Bool("elastic-smoke", false, "run the hermetic elastic smoke check (train, kill a rank, shrink, verify the trajectory) and exit")
+
+		debugAddr = flag.String("debug-addr", "", "serve net/http/pprof profiling on this address (off by default; exposes runtime internals — never bind on an untrusted network)")
+		version   = flag.Bool("version", false, "print build information and exit")
 	)
 	flag.Parse()
+	if *version {
+		fmt.Println(buildinfo.Get())
+		return
+	}
+	if *debugAddr != "" {
+		bound, err := debugserver.Start(*debugAddr)
+		if err != nil {
+			log.Fatalf("debug listener: %v", err)
+		}
+		fmt.Printf("pprof debug server on http://%s/debug/pprof/ (do not expose on untrusted networks)\n", bound)
+	}
 
 	if *smoke {
 		runElasticSmoke()

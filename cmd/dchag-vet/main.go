@@ -13,6 +13,7 @@ import (
 	"repro/internal/analysis/commerr"
 	"repro/internal/analysis/hotalloc"
 	"repro/internal/analysis/lockedfield"
+	"repro/internal/buildinfo"
 )
 
 // suite is every analyzer dchag-vet runs, in reporting-name order.
@@ -26,12 +27,17 @@ var suite = []*analysis.Analyzer{
 func main() {
 	only := flag.String("run", "", "comma-separated analyzer names to run (default: all)")
 	list := flag.Bool("list", false, "list the analyzers and exit")
+	version := flag.Bool("version", false, "print build information and exit")
 	flag.Usage = func() {
 		fmt.Fprintf(flag.CommandLine.Output(), "usage: dchag-vet [-run analyzers] [packages]\n\n")
 		fmt.Fprintf(flag.CommandLine.Output(), "Runs the project analyzers over the packages (default ./...).\n\n")
 		flag.PrintDefaults()
 	}
 	flag.Parse()
+	if *version {
+		fmt.Println(buildinfo.Get())
+		return
+	}
 
 	if *list {
 		for _, a := range suite {

@@ -2,7 +2,10 @@
 // rank-conditional branches fire, symmetric ones do not.
 package a
 
-import "repro/internal/comm"
+import (
+	"repro/internal/comm"
+	"repro/internal/obs"
+)
 
 // symmetric collectives are fine at any nesting that is not
 // rank-conditional.
@@ -94,6 +97,44 @@ func suppressed(c *comm.Communicator) {
 func survivorGuard(c *comm.Communicator, failedRank int) {
 	survivor := c.Rank() != failedRank
 	if survivor {
+		c.AllReduceSum(nil) // want `rank-conditional if`
+	}
+}
+
+// instrumented is the traced training-step shape: spans and instants
+// wrap the collectives, but every rank records and every rank calls the
+// same collective sequence, so nothing fires. Rows are nil-safe by
+// contract, which is why no tracer-presence guard ever wraps a
+// collective.
+func instrumented(c *comm.Communicator, row *obs.Rank, steps int) {
+	for s := 0; s < steps; s++ {
+		sp := row.Begin("grad-sync", "comm/dp")
+		c.AllReduceSum(nil)
+		sp.EndBytes(64)
+		row.Instant("step", "train")
+	}
+	done := row.Begin("barrier", "comm/dp")
+	c.Barrier()
+	done.End()
+}
+
+// tracedLeaderOnly: instrumentation does not launder a rank guard — a
+// collective under the rank conditional fires even with a span around it.
+func tracedLeaderOnly(c *comm.Communicator, row *obs.Rank) {
+	if c.Rank() == 0 {
+		sp := row.Begin("broadcast", "comm/tp")
+		c.Broadcast(nil, 0) // want `rank-conditional if`
+		sp.End()
+	}
+}
+
+// recordLeaderOnly models the "only trace rank 0" anti-pattern drifting
+// into the collective itself: the guard taints through a local and the
+// collective inside it fires.
+func recordLeaderOnly(c *comm.Communicator, row *obs.Rank) {
+	record := c.Rank() == 0
+	if record {
+		row.Instant("flush", "train")
 		c.AllReduceSum(nil) // want `rank-conditional if`
 	}
 }

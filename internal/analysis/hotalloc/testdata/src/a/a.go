@@ -2,7 +2,10 @@
 // functions fire; unannotated functions and in-place calls do not.
 package a
 
-import "repro/internal/tensor"
+import (
+	"repro/internal/obs"
+	"repro/internal/tensor"
+)
 
 // hot is the fixture's inner loop.
 //
@@ -32,6 +35,31 @@ func hotOK(dst, src, scratch *tensor.Tensor, n int) {
 	_ = tensor.MatMulInto(dst, scratch, src)
 	t := tensor.DefaultPool.GetTensor(n)
 	tensor.DefaultPool.PutTensor(t)
+}
+
+// hotTraced is the instrumented hot loop: obs spans and instants are
+// allocation-free record calls by contract, so a fully traced hotpath
+// function over reused buffers stays silent.
+//
+// dchag:hotpath
+func hotTraced(row *obs.Rank, dst, src, scratch *tensor.Tensor) {
+	sp := row.Begin("forward", "train")
+	_ = tensor.AddInto(scratch, dst, src)
+	sp.EndBytes(64)
+	row.Instant("step-done", "train")
+	tensor.AddInPlace(dst, scratch)
+}
+
+// hotTracedAlloc: a span does not excuse the allocation it wraps — the
+// constructor inside the instrumented region still fires.
+//
+// dchag:hotpath
+func hotTracedAlloc(row *obs.Rank, src *tensor.Tensor, n int) {
+	sp := row.Begin("forward", "train")
+	t := tensor.New(n) // want `tensor allocation New in dchag:hotpath function hotTracedAlloc`
+	_ = t
+	_ = tensor.AddInto(nil, src, src) // want `nil dst in AddInto call in dchag:hotpath function hotTracedAlloc`
+	sp.End()
 }
 
 // cold has no annotation, so it may allocate freely — including nil-dst

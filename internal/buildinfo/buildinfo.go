@@ -1,0 +1,92 @@
+// Package buildinfo reads the binary's embedded build metadata
+// (debug.ReadBuildInfo) once and exposes it in the three places the
+// observability surfaces need it: the -version flag every cmd binary
+// grows, the trace metadata block of exported Chrome traces, and the
+// dchag_build_info gauge on /metrics. Hand-rolled from the runtime's
+// own stamp — no external dependency, and it works identically for
+// `go build`, `go run`, and `go test` binaries.
+package buildinfo
+
+import (
+	"fmt"
+	"runtime"
+	"runtime/debug"
+)
+
+// Info describes the running binary.
+type Info struct {
+	// Main is the main module path ("repro" here); Version its module
+	// version — "(devel)" for a plain working-tree build.
+	Main, Version string
+	// GoVersion is the toolchain that built the binary.
+	GoVersion string
+	// Revision is the VCS revision when the build was stamped (go build
+	// from a clean checkout); empty otherwise. Modified marks a dirty
+	// working tree at stamp time.
+	Revision string
+	Modified bool
+}
+
+// Get reads the build info embedded in the running binary. It degrades
+// gracefully: a binary without a stamp (some test harnesses) still gets
+// the toolchain version and placeholder fields rather than zeros.
+func Get() Info {
+	info := Info{Main: "unknown", Version: "unknown", GoVersion: runtime.Version()}
+	bi, ok := debug.ReadBuildInfo()
+	if !ok {
+		return info
+	}
+	if bi.Main.Path != "" {
+		info.Main = bi.Main.Path
+	}
+	if bi.Main.Version != "" {
+		info.Version = bi.Main.Version
+	}
+	if bi.GoVersion != "" {
+		info.GoVersion = bi.GoVersion
+	}
+	for _, s := range bi.Settings {
+		switch s.Key {
+		case "vcs.revision":
+			info.Revision = s.Value
+		case "vcs.modified":
+			info.Modified = s.Value == "true"
+		}
+	}
+	return info
+}
+
+// String renders the one-line -version output, e.g.
+// "repro (devel) go1.24.0" or "repro v1.2.3 go1.24.0 rev abc123 (modified)".
+func (i Info) String() string {
+	s := fmt.Sprintf("%s %s %s", i.Main, i.Version, i.GoVersion)
+	if i.Revision != "" {
+		rev := i.Revision
+		if len(rev) > 12 {
+			rev = rev[:12]
+		}
+		s += " rev " + rev
+		if i.Modified {
+			s += " (modified)"
+		}
+	}
+	return s
+}
+
+// Meta returns the trace-metadata key/value pairs exported alongside a
+// Chrome trace, so a trace file is self-describing about the binary
+// that produced it.
+func (i Info) Meta() map[string]string {
+	m := map[string]string{
+		"module":     i.Main,
+		"version":    i.Version,
+		"go_version": i.GoVersion,
+	}
+	if i.Revision != "" {
+		m["vcs_revision"] = i.Revision
+		if i.Modified {
+			m["vcs_modified"] = "true"
+		}
+	}
+	return m
+}

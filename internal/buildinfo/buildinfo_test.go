@@ -1,0 +1,37 @@
+package buildinfo
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestGetIsPopulated(t *testing.T) {
+	info := Get()
+	if info.Main == "" || info.Version == "" || info.GoVersion == "" {
+		t.Fatalf("Get() left identity fields empty: %+v", info)
+	}
+	if !strings.HasPrefix(info.GoVersion, "go") {
+		t.Fatalf("GoVersion = %q, want a go toolchain version", info.GoVersion)
+	}
+}
+
+func TestStringAndMetaAgree(t *testing.T) {
+	info := Get()
+	s := info.String()
+	for _, part := range []string{info.Main, info.Version, info.GoVersion} {
+		if !strings.Contains(s, part) {
+			t.Fatalf("String() %q missing %q", s, part)
+		}
+	}
+	meta := info.Meta()
+	if meta["module"] != info.Main || meta["version"] != info.Version || meta["go_version"] != info.GoVersion {
+		t.Fatalf("Meta() disagrees with Info: %v vs %+v", meta, info)
+	}
+	if info.Revision == "" {
+		if _, ok := meta["vcs_revision"]; ok {
+			t.Fatal("Meta() carries vcs_revision with no revision known")
+		}
+	} else if meta["vcs_revision"] != info.Revision {
+		t.Fatalf("vcs_revision %q != %q", meta["vcs_revision"], info.Revision)
+	}
+}

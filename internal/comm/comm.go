@@ -215,6 +215,23 @@ type FaultInjector interface {
 	Point(id int, op Op, pre bool)
 }
 
+// Observer is the passive twin of FaultInjector: it sees every base
+// collective and point-to-point operation immediately before (pre=true)
+// and after (pre=false) the rendezvous, without the power to kill the
+// rank. The post point carries the per-rank ring wire volume in float64
+// elements (the same figure the Traffic ledger records; multiply by
+// BytesPerElem for bytes); pre points carry zero. Observers must be fast
+// and allocation-free — they run inline on every communication operation
+// of their rank — and need not be safe for concurrent use: each
+// communicator calls its own observer from its single rank goroutine.
+//
+// Hook ordering places the observer strictly inside the fault-injection
+// envelope (pre: fault then observe; post: observe then fault), so a
+// fault fired at a post point cannot strand a half-open span.
+type Observer interface {
+	OpPoint(op Op, pre bool, elems int)
+}
+
 // Communicator is a single rank's handle on its group. It is not safe for
 // concurrent use by multiple goroutines; each rank goroutine owns one.
 type Communicator struct {
@@ -223,6 +240,7 @@ type Communicator struct {
 	phaseLabel string
 	fault      FaultInjector
 	faultID    int
+	obs        Observer
 }
 
 // SetFaultInjector installs f on this communicator under the given injector
@@ -238,6 +256,22 @@ func (c *Communicator) SetFaultInjector(f FaultInjector, id int) {
 func (c *Communicator) faultPoint(op Op, pre bool) {
 	if c.fault != nil {
 		c.fault.Point(c.faultID, op, pre)
+	}
+}
+
+// SetObserver installs o on this communicator. Like SetFaultInjector it
+// must be called before the communicator is used; the convenience
+// wrappers instrument only the base operations they are built from, so
+// each wire-level rendezvous is exactly one observed interval.
+func (c *Communicator) SetObserver(o Observer) { c.obs = o }
+
+// obsPoint forwards one hook point to the installed observer. The
+// disabled path is a single nil test.
+//
+// dchag:hotpath
+func (c *Communicator) obsPoint(op Op, pre bool, elems int) {
+	if c.obs != nil {
+		c.obs.OpPoint(op, pre, elems)
 	}
 }
 
@@ -264,8 +298,10 @@ func (c *Communicator) record(op Op, elems int) {
 // Barrier blocks until every rank has reached it.
 func (c *Communicator) Barrier() {
 	c.faultPoint(OpBarrier, true)
+	c.obsPoint(OpBarrier, true, 0)
 	c.record(OpBarrier, 0)
 	c.group.exchange(c.rank, nil)
+	c.obsPoint(OpBarrier, false, 0)
 	c.faultPoint(OpBarrier, false)
 }
 
@@ -273,6 +309,7 @@ func (c *Communicator) Barrier() {
 // them, indexed by rank. Contributions may differ in shape.
 func (c *Communicator) AllGather(x *tensor.Tensor) []*tensor.Tensor {
 	c.faultPoint(OpAllGather, true)
+	c.obsPoint(OpAllGather, true, 0)
 	vals := c.group.exchangeTensor(c.rank, x)
 	out := make([]*tensor.Tensor, len(vals))
 	total := 0
@@ -284,6 +321,7 @@ func (c *Communicator) AllGather(x *tensor.Tensor) []*tensor.Tensor {
 	// Ring all-gather wire volume per rank: every element that is not
 	// already local transits this rank once.
 	c.record(OpAllGather, total-x.Numel())
+	c.obsPoint(OpAllGather, false, total-x.Numel())
 	c.faultPoint(OpAllGather, false)
 	return out
 }
@@ -299,6 +337,7 @@ func (c *Communicator) AllGatherConcat(x *tensor.Tensor, axis int) *tensor.Tenso
 // contributions must share a shape.
 func (c *Communicator) AllReduceSum(x *tensor.Tensor) *tensor.Tensor {
 	c.faultPoint(OpAllReduce, true)
+	c.obsPoint(OpAllReduce, true, 0)
 	vals := c.group.exchangeTensor(c.rank, x)
 	out := vals[0].(*tensor.Tensor).Clone()
 	for _, v := range vals[1:] {
@@ -310,6 +349,7 @@ func (c *Communicator) AllReduceSum(x *tensor.Tensor) *tensor.Tensor {
 	}
 	// Ring all-reduce wire volume per rank: 2*(n-1)/n elements.
 	c.record(OpAllReduce, 2*(c.Size()-1)*x.Numel()/c.Size())
+	c.obsPoint(OpAllReduce, false, 2*(c.Size()-1)*x.Numel()/c.Size())
 	c.faultPoint(OpAllReduce, false)
 	return out
 }
@@ -324,6 +364,7 @@ func (c *Communicator) AllReduceMean(x *tensor.Tensor) *tensor.Tensor {
 // AllReduceMax returns the elementwise maximum of every rank's tensor.
 func (c *Communicator) AllReduceMax(x *tensor.Tensor) *tensor.Tensor {
 	c.faultPoint(OpAllReduce, true)
+	c.obsPoint(OpAllReduce, true, 0)
 	vals := c.group.exchangeTensor(c.rank, x)
 	out := vals[0].(*tensor.Tensor).Clone()
 	for _, v := range vals[1:] {
@@ -335,6 +376,7 @@ func (c *Communicator) AllReduceMax(x *tensor.Tensor) *tensor.Tensor {
 		}
 	}
 	c.record(OpAllReduce, 2*(c.Size()-1)*x.Numel()/c.Size())
+	c.obsPoint(OpAllReduce, false, 2*(c.Size()-1)*x.Numel()/c.Size())
 	c.faultPoint(OpAllReduce, false)
 	return out
 }
@@ -351,6 +393,7 @@ func (c *Communicator) AllReduceScalarSum(v float64) float64 {
 // extent must be divisible by the group size.
 func (c *Communicator) ReduceScatterSum(x *tensor.Tensor, axis int) *tensor.Tensor {
 	c.faultPoint(OpReduceScatter, true)
+	c.obsPoint(OpReduceScatter, true, 0)
 	vals := c.group.exchangeTensor(c.rank, x)
 	var out *tensor.Tensor
 	for _, v := range vals {
@@ -364,6 +407,7 @@ func (c *Communicator) ReduceScatterSum(x *tensor.Tensor, axis int) *tensor.Tens
 	}
 	// Ring reduce-scatter wire volume per rank: (n-1)/n elements.
 	c.record(OpReduceScatter, (c.Size()-1)*x.Numel()/c.Size())
+	c.obsPoint(OpReduceScatter, false, (c.Size()-1)*x.Numel()/c.Size())
 	c.faultPoint(OpReduceScatter, false)
 	return out
 }
@@ -375,9 +419,11 @@ func (c *Communicator) Broadcast(x *tensor.Tensor, root int) *tensor.Tensor {
 		panic(fmt.Sprintf("comm: Broadcast root %d out of range", root))
 	}
 	c.faultPoint(OpBroadcast, true)
+	c.obsPoint(OpBroadcast, true, 0)
 	vals := c.group.exchangeTensor(c.rank, x)
 	src := vals[root].(*tensor.Tensor)
 	c.record(OpBroadcast, src.Numel())
+	c.obsPoint(OpBroadcast, false, src.Numel())
 	c.faultPoint(OpBroadcast, false)
 	return src.Clone()
 }
@@ -386,9 +432,11 @@ func (c *Communicator) Broadcast(x *tensor.Tensor, root int) *tensor.Tensor {
 // other rank.
 func (c *Communicator) Gather(x *tensor.Tensor, root int) []*tensor.Tensor {
 	c.faultPoint(OpGather, true)
+	c.obsPoint(OpGather, true, 0)
 	vals := c.group.exchangeTensor(c.rank, x)
 	if c.rank != root {
 		c.record(OpGather, x.Numel())
+		c.obsPoint(OpGather, false, x.Numel())
 		c.faultPoint(OpGather, false)
 		return nil
 	}
@@ -397,6 +445,7 @@ func (c *Communicator) Gather(x *tensor.Tensor, root int) []*tensor.Tensor {
 		out[i] = v.(*tensor.Tensor).Clone()
 	}
 	c.record(OpGather, x.Numel())
+	c.obsPoint(OpGather, false, x.Numel())
 	c.faultPoint(OpGather, false)
 	return out
 }

@@ -43,11 +43,13 @@ func (c *Communicator) Send(to int, x *tensor.Tensor) {
 		panic(fmt.Sprintf("comm: Send to invalid rank %d from %d", to, c.rank))
 	}
 	c.faultPoint(OpSend, true)
+	c.obsPoint(OpSend, true, 0)
 	select {
 	case c.group.pairChan(c.rank, to) <- x.Clone():
 		// Recorded only on success so a Send released by Abort does not
 		// count phantom bytes in post-failure traffic inspection.
 		c.record(OpSend, x.Numel())
+		c.obsPoint(OpSend, false, x.Numel())
 	case <-c.group.done:
 		panic(ErrAborted)
 	}
@@ -62,8 +64,13 @@ func (c *Communicator) Recv(from int) *tensor.Tensor {
 		panic(fmt.Sprintf("comm: Recv from invalid rank %d on %d", from, c.rank))
 	}
 	c.faultPoint(OpRecv, true)
+	c.obsPoint(OpRecv, true, 0)
 	select {
 	case t := <-c.group.pairChan(from, c.rank):
+		// The observer's post point carries the received volume even
+		// though Recv moves no wire bytes of its own (the Send side
+		// recorded them) — the span still shows what arrived.
+		c.obsPoint(OpRecv, false, t.Numel())
 		c.faultPoint(OpRecv, false)
 		return t
 	case <-c.group.done:

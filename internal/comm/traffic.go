@@ -22,7 +22,10 @@ const (
 	OpBarrier       Op = "barrier"
 )
 
-const bytesPerElem = 8 // float64 on the simulated wire
+// BytesPerElem is the byte width of one element on the simulated wire:
+// the collectives exchange float64 tensors, so every elems figure the
+// Traffic ledger and the Observer hook report converts to bytes at 8.
+const BytesPerElem = 8
 
 // Stat accumulates call count and byte volume for one ledger key.
 type Stat struct {
@@ -61,7 +64,7 @@ func (t *Traffic) Record(rank int, phase string, op Op, elems int) {
 		t.entries[k] = s
 	}
 	s.Calls++
-	s.Bytes += int64(elems) * bytesPerElem
+	s.Bytes += int64(elems) * BytesPerElem
 }
 
 // Reset clears the ledger.

@@ -1,0 +1,35 @@
+// Package debugserver exposes net/http/pprof on a dedicated opt-in
+// listener for the dchag binaries' -debug-addr flag.
+//
+// The profiling endpoints are kept off the serving mux so a public
+// -listen address never leaks them, and the flag defaults to off: the
+// endpoints reveal heap contents, goroutine stacks, and the process
+// command line, so they must never be bound on an untrusted network.
+// Bind 127.0.0.1:0 (or another loopback address) and tunnel if remote
+// access is needed.
+package debugserver
+
+import (
+	"net"
+	"net/http"
+	"net/http/pprof"
+)
+
+// Start binds addr and serves the pprof endpoints on it in a background
+// goroutine, returning the bound address (useful with a ":0" port). The
+// listener stays open for the life of the process; errors after bind are
+// dropped, matching the fire-and-forget diagnostics role.
+func Start(addr string) (net.Addr, error) {
+	mux := http.NewServeMux()
+	mux.HandleFunc("/debug/pprof/", pprof.Index)
+	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return nil, err
+	}
+	go http.Serve(ln, mux) //nolint:errcheck // diagnostics listener lives for the process
+	return ln.Addr(), nil
+}

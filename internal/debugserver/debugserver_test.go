@@ -1,0 +1,38 @@
+package debugserver
+
+import (
+	"io"
+	"net/http"
+	"strings"
+	"testing"
+)
+
+func TestStartServesPprofIndex(t *testing.T) {
+	addr, err := Start("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp, err := http.Get("http://" + addr.String() + "/debug/pprof/")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("status %d, want 200", resp.StatusCode)
+	}
+	body, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, want := range []string{"goroutine", "heap"} {
+		if !strings.Contains(string(body), want) {
+			t.Fatalf("pprof index missing %q profile", want)
+		}
+	}
+}
+
+func TestStartRejectsBadAddr(t *testing.T) {
+	if _, err := Start("definitely-not-an-address:-1"); err == nil {
+		t.Fatal("want an error for an unbindable address")
+	}
+}

@@ -195,6 +195,22 @@ func (m *Mesh) SetFaultInjector(f comm.FaultInjector) {
 	}
 }
 
+// SetObserver installs per-communicator observers built by factory, which
+// is called once per (axis, world rank) and may return nil to leave that
+// communicator unobserved. Call it after NewMesh and before Run, mirroring
+// SetFaultInjector. Each communicator gets its own observer instance
+// because observers are not required to be goroutine-safe and carry
+// per-communicator open-span state (see comm.Observer).
+func (m *Mesh) SetObserver(factory func(a Axis, rank int) comm.Observer) {
+	for a := range m.axes {
+		for r, c := range m.axes[a].comms {
+			if o := factory(Axis(a), r); o != nil {
+				c.SetObserver(o)
+			}
+		}
+	}
+}
+
 // abortGroupsOf releases the groups a departed rank belongs to, one per
 // axis. Aborting only those — not the whole mesh — keeps failure handling
 // deterministic: a group of pure survivors completes its in-flight

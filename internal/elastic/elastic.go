@@ -24,6 +24,7 @@ import (
 	"repro/internal/dist"
 	"repro/internal/faultinject"
 	"repro/internal/model"
+	"repro/internal/obs"
 	"repro/internal/train"
 )
 
@@ -52,6 +53,13 @@ type Options struct {
 	// Resizes are explicit shape changes, applied in AtStep order.
 	Resizes []Resize
 	TPViT   bool
+	// Trace, when non-nil, records supervisor lifecycle instants
+	// (generation start/end, rank deaths, reshard decisions) on the
+	// tracer's last row, while the generations' per-rank rows come from
+	// train.Options.Trace — by convention the same tracer sized with
+	// rows = initial world + 1 so world ranks and supervisor never share
+	// a row.
+	Trace *obs.Tracer
 }
 
 // Source values recorded per generation: how its initial state was produced.
@@ -126,7 +134,13 @@ func Run(arch model.Arch, opts train.Options, eo Options, batch train.BatchFn) (
 	// source reaches RunGeneration explicitly via GenSpec.From.
 	opts.Resume = false
 	opts.InitFrom = ""
+	if opts.Trace == nil {
+		opts.Trace = eo.Trace
+	}
 
+	// Supervisor lifecycle events land on the tracer's last row, leaving
+	// rows [0, world) to the generations' rank goroutines.
+	sup := eo.Trace.Rank(eo.Trace.Rows() - 1)
 	for gen := 0; gen < maxGen; gen++ {
 		end := opts.Steps
 		var next *Resize
@@ -140,10 +154,13 @@ func Run(arch model.Arch, opts train.Options, eo Options, batch train.BatchFn) (
 		if eo.Plan != nil {
 			eo.Plan.Advance(gen)
 		}
+		sup.Instant("generation-start", "elastic")
+		genSpan := sup.Begin("generation", "elastic")
 		res := train.RunGeneration(arch, opts, train.GenSpec{
 			TP: tp, DP: dp, Start: start, End: end,
 			From: from, Fault: eo.Plan, TPViT: eo.TPViT,
 		}, batch)
+		genSpan.End()
 		grec := Generation{Gen: gen, TP: tp, DP: dp, Start: start, Source: source}
 		for i, l := range res.Hist.Loss {
 			if s := res.Hist.Start + i; s < len(rep.Loss) {
@@ -153,10 +170,12 @@ func Run(arch model.Arch, opts train.Options, eo Options, batch train.BatchFn) (
 		if res.Err == nil {
 			rep.Generations = append(rep.Generations, grec)
 			if end == opts.Steps {
+				sup.Instant("run-complete", "elastic")
 				return rep, nil
 			}
 			// Clean resize boundary: every rank's tree is present at the
 			// same step, so the in-memory reshard cannot fail for coverage.
+			sup.Instant("resize", "elastic")
 			ck, err := boundarySource(arch, partitions, res, nil)
 			if err != nil {
 				return rep, fmt.Errorf("elastic: reshard at resize boundary %d: %w", end, err)
@@ -172,6 +191,9 @@ func Run(arch model.Arch, opts train.Options, eo Options, batch train.BatchFn) (
 			// loss.
 			return rep, res.Err
 		}
+		for range failed {
+			sup.Instant("rank-death", "elastic")
+		}
 		grec.Failed = failed
 		rep.Generations = append(rep.Generations, grec)
 		survivors := tp*dp - len(failed)
@@ -180,13 +202,16 @@ func Run(arch model.Arch, opts train.Options, eo Options, batch train.BatchFn) (
 			return rep, fmt.Errorf("elastic: %d survivor(s) below viable world (min %d): %w",
 				survivors, eo.MinWorld, res.Err)
 		}
+		sup.Instant("re-rendezvous", "elastic")
 		if ck, step, ok := memoryReshard(arch, partitions, res, failed); ok {
+			sup.Instant("reshard-memory", "elastic")
 			from, start, source = ck, step, SourceMemory
 		} else if opts.CheckpointDir != "" {
 			ck, err := ckpt.OpenLatest(opts.CheckpointDir)
 			if err != nil {
 				return rep, fmt.Errorf("elastic: no in-memory reshard and checkpoint restore failed: %w", err)
 			}
+			sup.Instant("reshard-checkpoint", "elastic")
 			from, start, source = ck, ck.Manifest.Step, SourceCheckpoint
 		} else {
 			return rep, fmt.Errorf("elastic: survivors cannot cover state and no checkpoint dir: %w", res.Err)

@@ -1,0 +1,275 @@
+package experiments
+
+import (
+	"fmt"
+
+	"repro/internal/comm"
+	"repro/internal/dist"
+	"repro/internal/hw"
+	"repro/internal/obs"
+	"repro/internal/perfmodel"
+	"repro/internal/tensor"
+)
+
+func init() {
+	register(Experiment{
+		ID:    "trace",
+		Title: "Step attribution: measured per-axis exposed comm from a traced 2x2x2 mesh vs the analytic model",
+		Run:   runTraceExperiment,
+	})
+}
+
+// TraceSchema identifies the JSON layout of TraceReport — the
+// measured-vs-modeled step-attribution artifact (BENCH_trace.json,
+// written by `dchag-trace -json`). The measured side is priced from
+// traced wire volumes with the same hw formulas the analytic model
+// uses, so the artifact is byte-deterministic and CI gates it by
+// content, not by tolerance bands around wall clock.
+const TraceSchema = "dchag-bench/trace/v1"
+
+// TraceAxis is one mesh axis's measured-vs-modeled attribution.
+type TraceAxis struct {
+	// Axis names the mesh axis (tp, fsdp, dp).
+	Axis string `json:"axis"`
+	// Spans counts the traced collective spans on the axis; WireBytes
+	// sums their recorded wire traffic across all ranks.
+	Spans     int   `json:"spans"`
+	WireBytes int64 `json:"wire_bytes"`
+	// MeasuredSeconds prices the traced wire volumes on the axis's group
+	// placements (worst group gates, as in the model); ModeledSeconds is
+	// perfmodel's pre-overlap per-axis time for the same configuration.
+	MeasuredSeconds float64 `json:"measured_seconds"`
+	ModeledSeconds  float64 `json:"modeled_seconds"`
+	// MeasuredExposedSeconds and ModeledExposedSeconds apply the shared
+	// overlap discipline to both sides; Ratio is their quotient (0 when
+	// the modeled side is 0).
+	MeasuredExposedSeconds float64 `json:"measured_exposed_seconds"`
+	ModeledExposedSeconds  float64 `json:"modeled_exposed_seconds"`
+	Ratio                  float64 `json:"ratio"`
+}
+
+// TraceReport is the machine-readable attribution artifact — the payload
+// behind `dchag-trace -json`.
+type TraceReport struct {
+	Schema string `json:"schema"`
+	// Strategy, World, and Topology pin the traced configuration.
+	Strategy string `json:"strategy"`
+	World    int    `json:"world"`
+	Topology string `json:"topology"`
+	// Events counts every traced event across all rank rows.
+	Events int `json:"events"`
+	// ComputeSeconds is the modeled per-step compute both exposure
+	// computations share.
+	ComputeSeconds float64     `json:"compute_seconds"`
+	Axes           []TraceAxis `json:"axes"`
+	// MaxRatioErr is the largest |Ratio - 1| over axes with a nonzero
+	// modeled time; Agrees is the artifact gate: MaxRatioErr <= 0.30.
+	MaxRatioErr float64 `json:"max_ratio_err"`
+	Agrees      bool    `json:"agrees"`
+}
+
+// traceBenchConfig is the fixed attribution workload: a small D-CHAG
+// model on a real 2(TP) x 2(FSDP) x 2(DP) mesh spread over two 4-GPU
+// nodes, so every axis has both a schedule and a placement to price.
+func traceBenchConfig() (perfmodel.ModelShape, perfmodel.Workload, perfmodel.Strategy, hw.Machine, dist.Topology, perfmodel.Calibration) {
+	shape := perfmodel.ModelShape{Name: "trace", Embed: 512, Layers: 2, Heads: 8}
+	wl := perfmodel.Workload{Channels: 32, ImgH: 128, ImgW: 128, Patch: 8, MicroBatch: 4}
+	strat := perfmodel.Strategy{Method: perfmodel.MethodDCHAG, TP: 2, FSDP: 2, DP: 2}
+	machine := hw.Frontier()
+	topo := dist.Topology{Nodes: 2, GPUsPerNode: 4}
+	return shape, wl, strat, machine, topo, perfmodel.DefaultCalibration()
+}
+
+// RunTraceBench replays the analytic model's per-axis collective
+// schedule on a real traced mesh and diffs the measured attribution
+// against perfmodel.AnalyzeOn. Every rank goroutine issues exactly the
+// collectives axisCommSeconds prices — (4L+2) activation AllReduces and
+// one activation AllGather on TP, two parameter-shard AllGathers and a
+// gradient ReduceScatter on FSDP, one gradient AllReduce on DP — with
+// tensors sized from the same formulas; the comm observers record the
+// actual wire volumes, which are then inverted to logical sizes and
+// priced on each group's placement with the same hw formulas the model
+// uses. What the diff validates is the whole attribution pipeline:
+// observer hook coverage, wire-volume accounting, the inversion, and
+// the shared overlap discipline.
+//
+// The returned tracer holds the raw trace (for -chrome export); the
+// report is byte-deterministic — no wall clock enters the pricing.
+func RunTraceBench() (TraceReport, *obs.Tracer, error) {
+	shape, wl, strat, machine, topo, cal := traceBenchConfig()
+	rep := TraceReport{
+		Schema:   TraceSchema,
+		Strategy: strat.Label(),
+		World:    strat.World(),
+		Topology: fmt.Sprintf("%dx%d", topo.Nodes, topo.GPUsPerNode),
+	}
+	modeled, err := perfmodel.AnalyzeOn(shape, wl, strat, machine, topo, cal)
+	if err != nil {
+		return rep, nil, err
+	}
+	rep.ComputeSeconds = modeled.ComputeSeconds
+
+	// Logical tensor sizes, element-denominated (the in-process comm layer
+	// moves f64 elements; comm.BytesPerElem converts). actElems is the
+	// [B,T,E] activation at the modeled dtype; paramElems the per-GPU
+	// parameter block, rounded to keep every collective's wire arithmetic
+	// exact (divisible by the axis group sizes).
+	d := cal.DtypeBytes
+	actBytes := d * float64(wl.MicroBatch) * float64(wl.Tokens()) * float64(shape.Embed)
+	actElems := int(actBytes) / comm.BytesPerElem
+	var params float64
+	for _, p := range modeled.ParamsPerGPU {
+		params += p
+	}
+	paramElems := int(params*d) / comm.BytesPerElem
+	fsdp, dp := 2, 2 // strat is fixed above
+	if r := paramElems % (2 * fsdp * dp); r != 0 {
+		paramElems += 2*fsdp*dp - r
+	}
+
+	mesh, err := dist.NewMesh(strat.Mesh(), topo)
+	if err != nil {
+		return rep, nil, err
+	}
+	tr := obs.NewTracer(mesh.World(), 64)
+	tr.SetMeta("workload", "trace-bench "+strat.Label())
+	mesh.SetObserver(func(a dist.Axis, rank int) comm.Observer {
+		return obs.NewCommObserver(tr.Rank(rank), obs.CommCat(a.String()))
+	})
+	err = mesh.Run(func(rank int, m *dist.Mesh) error {
+		rng := tensor.NewRNG(7 + int64(rank))
+		act := tensor.Randn(rng, actElems)
+		tpc := m.Comm(dist.AxisTP, rank)
+		for i := 0; i < 4*shape.Layers+2; i++ {
+			tpc.AllReduceSum(act)
+		}
+		tpc.AllGather(act)
+
+		fc := m.Comm(dist.AxisFSDP, rank)
+		shard := tensor.Randn(rng, paramElems/fc.Size())
+		full := tensor.Randn(rng, paramElems)
+		for i := 0; i < 2; i++ {
+			fc.AllGather(shard)
+		}
+		fc.ReduceScatterSum(full, 0)
+
+		dc := m.Comm(dist.AxisDP, rank)
+		dc.AllReduceSum(full)
+		return nil
+	})
+	if err != nil {
+		return rep, tr, err
+	}
+
+	// Price the trace: per rank, invert each span's wire volume back to
+	// the collective's logical size and price it on the rank's group
+	// placement; per axis, the worst group's mean per-rank time gates —
+	// the same "groups run in lockstep" composition the model uses.
+	var perRank [dist.NumAxes][]float64
+	for a := range perRank {
+		perRank[a] = make([]float64, mesh.World())
+	}
+	axisOf := map[string]dist.Axis{}
+	var spans [dist.NumAxes]int
+	var wire [dist.NumAxes]int64
+	for _, a := range dist.Axes {
+		axisOf[obs.CommCat(a.String())] = a
+	}
+	for r := 0; r < mesh.World(); r++ {
+		for _, ev := range tr.Events(r) {
+			a, ok := axisOf[ev.Cat]
+			if !ok || ev.Ph != 'X' {
+				continue
+			}
+			g := mesh.GroupOf(a, r)
+			n := int64(len(mesh.GroupRanks(a, g)))
+			p := mesh.GroupPlacement(a, g)
+			var t float64
+			switch comm.Op(ev.Name) {
+			case comm.OpAllReduce:
+				t = machine.AllReduceTimeOn(p, ev.Bytes*n/(2*(n-1)))
+			case comm.OpAllGather:
+				t = machine.AllGatherTimeOn(p, ev.Bytes/(n-1))
+			case comm.OpReduceScatter:
+				t = machine.ReduceScatterTimeOn(p, ev.Bytes*n/(n-1))
+			default:
+				continue // barriers and p2p carry no modeled schedule here
+			}
+			perRank[a][r] += t
+			spans[a]++
+			wire[a] += ev.Bytes
+			rep.Events++
+		}
+	}
+	var measured [dist.NumAxes]float64
+	for _, a := range dist.Axes {
+		for g := 0; g < mesh.GroupCount(a); g++ {
+			ranks := mesh.GroupRanks(a, g)
+			sum := 0.0
+			for _, r := range ranks {
+				sum += perRank[a][r]
+			}
+			if mean := sum / float64(len(ranks)); mean > measured[a] {
+				measured[a] = mean
+			}
+		}
+	}
+	exposed := cal.Overlap.Expose(modeled.ComputeSeconds, measured)
+
+	rep.MaxRatioErr = 0
+	rep.Agrees = true
+	for _, a := range dist.Axes {
+		ta := TraceAxis{
+			Axis:                   a.String(),
+			Spans:                  spans[a],
+			WireBytes:              wire[a],
+			MeasuredSeconds:        measured[a],
+			ModeledSeconds:         modeled.AxisCommSeconds[a],
+			MeasuredExposedSeconds: exposed[a],
+			ModeledExposedSeconds:  modeled.AxisExposedSeconds[a],
+		}
+		if ta.ModeledExposedSeconds > 0 {
+			ta.Ratio = ta.MeasuredExposedSeconds / ta.ModeledExposedSeconds
+			if err := abs(ta.Ratio - 1); err > rep.MaxRatioErr {
+				rep.MaxRatioErr = err
+			}
+		}
+		rep.Axes = append(rep.Axes, ta)
+	}
+	rep.Agrees = rep.MaxRatioErr <= 0.30
+	return rep, tr, nil
+}
+
+func abs(x float64) float64 {
+	if x < 0 {
+		return -x
+	}
+	return x
+}
+
+// runTraceExperiment renders the attribution as a figure-style table.
+func runTraceExperiment() Result {
+	t := &Table{
+		Title:   "Measured vs modeled per-axis exposed comm (traced 2x2x2 mesh)",
+		Headers: []string{"axis", "spans", "wire", "measured ms", "modeled ms", "exposed meas ms", "exposed model ms", "ratio"},
+	}
+	rep, _, err := RunTraceBench()
+	if err != nil {
+		t.Note("trace bench failed: %v", err)
+		return Result{ID: "trace", Title: t.Title, Tables: []*Table{t}}
+	}
+	for _, a := range rep.Axes {
+		t.Add(a.Axis,
+			fmt.Sprintf("%d", a.Spans),
+			hw.FormatBytes(a.WireBytes),
+			fmt.Sprintf("%.3f", a.MeasuredSeconds*1e3),
+			fmt.Sprintf("%.3f", a.ModeledSeconds*1e3),
+			fmt.Sprintf("%.3f", a.MeasuredExposedSeconds*1e3),
+			fmt.Sprintf("%.3f", a.ModeledExposedSeconds*1e3),
+			fmt.Sprintf("%.3f", a.Ratio),
+		)
+	}
+	t.Note("strategy %s on %s; %d traced events; max ratio error %.1f%% (gate: 30%%)",
+		rep.Strategy, rep.Topology, rep.Events, rep.MaxRatioErr*100)
+	return Result{ID: "trace", Title: t.Title, Tables: []*Table{t}}
+}

@@ -1,0 +1,70 @@
+package experiments
+
+import (
+	"bytes"
+	"encoding/json"
+	"testing"
+
+	"repro/internal/dist"
+	"repro/internal/obs"
+)
+
+// TestTraceBenchAgrees pins the tentpole claim: attribution from real
+// traced wire volumes matches the analytic model per axis within 30% —
+// and, because the inversion and pricing share the model's own
+// formulas, in practice exactly.
+func TestTraceBenchAgrees(t *testing.T) {
+	rep, tr, err := RunTraceBench()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Schema != TraceSchema {
+		t.Fatalf("schema %q, want %q", rep.Schema, TraceSchema)
+	}
+	if !rep.Agrees {
+		t.Fatalf("attribution disagrees: max ratio err %.3f", rep.MaxRatioErr)
+	}
+	if len(rep.Axes) != int(dist.NumAxes) {
+		t.Fatalf("report has %d axes, want %d", len(rep.Axes), dist.NumAxes)
+	}
+	for _, a := range rep.Axes {
+		if a.Spans == 0 || a.WireBytes == 0 || a.MeasuredSeconds == 0 {
+			t.Errorf("axis %s traced nothing: %+v", a.Axis, a)
+		}
+		if a.ModeledSeconds == 0 {
+			t.Errorf("axis %s has no modeled schedule — the 2x2x2 strategy must exercise every axis", a.Axis)
+		}
+		if a.Ratio < 0.70 || a.Ratio > 1.30 {
+			t.Errorf("axis %s ratio %.3f outside the 30%% gate", a.Axis, a.Ratio)
+		}
+	}
+	// The tracer must hold a per-rank view exportable to Chrome JSON.
+	if tr.Rows() != rep.World {
+		t.Fatalf("tracer rows %d, want world %d", tr.Rows(), rep.World)
+	}
+	var buf bytes.Buffer
+	if err := obs.WriteChromeTrace(&buf, tr); err != nil {
+		t.Fatal(err)
+	}
+	if err := obs.ValidateChromeTrace(buf.Bytes()); err != nil {
+		t.Fatalf("bench trace does not validate: %v", err)
+	}
+}
+
+// TestTraceBenchDeterministic pins the artifact's CI gate: two runs
+// must serialize byte-identically (no wall clock enters the report).
+func TestTraceBenchDeterministic(t *testing.T) {
+	a, _, err := RunTraceBench()
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, _, err := RunTraceBench()
+	if err != nil {
+		t.Fatal(err)
+	}
+	aj, _ := json.Marshal(a)
+	bj, _ := json.Marshal(b)
+	if string(aj) != string(bj) {
+		t.Fatalf("trace reports differ between runs:\n%s\n%s", aj, bj)
+	}
+}

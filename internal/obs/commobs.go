@@ -1,0 +1,48 @@
+package obs
+
+import "repro/internal/comm"
+
+// CommObserver adapts one tracer row to the comm.Observer hook points: a
+// pre point opens a span named after the operation, the matching post
+// point closes it with the recorded wire volume. One observer instance
+// belongs to exactly one communicator — communicators are single-
+// goroutine, and the substrate guarantees pre/post pairing (a post fires
+// on every completed rendezvous, including the early-return branches),
+// so a single open-span slot suffices.
+//
+// Install per axis with dist.Mesh.SetObserver:
+//
+//	mesh.SetObserver(func(a dist.Axis, rank int) comm.Observer {
+//		return obs.NewCommObserver(tr.Rank(rank), obs.CommCat(a.String()))
+//	})
+type CommObserver struct {
+	r    *Rank
+	cat  string
+	open Span
+}
+
+// CommCat interns the trace category for one mesh axis ("comm/tp",
+// "comm/fsdp", "comm/dp"). Called once at observer construction so the
+// record path reuses the string.
+func CommCat(axis string) string { return "comm/" + axis }
+
+// NewCommObserver builds an observer recording onto r under the given
+// category. A nil r yields a working observer that records nothing —
+// but prefer installing no observer at all when tracing is off, which
+// keeps the disabled cost inside the communicator's single nil test.
+func NewCommObserver(r *Rank, cat string) *CommObserver {
+	return &CommObserver{r: r, cat: cat}
+}
+
+// OpPoint implements comm.Observer. Op names are static string constants
+// (comm.OpAllReduce, ...), so the conversion below is allocation-free.
+//
+// dchag:hotpath
+func (o *CommObserver) OpPoint(op comm.Op, pre bool, elems int) {
+	if pre {
+		o.open = o.r.Begin(string(op), o.cat)
+		return
+	}
+	o.open.EndBytes(int64(elems) * comm.BytesPerElem)
+	o.open = Span{}
+}

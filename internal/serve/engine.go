@@ -8,6 +8,7 @@ import (
 
 	"repro/internal/data"
 	"repro/internal/model"
+	"repro/internal/obs"
 	"repro/internal/tensor"
 )
 
@@ -61,7 +62,8 @@ type Engine struct {
 	host    *Host
 	owns    bool // Close tears the host down too
 	metrics *Metrics
-	cache   *cache // nil when Config.CacheBytes == 0
+	cache   *cache    // nil when Config.CacheBytes == 0
+	row     *obs.Rank // front-end lifecycle row (host tracer's last); nil when tracing off
 
 	queue       chan *job
 	quit        chan struct{} // closed by Close: stop admission, wind down
@@ -92,7 +94,7 @@ func Start(cfg Config, src Source) (*Engine, error) {
 	if err := cfg.validate(); err != nil {
 		return nil, err
 	}
-	h, err := NewHost(cfg.Ranks, cfg.Replicas)
+	h, err := NewHostTraced(cfg.Ranks, cfg.Replicas, cfg.Trace)
 	if err != nil {
 		return nil, err
 	}
@@ -129,6 +131,7 @@ func startOn(h *Host, cfg Config, src Source, owns bool) (*Engine, error) {
 		host:        h,
 		owns:        owns,
 		metrics:     NewMetrics(),
+		row:         h.trace.Rank(h.trace.Rows() - 1),
 		queue:       make(chan *job, cfg.QueueDepth),
 		quit:        make(chan struct{}),
 		batcherDone: make(chan struct{}),
@@ -261,17 +264,20 @@ func (e *Engine) Submit(req *Request) (<-chan Response, error) {
 		keyed = true
 		if out := e.cache.get(key); out != nil {
 			e.metrics.noteHit(time.Since(enq))
+			e.row.Instant("cache-hit", "serve")
 			ch := make(chan Response, 1)
 			ch <- Response{ID: req.ID, Output: out, Cached: true, Total: time.Since(enq)}
 			return ch, nil
 		}
 		if hit, ch := e.cache.joinOrOwn(key, req.ID, enq); hit != nil {
 			e.metrics.noteHit(time.Since(enq))
+			e.row.Instant("cache-hit", "serve")
 			rch := make(chan Response, 1)
 			rch <- Response{ID: req.ID, Output: hit, Cached: true, Total: time.Since(enq)}
 			return rch, nil
 		} else if ch != nil {
 			e.metrics.noteCoalesced()
+			e.row.Instant("coalesce", "serve")
 			return ch, nil
 		}
 		e.metrics.noteMiss()
@@ -279,6 +285,7 @@ func (e *Engine) Submit(req *Request) (<-chan Response, error) {
 	j := &job{req: req, enq: enq, done: make(chan Response, 1), key: key, keyed: keyed}
 	select {
 	case e.queue <- j:
+		e.row.Instant("enqueue", "serve")
 		// Close may have raced in between the admission check and the
 		// enqueue — after the batcher's final drain, nothing would ever
 		// serve or fail this job. Re-check and rescue: draining here fails
@@ -293,6 +300,7 @@ func (e *Engine) Submit(req *Request) (<-chan Response, error) {
 			e.failFlight(key, ErrQueueFull)
 		}
 		e.metrics.noteRejected()
+		e.row.Instant("reject", "serve")
 		return nil, ErrQueueFull
 	}
 }
@@ -382,7 +390,9 @@ func (e *Engine) batchLoop() {
 			e.drainQueue()
 			return
 		}
+		sp := e.row.Begin("batch-collect", "serve")
 		batch := e.collect(first)
+		sp.End()
 		select {
 		case <-e.quit:
 			e.failJobs(batch)
@@ -398,10 +408,15 @@ func (e *Engine) batchLoop() {
 			return
 		default:
 		}
+		asm := e.row.Begin("batch-assemble", "serve")
 		bj := e.assemble(batch)
+		asm.End()
+		dsp := e.row.Begin("dispatch-wait", "serve")
 		select {
 		case e.host.work <- bj:
+			dsp.End()
 		case <-e.host.failed:
+			dsp.End()
 			bj.fail()
 			e.drainQueue()
 			return
@@ -518,6 +533,8 @@ func (e *Engine) failJob(j *job) {
 // in-flight cache entry, answering every coalesced waiter with the shared
 // output.
 func (e *Engine) complete(bj *batchJob, pred *tensor.Tensor) {
+	sp := e.row.Begin("respond", "serve")
+	defer sp.End()
 	a := e.arch
 	imgs := model.Unpatchify(pred, a.Channels, a.ImgH, a.ImgW, a.Patch)
 	tensor.DefaultPool.PutTensor(bj.x) // the batch tensor is consumed
@@ -537,6 +554,7 @@ func (e *Engine) complete(bj *batchJob, pred *tensor.Tensor) {
 		e.metrics.observe(resp)
 		j.done <- resp
 		if j.keyed {
+			e.row.Instant("cache-fill", "serve")
 			for _, w := range e.cache.fill(j.key, bj.inst.id, out) {
 				w.ch <- Response{
 					ID:        w.id,

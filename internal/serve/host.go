@@ -7,6 +7,7 @@ import (
 	"repro/internal/comm"
 	"repro/internal/dist"
 	"repro/internal/model"
+	"repro/internal/obs"
 	"repro/internal/tensor"
 )
 
@@ -39,7 +40,8 @@ type instance struct {
 type Host struct {
 	ranks    int
 	replicas int
-	mesh     *dist.Mesh // set before NewHost returns; read-only after
+	mesh     *dist.Mesh  // set before NewHost returns; read-only after
+	trace    *obs.Tracer // nil when tracing is off; read-only after NewHost
 
 	work   chan *batchJob
 	quit   chan struct{} // closed by Close: leaders say farewell and exit
@@ -67,12 +69,23 @@ type Host struct {
 // ranks*replicas; each replica is one TP group whose leader pulls from the
 // shared work channel. Close tears the mesh down.
 func NewHost(ranks, replicas int) (*Host, error) {
+	return NewHostTraced(ranks, replicas, nil)
+}
+
+// NewHostTraced is NewHost with observability: when tr is non-nil every
+// mesh communicator gets a comm observer recording collective spans onto
+// the world rank's tracer row, and the workers record per-batch forward
+// spans on the same rows. Engines attached to the host record the
+// front-end lifecycle on the tracer's last row (see Config.Trace), so
+// size the tracer with rows = ranks*replicas + 1.
+func NewHostTraced(ranks, replicas int, tr *obs.Tracer) (*Host, error) {
 	if ranks < 1 || replicas < 1 {
 		return nil, fmt.Errorf("serve: host needs ranks >= 1 and replicas >= 1, got %d x %d", ranks, replicas)
 	}
 	h := &Host{
 		ranks:     ranks,
 		replicas:  replicas,
+		trace:     tr,
 		work:      make(chan *batchJob, replicas),
 		quit:      make(chan struct{}),
 		failed:    make(chan struct{}),
@@ -84,12 +97,18 @@ func NewHost(ranks, replicas int) (*Host, error) {
 	if spec.World() > 8 && spec.World()%8 == 0 {
 		topo = dist.Frontier(spec.World() / 8)
 	}
-	meshCh := make(chan *dist.Mesh, 1)
+	mesh, err := dist.NewMesh(spec, topo)
+	if err != nil {
+		return nil, err
+	}
+	if tr != nil {
+		mesh.SetObserver(func(a dist.Axis, rank int) comm.Observer {
+			return obs.NewCommObserver(tr.Rank(rank), obs.CommCat(a.String()))
+		})
+	}
+	h.mesh = mesh
 	go func() {
-		_, err := dist.RunMesh(spec, topo, func(rank int, m *dist.Mesh) error {
-			if rank == 0 {
-				meshCh <- m
-			}
+		err := mesh.Run(func(rank int, m *dist.Mesh) error {
 			return h.worker(rank, m)
 		})
 		// Every rank has exited. Stop admitting new senders, wait for the
@@ -113,16 +132,6 @@ func NewHost(ranks, replicas int) (*Host, error) {
 		h.runErr = err
 		close(h.dead)
 	}()
-	select {
-	case m := <-meshCh:
-		h.mesh = m
-	case <-h.dead:
-		// Mesh validation failed before any worker ran.
-		if h.runErr != nil {
-			return nil, h.runErr
-		}
-		return nil, ErrClosed
-	}
 	return h, nil
 }
 
@@ -267,6 +276,7 @@ func (h *Host) worker(rank int, m *dist.Mesh) (err error) {
 		}
 	}()
 	tpc := m.TPComm(rank)
+	row := h.trace.Rank(rank)
 
 	if tpc.Size() == 1 {
 		// Single-rank replica: no group coordination needed.
@@ -274,7 +284,10 @@ func (h *Host) worker(rank int, m *dist.Mesh) (err error) {
 			select {
 			case bj := <-h.work:
 				inflight = bj
-				bj.e.complete(bj, bj.inst.models[rank].Infer(bj.x, nil))
+				sp := row.Begin("infer", "serve")
+				pred := bj.inst.models[rank].Infer(bj.x, nil)
+				sp.End()
+				bj.e.complete(bj, pred)
 				inflight = nil
 			case <-h.quit:
 				return nil
@@ -329,7 +342,9 @@ func (h *Host) worker(rank int, m *dist.Mesh) (err error) {
 			shard = tensor.EnsureShape(shard, x.Shape[0], hi-lo, x.Shape[2], x.Shape[3])
 			in = tensor.SliceAxisInto(shard, x, 1, lo, hi)
 		}
+		sp := row.Begin("infer", "serve")
 		pred := inst.models[rank].Infer(in, nil)
+		sp.End()
 		if lead {
 			bj.e.complete(bj, pred)
 			inflight = nil

@@ -47,6 +47,8 @@ type PredictResponse struct {
 //
 //	POST /v1/predict  — one inference request (PredictRequest/PredictResponse)
 //	GET  /v1/stats    — metrics Snapshot as JSON
+//	GET  /metrics     — the same snapshot in Prometheus text format, plus
+//	                    cache, swap, and build-info series
 //	GET  /healthz     — 200 while the engine is live, 503 after shutdown
 func (e *Engine) Handler() http.Handler {
 	mux := http.NewServeMux()
@@ -54,6 +56,7 @@ func (e *Engine) Handler() http.Handler {
 	mux.HandleFunc("GET /v1/stats", func(w http.ResponseWriter, r *http.Request) {
 		writeJSON(w, http.StatusOK, e.metrics.Snapshot())
 	})
+	mux.HandleFunc("GET /metrics", e.handleMetrics)
 	mux.HandleFunc("GET /healthz", func(w http.ResponseWriter, r *http.Request) {
 		if e.Err() != nil || e.closed() {
 			http.Error(w, "engine stopped", http.StatusServiceUnavailable)

@@ -1,0 +1,161 @@
+package serve
+
+import (
+	"math"
+	"sync"
+	"testing"
+	"time"
+)
+
+// TestSnapshotEmpty pins the zero-state snapshot: every counter zero,
+// every quantile zero (Quantile of an empty sample is 0 by contract),
+// and no NaNs from the mean/throughput divisions.
+func TestSnapshotEmpty(t *testing.T) {
+	m := NewMetrics()
+	s := m.Snapshot()
+	if s.Completed != 0 || s.Rejected != 0 || s.Failed != 0 || s.Batches != 0 {
+		t.Fatalf("empty snapshot has nonzero counters: %+v", s)
+	}
+	if s.MeanBatch != 0 {
+		t.Fatalf("MeanBatch = %v on zero batches, want 0", s.MeanBatch)
+	}
+	for name, q := range map[string]float64{
+		"QueuedP50": s.QueuedP50Ms, "QueuedP99": s.QueuedP99Ms,
+		"TotalP50": s.TotalP50Ms, "TotalP95": s.TotalP95Ms, "TotalP99": s.TotalP99Ms,
+		"HitP50": s.HitP50Ms, "HitP99": s.HitP99Ms,
+	} {
+		if q != 0 {
+			t.Errorf("%s = %v on empty sample, want 0", name, q)
+		}
+	}
+	if math.IsNaN(s.ThroughputRPS) || math.IsInf(s.ThroughputRPS, 0) {
+		t.Fatalf("ThroughputRPS = %v, want finite", s.ThroughputRPS)
+	}
+}
+
+// TestSnapshotSingleSample pins the degenerate one-observation case:
+// every quantile of a single sample is that sample.
+func TestSnapshotSingleSample(t *testing.T) {
+	m := NewMetrics()
+	m.observe(Response{Queued: 2 * time.Millisecond, Total: 5 * time.Millisecond})
+	m.noteBatch(3)
+	s := m.Snapshot()
+	if s.Completed != 1 {
+		t.Fatalf("Completed = %d, want 1", s.Completed)
+	}
+	if s.QueuedP50Ms != 2 || s.QueuedP99Ms != 2 {
+		t.Fatalf("queued quantiles = %v/%v, want 2/2", s.QueuedP50Ms, s.QueuedP99Ms)
+	}
+	if s.TotalP50Ms != 5 || s.TotalP95Ms != 5 || s.TotalP99Ms != 5 {
+		t.Fatalf("total quantiles = %v/%v/%v, want 5/5/5", s.TotalP50Ms, s.TotalP95Ms, s.TotalP99Ms)
+	}
+	if s.MeanBatch != 3 {
+		t.Fatalf("MeanBatch = %v, want 3", s.MeanBatch)
+	}
+}
+
+// TestQuantileNearestRank pins the nearest-rank math on a known sample.
+func TestQuantileNearestRank(t *testing.T) {
+	sorted := []float64{1, 2, 3, 4, 5, 6, 7, 8, 9, 10}
+	cases := []struct {
+		q    float64
+		want float64
+	}{
+		{0, 1}, {0.5, 6}, {0.99, 10}, {1, 10},
+		{0.25, 3}, {0.95, 10},
+	}
+	for _, c := range cases {
+		if got := Quantile(sorted, c.q); got != c.want {
+			t.Errorf("Quantile(q=%v) = %v, want %v", c.q, got, c.want)
+		}
+	}
+	if got := Quantile(nil, 0.5); got != 0 {
+		t.Errorf("Quantile(empty) = %v, want 0", got)
+	}
+}
+
+// TestMetricsSampleSaturation drives the sample buffers past
+// maxLatencySamples: the counters must keep counting while the buffers
+// stop growing, and the quantiles must come from the retained prefix.
+func TestMetricsSampleSaturation(t *testing.T) {
+	m := NewMetrics()
+	const extra = 100
+	resp := Response{Queued: time.Millisecond, Total: 2 * time.Millisecond}
+	for i := 0; i < maxLatencySamples+extra; i++ {
+		m.observe(resp)
+	}
+	for i := 0; i < maxLatencySamples+extra; i++ {
+		m.noteHit(3 * time.Millisecond)
+	}
+	m.mu.Lock()
+	nTotal, nHit := len(m.totalMs), len(m.hitMs)
+	m.mu.Unlock()
+	if nTotal != maxLatencySamples {
+		t.Fatalf("totalMs grew to %d, want capped at %d", nTotal, maxLatencySamples)
+	}
+	if nHit != maxLatencySamples {
+		t.Fatalf("hitMs grew to %d, want capped at %d", nHit, maxLatencySamples)
+	}
+	s := m.Snapshot()
+	if want := uint64(maxLatencySamples + extra); s.Completed != want {
+		t.Fatalf("Completed = %d, want %d (counters must not saturate)", s.Completed, want)
+	}
+	if want := uint64(maxLatencySamples + extra); s.CacheHits != want {
+		t.Fatalf("CacheHits = %d, want %d", s.CacheHits, want)
+	}
+	if s.TotalP99Ms != 2 || s.HitP50Ms != 3 {
+		t.Fatalf("quantiles after saturation = %v/%v, want 2/3", s.TotalP99Ms, s.HitP50Ms)
+	}
+}
+
+// TestMetricsConcurrentRecord hammers every note path from many
+// goroutines while snapshots run, then checks the exact counter totals.
+// Run under -race this is also the data-race check for the lock scheme.
+func TestMetricsConcurrentRecord(t *testing.T) {
+	m := NewMetrics()
+	const workers, per = 8, 500
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < per; i++ {
+				m.observe(Response{Queued: time.Millisecond, Total: 2 * time.Millisecond})
+				m.noteRejected()
+				m.noteFailed()
+				m.noteBatch(4)
+				m.noteHit(time.Millisecond)
+				m.noteMiss()
+				m.noteCoalesced()
+				m.noteSwap()
+				m.noteDepth(i % 32)
+			}
+		}()
+	}
+	done := make(chan struct{})
+	go func() {
+		for {
+			select {
+			case <-done:
+				return
+			default:
+				m.Snapshot()
+			}
+		}
+	}()
+	wg.Wait()
+	close(done)
+	s := m.Snapshot()
+	want := uint64(workers * per)
+	if s.Completed != want || s.Rejected != want || s.Failed != want ||
+		s.Batches != want || s.CacheHits != want || s.CacheMisses != want ||
+		s.CacheCoalesced != want || s.Swaps != want {
+		t.Fatalf("concurrent counters lost updates: %+v, want all %d", s, want)
+	}
+	if s.MeanBatch != 4 {
+		t.Fatalf("MeanBatch = %v, want 4", s.MeanBatch)
+	}
+	if s.MaxQueueDepth != 31 {
+		t.Fatalf("MaxQueueDepth = %d, want 31", s.MaxQueueDepth)
+	}
+}

@@ -6,6 +6,8 @@ import (
 	"fmt"
 	"net/http"
 	"sync"
+
+	"repro/internal/obs"
 )
 
 // Routing errors.
@@ -29,6 +31,9 @@ type RouterConfig struct {
 	// (admission control per tenant: beyond it, Do returns ErrTenantBusy).
 	// 0 defaults to 32. Per-tenant overrides via SetTenantSlots.
 	TenantSlots int
+	// Trace, when non-nil, traces the shared host and every engine added to
+	// the router (see Config.Trace for the row convention).
+	Trace *obs.Tracer
 }
 
 // Router serves several models to several tenants over one shared Host —
@@ -64,7 +69,7 @@ func NewRouter(cfg RouterConfig) (*Router, error) {
 	if cfg.TenantSlots < 1 {
 		return nil, fmt.Errorf("serve: router needs TenantSlots >= 1, got %d", cfg.TenantSlots)
 	}
-	h, err := NewHost(cfg.Ranks, cfg.Replicas)
+	h, err := NewHostTraced(cfg.Ranks, cfg.Replicas, cfg.Trace)
 	if err != nil {
 		return nil, err
 	}
@@ -259,6 +264,9 @@ func (r *Router) Close() error {
 //	GET  /v1/models/{model}/stats   — that engine's metrics Snapshot
 //	GET  /v1/models                 — routed model names
 //	GET  /v1/tenants                — per-tenant admission counters
+//	GET  /metrics                   — Prometheus text format: every model's
+//	                                  series labeled model="name", tenant
+//	                                  counters labeled tenant="name"
 //	GET  /healthz                   — 200 while the host is live
 func (r *Router) Handler() http.Handler {
 	mux := http.NewServeMux()
@@ -286,6 +294,7 @@ func (r *Router) Handler() http.Handler {
 	mux.HandleFunc("GET /v1/tenants", func(w http.ResponseWriter, req *http.Request) {
 		writeJSON(w, http.StatusOK, r.TenantStats())
 	})
+	mux.HandleFunc("GET /metrics", r.handleMetrics)
 	mux.HandleFunc("GET /healthz", func(w http.ResponseWriter, req *http.Request) {
 		if r.host.Err() != nil {
 			http.Error(w, "host stopped", http.StatusServiceUnavailable)

@@ -46,6 +46,7 @@ import (
 	"fmt"
 	"time"
 
+	"repro/internal/obs"
 	"repro/internal/tensor"
 )
 
@@ -126,6 +127,15 @@ type Config struct {
 	// without queuing, and identical concurrent requests coalesce onto a
 	// single forward. Eviction is sharded LRU at this byte bound.
 	CacheBytes int64
+	// Trace, when non-nil, records the full request lifecycle: mesh
+	// collectives and per-batch forwards on rows [0, Ranks*Replicas) (one
+	// row per world rank) and the engine front end — enqueue, batch
+	// formation, dispatch, respond, cache fill — on the tracer's last row.
+	// Size it with obs.NewTracer(Ranks*Replicas+1, capacity). Start builds
+	// the traced host from it; engines attached to a shared host (StartOn,
+	// Router) inherit that host's tracer instead. Nil disables tracing at
+	// zero cost on the hot paths.
+	Trace *obs.Tracer
 }
 
 // withDefaults normalizes zero fields.

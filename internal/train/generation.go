@@ -117,6 +117,7 @@ func RunGeneration(arch model.Arch, opts Options, g GenSpec, batch BatchFn) GenR
 	if g.Fault != nil {
 		m.SetFaultInjector(g.Fault)
 	}
+	setMeshObserver(m, opts.Trace)
 	world := spec.World()
 	res.Mesh = m
 	res.Trees = make([]ckpt.Tree, world)
@@ -127,6 +128,7 @@ func RunGeneration(arch model.Arch, opts Options, g GenSpec, batch BatchFn) GenR
 	var hist History
 	hist.Start = g.Start
 	res.Err = m.Run(func(rank int, m *dist.Mesh) error {
+		row := opts.Trace.Rank(rank)
 		tpc := m.TPComm(rank)
 		dpc := m.DPComm(rank)
 		coord := m.Spec.CoordOf(rank)
@@ -186,6 +188,7 @@ func RunGeneration(arch model.Arch, opts Options, g GenSpec, batch BatchFn) GenR
 				target := model.Patchify(yDP, arch.Patch)
 				var grad *tensor.Tensor
 				tpc.SetPhase("forward")
+				fwd := row.Begin("forward", "train")
 				if opts.MaskRatio > 0 {
 					// Full-batch mask so every replica consumes the same
 					// stream as the serial run, then this replica's rows.
@@ -199,8 +202,11 @@ func RunGeneration(arch model.Arch, opts Options, g GenSpec, batch BatchFn) GenR
 					stepLoss += mse.Forward(pred, target)
 					grad = mse.Backward()
 				}
+				fwd.End()
 				tpc.SetPhase("backward")
+				bwd := row.Begin("backward", "train")
 				mdl.Backward(grad)
+				bwd.End()
 			}
 			if accum > 1 {
 				for _, p := range mdl.Params() {
@@ -208,13 +214,17 @@ func RunGeneration(arch model.Arch, opts Options, g GenSpec, batch BatchFn) GenR
 				}
 			}
 			dpc.SetPhase("dp-sync")
+			sync := row.Begin("dp-sync", "train")
 			ddp.SyncGradients()
+			sync.End()
+			optSpan := row.Begin("optim", "train")
 			if opts.ClipNorm > 0 {
 				tpc.SetPhase("optim")
 				local, repl := mdl.PartitionParams()
 				DistributedClipGradNorm(tpc, local, repl, opts.ClipNorm)
 			}
 			opt.Step()
+			optSpan.End()
 			// Every rank reduces; only world rank 0 records (collectivesym:
 			// the collective stays outside the rank conditional).
 			dpc.SetPhase("metrics")
@@ -229,6 +239,7 @@ func RunGeneration(arch model.Arch, opts Options, g GenSpec, batch BatchFn) GenR
 				// is rank-independent, so every TP group runs the same two
 				// barriers — symmetric with no rank conditional around them.
 				tpc.SetPhase("ckpt")
+				ckSpan := row.Begin("ckpt", "train")
 				dir := opts.checkpointTarget(s + 1)
 				if coord.DP == 0 {
 					if err := writeShard(dir, coord.TP, mdl.Params(), opt); err != nil {
@@ -248,6 +259,7 @@ func RunGeneration(arch model.Arch, opts Options, g GenSpec, batch BatchFn) GenR
 					}
 				}
 				tpc.Barrier()
+				ckSpan.End()
 			}
 			snapshot(s + 1)
 		}

@@ -3,14 +3,28 @@ package train
 import (
 	"fmt"
 
+	"repro/internal/comm"
 	"repro/internal/data"
 	"repro/internal/dist"
 	"repro/internal/model"
 	"repro/internal/nn"
+	"repro/internal/obs"
 	"repro/internal/optim"
 	"repro/internal/parallel"
 	"repro/internal/tensor"
 )
+
+// setMeshObserver installs per-axis comm observers for the tracer's rows
+// (one row per world rank). A nil tracer installs nothing, keeping the
+// disabled path free of observer calls entirely.
+func setMeshObserver(m *dist.Mesh, tr *obs.Tracer) {
+	if tr == nil {
+		return
+	}
+	m.SetObserver(func(a dist.Axis, rank int) comm.Observer {
+		return obs.NewCommObserver(tr.Rank(rank), obs.CommCat(a.String()))
+	})
+}
 
 // Hybrid trains with the paper's Sec. 3.4 composition on the device mesh:
 // every data-parallel replica is a D-CHAG (= TP) group of tp ranks holding a
@@ -47,7 +61,13 @@ func Hybrid(arch model.Arch, tp, dp int, tpViT bool, opts Options, batch BatchFn
 		topo = dist.Frontier(spec.World() / 8)
 	}
 	var hist History
-	mesh, err := dist.RunMesh(spec, topo, func(rank int, m *dist.Mesh) error {
+	mesh, err := dist.NewMesh(spec, topo)
+	if err != nil {
+		return History{}, nil, err
+	}
+	setMeshObserver(mesh, opts.Trace)
+	err = mesh.Run(func(rank int, m *dist.Mesh) error {
+		row := opts.Trace.Rank(rank)
 		tpc := m.TPComm(rank)
 		dpc := m.DPComm(rank)
 		coord := m.Spec.CoordOf(rank)
@@ -88,6 +108,7 @@ func Hybrid(arch model.Arch, tp, dp int, tpViT bool, opts Options, batch BatchFn
 				target := model.Patchify(yDP, arch.Patch)
 				var grad *tensor.Tensor
 				tpc.SetPhase("forward")
+				fwd := row.Begin("forward", "train")
 				if opts.MaskRatio > 0 {
 					// Draw the full-batch mask so every replica consumes the
 					// same stream as the serial run, then keep this
@@ -102,8 +123,11 @@ func Hybrid(arch model.Arch, tp, dp int, tpViT bool, opts Options, batch BatchFn
 					stepLoss += mse.Forward(pred, target)
 					grad = mse.Backward()
 				}
+				fwd.End()
 				tpc.SetPhase("backward")
+				bwd := row.Begin("backward", "train")
 				mdl.Backward(grad)
+				bwd.End()
 			}
 			if accum > 1 {
 				for _, p := range mdl.Params() {
@@ -112,13 +136,17 @@ func Hybrid(arch model.Arch, tp, dp int, tpViT bool, opts Options, batch BatchFn
 			}
 			// The one cross-replica synchronization point (paper Sec. 6.3).
 			dpc.SetPhase("dp-sync")
+			sync := row.Begin("dp-sync", "train")
 			ddp.SyncGradients()
+			sync.End()
+			optSpan := row.Begin("optim", "train")
 			if opts.ClipNorm > 0 {
 				tpc.SetPhase("optim")
 				local, repl := mdl.PartitionParams()
 				DistributedClipGradNorm(tpc, local, repl, opts.ClipNorm)
 			}
 			opt.Step()
+			optSpan.End()
 			// Every rank reduces; only world rank 0 records. Keeping the
 			// collective outside the rank conditional keeps the DP groups'
 			// collective sequences identical (dchag-vet: collectivesym).
@@ -135,6 +163,7 @@ func Hybrid(arch model.Arch, tp, dp int, tpViT bool, opts Options, batch BatchFn
 				// groups — it is uniform across every member of tpc's group,
 				// so the barriers below stay symmetric within the group.
 				tpc.SetPhase("ckpt")
+				ckSpan := row.Begin("ckpt", "train")
 				dir := opts.checkpointTarget(s + 1)
 				if err := writeShard(dir, coord.TP, mdl.Params(), opt); err != nil {
 					return err
@@ -151,6 +180,7 @@ func Hybrid(arch model.Arch, tp, dp int, tpViT bool, opts Options, batch BatchFn
 				}
 				//lint:ignore collectivesym coord.DP==0 admits whole TP groups; uniform within tpc's group
 				tpc.Barrier()
+				ckSpan.End()
 			}
 		}
 		return nil

@@ -13,6 +13,7 @@ import (
 	"repro/internal/data"
 	"repro/internal/model"
 	"repro/internal/nn"
+	"repro/internal/obs"
 	"repro/internal/optim"
 	"repro/internal/tensor"
 )
@@ -68,6 +69,12 @@ type Options struct {
 	// from the given checkpoint directory — a warm start rather than a
 	// resume. Mutually exclusive with Resume.
 	InitFrom string
+	// Trace, when non-nil, records per-rank step-phase spans (forward,
+	// backward, grad-sync, optim, checkpoint) into the tracer: row = world
+	// rank for the distributed loops, row 0 for the serial ones. The loops
+	// additionally install comm observers so every collective of the run
+	// appears as its own span. nil disables tracing at zero cost.
+	Trace *obs.Tracer
 }
 
 // validateCheckpoint rejects inconsistent checkpoint options.
@@ -177,6 +184,7 @@ func SerialCheckpointed(m *model.FoundationModel, opts Options, batch BatchFn) (
 	}
 	fastForwardMasks(maskRNG, start, opts, t)
 	hist.Start = start
+	row := opts.Trace.Rank(0)
 	for s := start; s < opts.Steps; s++ {
 		if sched != nil {
 			sched.Apply(opt, s)
@@ -187,6 +195,7 @@ func SerialCheckpointed(m *model.FoundationModel, opts Options, batch BatchFn) (
 			x, y := batch(s*accum + a)
 			target := model.Patchify(y, m.Arch.Patch)
 			var grad *tensor.Tensor
+			fwd := row.Begin("forward", "train")
 			if opts.MaskRatio > 0 {
 				mask := data.RandomMask(maskRNG, x.Shape[0], t, opts.MaskRatio)
 				pred := m.Forward(x, mask)
@@ -197,19 +206,25 @@ func SerialCheckpointed(m *model.FoundationModel, opts Options, batch BatchFn) (
 				stepLoss += mse.Forward(pred, target)
 				grad = mse.Backward()
 			}
+			fwd.End()
+			bwd := row.Begin("backward", "train")
 			m.Backward(grad)
+			bwd.End()
 		}
 		if accum > 1 {
 			for _, p := range m.Params() {
 				tensor.ScaleInPlace(p.Grad, 1/float64(accum))
 			}
 		}
+		optSpan := row.Begin("optim", "train")
 		if opts.ClipNorm > 0 {
 			optim.ClipGradNorm(m.Params(), opts.ClipNorm)
 		}
 		opt.Step()
+		optSpan.End()
 		hist.Loss = append(hist.Loss, stepLoss/float64(accum))
 		if opts.checkpointDue(s) {
+			ckSpan := row.Begin("ckpt", "train")
 			dir := opts.checkpointTarget(s + 1)
 			if err := writeShard(dir, 0, m.Params(), opt); err != nil {
 				return hist, err
@@ -220,6 +235,7 @@ func SerialCheckpointed(m *model.FoundationModel, opts Options, batch BatchFn) (
 			if err := opts.pruneCheckpoints(); err != nil {
 				return hist, err
 			}
+			ckSpan.End()
 		}
 	}
 	return hist, nil
@@ -241,6 +257,10 @@ func Distributed(arch model.Arch, p int, tpViT bool, opts Options, batch BatchFn
 		return hist, nil, err
 	}
 	g, err := comm.Run(p, func(c *comm.Communicator) error {
+		row := opts.Trace.Rank(c.Rank())
+		if row != nil {
+			c.SetObserver(obs.NewCommObserver(row, "comm/dchag"))
+		}
 		m := model.NewDistributed(arch, c, tpViT)
 		stage := m.Stage.(*model.DCHAGStage)
 		lo, hi := stage.ChannelBounds()
@@ -271,6 +291,7 @@ func Distributed(arch model.Arch, p int, tpViT bool, opts Options, batch BatchFn
 				target := model.Patchify(y, arch.Patch)
 				var grad *tensor.Tensor
 				c.SetPhase("forward")
+				fwd := row.Begin("forward", "train")
 				if opts.MaskRatio > 0 {
 					mask := data.RandomMask(maskRNG, x.Shape[0], t, opts.MaskRatio)
 					pred := m.Forward(xShard, mask)
@@ -281,25 +302,31 @@ func Distributed(arch model.Arch, p int, tpViT bool, opts Options, batch BatchFn
 					stepLoss += mse.Forward(pred, target)
 					grad = mse.Backward()
 				}
+				fwd.End()
 				c.SetPhase("backward")
+				bwd := row.Begin("backward", "train")
 				m.Backward(grad)
+				bwd.End()
 			}
 			if accum > 1 {
 				for _, p := range m.Params() {
 					tensor.ScaleInPlace(p.Grad, 1/float64(accum))
 				}
 			}
+			optSpan := row.Begin("optim", "train")
 			if opts.ClipNorm > 0 {
 				c.SetPhase("optim")
 				local, repl := m.PartitionParams()
 				DistributedClipGradNorm(c, local, repl, opts.ClipNorm)
 			}
 			opt.Step()
+			optSpan.End()
 			if c.Rank() == 0 {
 				hist.Loss = append(hist.Loss, stepLoss/float64(accum))
 			}
 			if opts.checkpointDue(s) {
 				c.SetPhase("ckpt")
+				ckSpan := row.Begin("ckpt", "train")
 				dir := opts.checkpointTarget(s + 1)
 				if err := writeShard(dir, c.Rank(), m.Params(), opt); err != nil {
 					return err
@@ -314,6 +341,7 @@ func Distributed(arch model.Arch, p int, tpViT bool, opts Options, batch BatchFn
 					}
 				}
 				c.Barrier() // checkpoint complete before training continues
+				ckSpan.End()
 			}
 		}
 		return nil
